@@ -1,0 +1,82 @@
+"""Figure 11: the per-executable quantitative table.
+
+Regenerates every column of the paper's main results table for all 22
+executables -- analysis time, region/object counts, relation sizes,
+verified region pairs, object/instruction pairs, high-ranked count -- and
+checks the cross-executable shape: the utilities are trivial, the diff
+family is homogeneous, svn tops every size column, and region-pair counts
+grow superlinearly with regions (the scalability pressure the paper
+reports; their svn run hit 2.9e9 R-pairs in 26 hours).
+"""
+
+from conftest import analyze_package, write_result
+
+from repro.tool import format_fig11_table
+from repro.workloads import PACKAGES, package
+
+
+def _full_table():
+    rows = []
+    for model in PACKAGES:
+        for report in analyze_package(model):
+            rows.append(report.fig11_row())
+    return rows
+
+
+def test_fig11_full_table(benchmark):
+    rows = benchmark.pedantic(_full_table, rounds=1, iterations=1)
+    write_result("fig11_quantitative.txt", format_fig11_table(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert len(rows) == 22
+
+    # Apache's utilities are tiny and warning-free (paper: 0 everywhere).
+    for utility in ("htdbm", "rotatelogs", "htdigest", "htpasswd"):
+        row = by_name[utility]
+        assert row.o_pairs == row.i_pairs == row.high == 0
+        assert row.regions <= 5
+
+    # httpd is apache's big executable with exactly one high warning.
+    assert by_name["httpd"].high == 1
+    assert by_name["httpd"].regions > by_name["ab"].regions
+
+    # The diff family is homogeneous (paper: 424-427 regions each).
+    diff_rows = [by_name["diff"], by_name["diff3"], by_name["diff4"]]
+    assert len({row.regions for row in diff_rows}) == 1
+    assert all(row.high == 1 for row in diff_rows)
+
+    # svn tops every size column, as in the paper.
+    svn = by_name["svn"]
+    for row in rows:
+        if row.name != "svn":
+            assert svn.regions >= row.regions
+            assert svn.objects >= row.objects
+            assert svn.r_pairs >= row.r_pairs
+
+    # R-pairs grow superlinearly with regions: comparing svn against the
+    # diff family, the R-pair ratio dwarfs the region ratio.
+    diff = by_name["diff"]
+    region_ratio = svn.regions / diff.regions
+    rpair_ratio = svn.r_pairs / diff.r_pairs
+    assert rpair_ratio > region_ratio * 5
+
+
+def test_fig11_bench_svn_analysis(benchmark):
+    """Time the most expensive single executable (svn), the paper's
+    26-hour outlier, as the headline pipeline benchmark."""
+    from conftest import interface_for
+    from repro.tool import run_regionwiz
+    from repro.workloads import generate_workload
+
+    model = package("subversion")
+    svn_exe = model.executables[-1]
+    assert svn_exe.name == "svn"
+    workload = generate_workload(svn_exe.spec)
+    interface = interface_for(model.interface)
+
+    report = benchmark(
+        lambda: run_regionwiz(
+            workload.source, interface=interface, name="svn"
+        )
+    )
+    assert report.fig11_row().high == svn_exe.spec.expected_high()

@@ -1,0 +1,45 @@
+"""Figure 7: the benchmark table (packages, sizes, executable counts).
+
+Regenerates the package inventory and times the synthetic source
+generation for the whole six-package suite.
+"""
+
+from conftest import write_result
+
+from repro.workloads import PACKAGES, generate_package
+
+
+def _generate_all():
+    generated = {}
+    for model in PACKAGES:
+        generated[model.name] = generate_package(model)
+    return generated
+
+
+def test_fig7_package_table(benchmark):
+    generated = benchmark(_generate_all)
+
+    lines = [
+        f"{'package':12s} {'version':8s} {'paper KLOC':>10s} {'exe':>4s}"
+        f" {'synthetic KLOC':>15s}  description"
+    ]
+    for model in PACKAGES:
+        synth_kloc = sum(w.kloc for w in generated[model.name])
+        lines.append(
+            f"{model.name:12s} {model.version:8s} {model.kloc:10d}"
+            f" {len(model.executables):4d} {synth_kloc:15.1f}"
+            f"  {model.description}"
+        )
+    table = "\n".join(lines)
+    write_result("fig7_packages.txt", table)
+
+    # Figure 7 shape: six packages, 22 executables total, rcc on RC
+    # regions, subversion the largest.
+    assert len(PACKAGES) == 6
+    assert sum(len(m.executables) for m in PACKAGES) == 22
+    paper_sizes = [m.kloc for m in PACKAGES]
+    assert max(paper_sizes) == 240  # subversion
+    synth_sizes = {
+        m.name: sum(w.kloc for w in generated[m.name]) for m in PACKAGES
+    }
+    assert synth_sizes["subversion"] == max(synth_sizes.values())

@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures and writes
+the rendered table to ``benchmarks/results/`` so EXPERIMENTS.md can point
+at concrete artifacts.  Absolute numbers differ from the paper (synthetic
+workloads, pure-Python analysis, 2026 hardware vs a 2008 Xeon); the
+benches assert the *shape*: who warns, who ranks high, what grows.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.tool import run_regionwiz
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+
+
+def interface_for(kind: str):
+    return rc_regions_interface() if kind == "rc" else apr_pools_interface()
+
+
+def analyze_package(model):
+    """Run the pipeline on every executable of a package model."""
+    from repro.workloads import generate_package
+
+    interface = interface_for(model.interface)
+    reports = []
+    for workload in generate_package(model):
+        reports.append(
+            run_regionwiz(
+                workload.source, interface=interface, name=workload.name
+            )
+        )
+    return reports
+
+
+@pytest.fixture(scope="session")
+def package_reports():
+    """All six packages analyzed once per session (reused across benches)."""
+    from repro.workloads import PACKAGES
+
+    return {model.name: (model, analyze_package(model)) for model in PACKAGES}

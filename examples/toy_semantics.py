@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The paper's formal model, executable (Sections 3-4).
+
+Writes Figure 3 in the toy language's own syntax, runs the Figure 4
+big-step semantics under different condition oracles (collecting the
+pi/phi/sigma effects), runs the Section 4.3 abstract analysis, and shows
+the canonicalized region tree and the verification verdict -- Examples
+4.1 through 4.4, live.
+
+Run:  python examples/toy_semantics.py
+"""
+
+from repro.core import parse_toy
+from repro.core.toylang import (
+    abstract_violations,
+    concrete_violations,
+    run_abstract,
+    run_concrete,
+)
+
+FIGURE3 = """
+r0 = rnew null
+r1 = rnew null
+o1 = ralloc r1
+r  = null
+if ~ { r = r0 } else { skip = null }
+if ~ { r = r1 } else { skip = null }
+r2 = rnew r
+o2 = ralloc r2
+o2.f = o1
+"""
+
+
+def oracle(*decisions):
+    iterator = iter(decisions)
+    return lambda: next(iterator, False)
+
+
+def show_concrete(label, *decisions):
+    state = run_concrete(parse_toy(FIGURE3), oracle(*decisions))
+    violations = concrete_violations(state)
+    print(f"  {label}:")
+    print(f"    pi    = {{{', '.join(f'{c} < {p}' for c, p in sorted(state.pi, key=str))}}}")
+    print(f"    sigma = {{{', '.join(f'{a} -> {b}' for a, b in sorted(state.sigma, key=str))}}}")
+    verdict = "INCONSISTENT" if violations else "consistent"
+    print(f"    concrete verdict: {verdict}")
+
+
+def main() -> None:
+    print("Figure 3 in the paper's toy-language syntax:")
+    print(FIGURE3)
+
+    print("Concrete executions (Figure 4 semantics, Example 4.1/4.2):")
+    show_concrete("P=true,  Q=true ", True, True)
+    show_concrete("P=true,  Q=false", True, False)
+    show_concrete("P=false, Q=false", False, False)
+
+    print()
+    print("Abstract analysis (Section 4.3, Examples 4.3/4.4):")
+    program = parse_toy(FIGURE3)
+    result = run_abstract(program)
+    print(f"  Pi (raw, may-subregion): {sorted(result.pi)}")
+    hierarchy = result.hierarchy()
+    print(f"  joined regions (multi-parent -> join): {sorted(hierarchy.joined)}")
+    print(
+        "  canonical parents:",
+        {str(r): str(hierarchy.parent[r]) for r in sorted(hierarchy.regions)},
+    )
+    violations = abstract_violations(result)
+    print(f"  abstract warnings: {violations}")
+    print()
+    print("The abstract verdict flags the pointer once r2's ambiguous")
+    print("parent is joined to the root -- no execution required, and it")
+    print("covers the P=true/Q=false run that dynamic tools only see by")
+    print("luck of the schedule.")
+
+
+if __name__ == "__main__":
+    main()

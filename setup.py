@@ -1,0 +1,21 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so `pip install -e .` works even on
+environments without the `wheel` package (PEP 660 editable installs need
+it; the legacy `setup.py develop` path does not).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "RegionWiz: conditional correlation analysis for safe region-based"
+        " memory management (PLDI 2008 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["regionwiz=repro.tool.cli:main"]},
+)

@@ -1,0 +1,43 @@
+"""RegionWiz: conditional correlation analysis for safe region-based
+memory management.
+
+A from-scratch reproduction of Wang et al., PLDI 2008.  The package is a
+full stack:
+
+* :mod:`repro.lang` -- a C-subset frontend (lexer, parser, sema);
+* :mod:`repro.ir` -- the Phoenix-like three-address IR and lowering;
+* :mod:`repro.bdd` / :mod:`repro.datalog` -- a ROBDD engine and a
+  bddbddb-style Datalog solver (set and BDD backends);
+* :mod:`repro.callgraph` -- direct/indirect/implicit call graph;
+* :mod:`repro.pointer` -- Whaley-Lam context cloning and the
+  context-sensitive, field-sensitive points-to analysis with heap cloning;
+* :mod:`repro.core` -- the conditional correlation framework, the region
+  lifetime consistency instantiation, the paper's toy language with its
+  Figure 4 big-step semantics, and warning ranking;
+* :mod:`repro.interfaces` -- APR pools and RC regions interface specs;
+* :mod:`repro.runtime` -- an executable region runtime and C interpreter
+  (the dynamic baseline);
+* :mod:`repro.tool` -- the end-to-end RegionWiz pipeline and CLI;
+* :mod:`repro.workloads` -- the paper-figure corpus and the synthetic
+  six-package evaluation models.
+
+Quickstart::
+
+    from repro import run_regionwiz
+    report = run_regionwiz(c_source)
+    for warning in report.high_warnings:
+        print(warning)
+"""
+
+from repro.pointer import AnalysisOptions
+from repro.tool import RegionWizReport, format_report, run_regionwiz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisOptions",
+    "RegionWizReport",
+    "__version__",
+    "format_report",
+    "run_regionwiz",
+]

@@ -1,0 +1,10 @@
+"""Pure-Python ROBDD engine and finite domains (the BuDDy substitute).
+
+See :mod:`repro.bdd.bdd` for the node-level engine and
+:mod:`repro.bdd.domain` for bddbddb-style finite domains.
+"""
+
+from repro.bdd.bdd import BDD, BDDError
+from repro.bdd.domain import DomainInstance, DomainSpace, DomainType
+
+__all__ = ["BDD", "BDDError", "DomainInstance", "DomainSpace", "DomainType"]

@@ -1,0 +1,593 @@
+"""A reduced ordered binary decision diagram (ROBDD) engine.
+
+RegionWiz stores its exponential context-sensitive relations (the call graph
+``cc``, points-to sets, and the subregion/ownership/heap effects) in BDD
+finite domains, following bddbddb/BuDDy.  This module is the BuDDy
+substitute: a pure-Python ROBDD manager with the operations the Datalog
+solver needs -- ``ite``, the binary apply operators, existential and
+universal quantification, variable renaming, restriction, satisfying
+assignment counting and enumeration.
+
+Nodes are interned integers.  The terminals are ``BDD.FALSE == 0`` and
+``BDD.TRUE == 1``; every other node is a triple ``(level, low, high)``
+interned in a unique table, so structural equality is pointer equality and
+``ite`` can be memoised by node id.
+
+Variable *levels* are the BDD order: smaller level means nearer the root.
+Callers (see :mod:`repro.bdd.domain`) decide how logical domains map onto
+levels; the engine itself is order-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["BDD", "BDDError"]
+
+
+class BDDError(Exception):
+    """Raised on invalid BDD operations (bad levels, foreign nodes...)."""
+
+
+# Binary apply operator codes.  Using small ints keeps cache keys compact.
+_OP_AND = 0
+_OP_OR = 1
+_OP_XOR = 2
+_OP_DIFF = 3  # a and not b
+_OP_IMP = 4  # not a or b
+_OP_BIIMP = 5  # a xnor b
+
+_TERMINAL_OPS: Dict[int, Callable[[int, int], int]] = {
+    _OP_AND: lambda a, b: a & b,
+    _OP_OR: lambda a, b: a | b,
+    _OP_XOR: lambda a, b: a ^ b,
+    _OP_DIFF: lambda a, b: a & (1 - b),
+    _OP_IMP: lambda a, b: (1 - a) | b,
+    _OP_BIIMP: lambda a, b: 1 - (a ^ b),
+}
+
+
+class BDD:
+    """A BDD manager: owns the node store, unique table and operation caches.
+
+    Nodes from one manager must never be mixed with another manager's nodes;
+    all operations take and return plain ``int`` node handles relative to
+    this manager.
+    """
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self, num_vars: int = 0) -> None:
+        # Parallel arrays: node i is (level[i], low[i], high[i]).
+        # Entries 0/1 are the terminals; their level is a sentinel larger
+        # than any variable level so cofactor walks terminate naturally.
+        self._level: List[int] = [2**30, 2**30]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._apply_cache: Dict[Tuple[int, int, int], int] = {}
+        self._quant_cache: Dict[Tuple[int, int, frozenset, int], int] = {}
+        self._rename_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
+        self._num_vars = 0
+        self._temp_pool: List[int] = []
+        if num_vars:
+            self.extend(num_vars)
+
+    # ------------------------------------------------------------------
+    # Node store
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables (levels) currently declared."""
+        return self._num_vars
+
+    @property
+    def num_nodes(self) -> int:
+        """Total interned nodes including the two terminals."""
+        return len(self._level)
+
+    def extend(self, count: int) -> int:
+        """Declare ``count`` more variables; return the first new level."""
+        if count < 0:
+            raise BDDError("cannot extend by a negative variable count")
+        first = self._num_vars
+        self._num_vars += count
+        return first
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def level_of(self, node: int) -> int:
+        """The root variable level of ``node`` (sentinel for terminals)."""
+        return self._level[node]
+
+    def var(self, level: int) -> int:
+        """The BDD for the single variable at ``level``."""
+        self._check_level(level)
+        return self._mk(level, self.FALSE, self.TRUE)
+
+    def nvar(self, level: int) -> int:
+        """The BDD for the negation of the variable at ``level``."""
+        self._check_level(level)
+        return self._mk(level, self.TRUE, self.FALSE)
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self._num_vars:
+            raise BDDError(
+                f"variable level {level} out of range [0, {self._num_vars})"
+            )
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``f ? g : h``."""
+        if f == self.TRUE:
+            return g
+        if f == self.FALSE:
+            return h
+        if g == h:
+            return g
+        if g == self.TRUE and h == self.FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[f], self._level[g], self._level[h])
+        f0, f1 = self._cofactors(f, level)
+        g0, g1 = self._cofactors(g, level)
+        h0, h1 = self._cofactors(h, level)
+        result = self._mk(
+            level, self.ite(f0, g0, h0), self.ite(f1, g1, h1)
+        )
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactors(self, node: int, level: int) -> Tuple[int, int]:
+        if self._level[node] == level:
+            return self._low[node], self._high[node]
+        return node, node
+
+    def _apply(self, op: int, a: int, b: int) -> int:
+        if a <= 1 and b <= 1:
+            return _TERMINAL_OPS[op](a, b)
+        # Short circuits per operator.
+        if op == _OP_AND:
+            if a == self.FALSE or b == self.FALSE:
+                return self.FALSE
+            if a == self.TRUE:
+                return b
+            if b == self.TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == _OP_OR:
+            if a == self.TRUE or b == self.TRUE:
+                return self.TRUE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+            if a == b:
+                return a
+        elif op == _OP_XOR:
+            if a == b:
+                return self.FALSE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+        elif op == _OP_DIFF:
+            if a == self.FALSE or b == self.TRUE or a == b:
+                return self.FALSE
+            if b == self.FALSE:
+                return a
+        # Commutative operators get a canonical argument order.
+        if op in (_OP_AND, _OP_OR, _OP_XOR, _OP_BIIMP) and a > b:
+            a, b = b, a
+        key = (op, a, b)
+        cached = self._apply_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[a], self._level[b])
+        a0, a1 = self._cofactors(a, level)
+        b0, b1 = self._cofactors(b, level)
+        result = self._mk(
+            level, self._apply(op, a0, b0), self._apply(op, a1, b1)
+        )
+        self._apply_cache[key] = result
+        return result
+
+    # Convenience wrappers -------------------------------------------------
+
+    def apply_and(self, a: int, b: int) -> int:
+        return self._apply(_OP_AND, a, b)
+
+    def apply_or(self, a: int, b: int) -> int:
+        return self._apply(_OP_OR, a, b)
+
+    def apply_xor(self, a: int, b: int) -> int:
+        return self._apply(_OP_XOR, a, b)
+
+    def apply_diff(self, a: int, b: int) -> int:
+        """``a AND NOT b`` (set difference)."""
+        return self._apply(_OP_DIFF, a, b)
+
+    def apply_imp(self, a: int, b: int) -> int:
+        return self._apply(_OP_IMP, a, b)
+
+    def apply_biimp(self, a: int, b: int) -> int:
+        return self._apply(_OP_BIIMP, a, b)
+
+    def negate(self, a: int) -> int:
+        return self._apply(_OP_XOR, a, self.TRUE)
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        result = self.TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result == self.FALSE:
+                break
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        result = self.FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+            if result == self.TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+
+    def exist(self, node: int, levels: Iterable[int]) -> int:
+        """Existentially quantify the variables at ``levels`` out of ``node``."""
+        return self._quantify(node, frozenset(levels), _OP_OR)
+
+    def forall(self, node: int, levels: Iterable[int]) -> int:
+        """Universally quantify the variables at ``levels`` out of ``node``."""
+        return self._quantify(node, frozenset(levels), _OP_AND)
+
+    def _quantify(self, node: int, levels: frozenset, op: int) -> int:
+        if node <= 1 or not levels:
+            return node
+        max_level = max(levels)
+        return self._quant_rec(node, levels, max_level, op)
+
+    def _quant_rec(self, node: int, levels: frozenset, max_level: int, op: int) -> int:
+        if node <= 1:
+            return node
+        level = self._level[node]
+        if level > max_level:
+            return node
+        key = (op, node, levels, 0)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        low = self._quant_rec(self._low[node], levels, max_level, op)
+        high = self._quant_rec(self._high[node], levels, max_level, op)
+        if level in levels:
+            result = self._apply(op, low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def rel_product(self, a: int, b: int, levels: Iterable[int]) -> int:
+        """Relational product: ``exists levels . a AND b``.
+
+        The workhorse of Datalog joins; fused so conjunction results never
+        materialize variables that are immediately quantified away.
+        """
+        level_set = frozenset(levels)
+        if not level_set:
+            return self.apply_and(a, b)
+        max_level = max(level_set)
+        return self._relprod_rec(a, b, level_set, max_level)
+
+    def _relprod_rec(self, a: int, b: int, levels: frozenset, max_level: int) -> int:
+        if a == self.FALSE or b == self.FALSE:
+            return self.FALSE
+        if a == self.TRUE and b == self.TRUE:
+            return self.TRUE
+        if a > b:  # AND is commutative; canonicalize for the cache
+            a, b = b, a
+        if min(self._level[a], self._level[b]) > max_level:
+            return self.apply_and(a, b)
+        key = (a, b, levels, 1)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._level[a], self._level[b])
+        a0, a1 = self._cofactors(a, level)
+        b0, b1 = self._cofactors(b, level)
+        low = self._relprod_rec(a0, b0, levels, max_level)
+        if level in levels:
+            if low == self.TRUE:
+                result = self.TRUE
+            else:
+                high = self._relprod_rec(a1, b1, levels, max_level)
+                result = self.apply_or(low, high)
+        else:
+            high = self._relprod_rec(a1, b1, levels, max_level)
+            result = self._mk(level, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Renaming and restriction
+    # ------------------------------------------------------------------
+
+    def rename(self, node: int, mapping: Dict[int, int]) -> int:
+        """Rename variables per ``mapping`` (old level -> new level).
+
+        Fast path: when the mapping is monotone on the node's support (the
+        relative order of mapped variables is unchanged and no mapped
+        variable crosses an unmapped one), a single structural walk
+        suffices.  Otherwise falls back to the always-correct
+        compose-with-equality construction:
+        ``exists old . node AND (old1 <-> new1) AND ...``.
+        """
+        if node <= 1 or not mapping:
+            return node
+        relevant = {
+            old: new for old, new in mapping.items() if old != new
+        }
+        if not relevant:
+            return node
+        support = self.support(node)
+        relevant = {o: n for o, n in relevant.items() if o in support}
+        if not relevant:
+            return node
+        for new in relevant.values():
+            self._check_level(new)
+        if self._rename_is_monotone(support, relevant):
+            key = (node, tuple(sorted(relevant.items())))
+            cached = self._rename_cache.get(key)
+            if cached is not None:
+                return cached
+            result = self._rename_walk(node, relevant, {})
+            self._rename_cache[key] = result
+            return result
+        return self._rename_general(node, relevant)
+
+    def _rename_is_monotone(self, support: frozenset, mapping: Dict[int, int]) -> bool:
+        # Build the level permutation over the support and check it is
+        # strictly increasing, and that targets don't collide with
+        # unmapped support variables.
+        unmapped = {lvl for lvl in support if lvl not in mapping}
+        targets = set(mapping.values())
+        if targets & unmapped:
+            return False
+        if len(targets) != len(mapping):
+            return False
+        image = sorted(
+            (lvl, mapping.get(lvl, lvl)) for lvl in support
+        )
+        prev = -1
+        for _, new in image:
+            if new <= prev:
+                return False
+            prev = new
+        return True
+
+    def _rename_walk(self, node: int, mapping: Dict[int, int], memo: Dict[int, int]) -> int:
+        if node <= 1:
+            return node
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        level = self._level[node]
+        new_level = mapping.get(level, level)
+        result = self._mk(
+            new_level,
+            self._rename_walk(self._low[node], mapping, memo),
+            self._rename_walk(self._high[node], mapping, memo),
+        )
+        memo[node] = result
+        return result
+
+    def _rename_general(self, node: int, mapping: Dict[int, int]) -> int:
+        sources = set(mapping)
+        targets = set(mapping.values())
+        support = self.support(node)
+        if targets & (support - sources):
+            raise BDDError(
+                "rename target collides with an unmapped support variable"
+            )
+        if sources & targets:
+            # Overlapping source/target sets (e.g. a swap): go through
+            # temporary variables so each equality step is sound.  The
+            # temp levels are reserved exclusively for renaming, so they
+            # are always disjoint from caller variables.
+            temps = self._temp_levels(len(mapping))
+            ordered = sorted(mapping.items())
+            to_temp = {old: temps[i] for i, (old, _) in enumerate(ordered)}
+            from_temp = {temps[i]: new for i, (_, new) in enumerate(ordered)}
+            staged = self._rename_equality(node, to_temp)
+            return self._rename_equality(staged, from_temp)
+        return self._rename_equality(node, mapping)
+
+    def _temp_levels(self, count: int) -> List[int]:
+        """Levels reserved for rename staging, grown on demand."""
+        while len(self._temp_pool) < count:
+            self._temp_pool.append(self.extend(1))
+        return self._temp_pool[:count]
+
+    def _rename_equality(self, node: int, mapping: Dict[int, int]) -> int:
+        """``exists old . node AND (old <-> new)...`` for disjoint old/new."""
+        equalities = self.TRUE
+        for old, new in mapping.items():
+            eq = self.apply_biimp(self.var(old), self.var(new))
+            equalities = self.apply_and(equalities, eq)
+        return self.rel_product(node, equalities, mapping.keys())
+
+    def restrict(self, node: int, assignment: Dict[int, bool]) -> int:
+        """Substitute constants for variables: cofactor w.r.t. ``assignment``."""
+        if node <= 1 or not assignment:
+            return node
+        return self._restrict_rec(node, assignment, {})
+
+    def _restrict_rec(self, node: int, assignment: Dict[int, bool], memo: Dict[int, int]) -> int:
+        if node <= 1:
+            return node
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        level = self._level[node]
+        if level in assignment:
+            child = self._high[node] if assignment[level] else self._low[node]
+            result = self._restrict_rec(child, assignment, memo)
+        else:
+            result = self._mk(
+                level,
+                self._restrict_rec(self._low[node], assignment, memo),
+                self._restrict_rec(self._high[node], assignment, memo),
+            )
+        memo[node] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def support(self, node: int) -> frozenset:
+        """The set of variable levels ``node`` depends on."""
+        seen = set()
+        levels = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            levels.add(self._level[current])
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return frozenset(levels)
+
+    def evaluate(self, node: int, assignment: Sequence[bool]) -> bool:
+        """Evaluate under a total assignment indexed by level."""
+        while node > 1:
+            level = self._level[node]
+            node = self._high[node] if assignment[level] else self._low[node]
+        return node == self.TRUE
+
+    def satcount(self, node: int, levels: Sequence[int]) -> int:
+        """Count satisfying assignments over exactly ``levels``.
+
+        ``levels`` must be a superset of the node's support.
+        """
+        level_list = sorted(set(levels))
+        support = self.support(node)
+        if not support <= set(level_list):
+            raise BDDError("satcount levels must cover the node's support")
+        index = {lvl: i for i, lvl in enumerate(level_list)}
+        total = len(level_list)
+        memo: Dict[int, int] = {}
+
+        def count(n: int) -> int:
+            # Number of solutions over variables at or below n's level,
+            # normalized to "as if n sat at position index[level(n)]".
+            if n == self.FALSE:
+                return 0
+            if n == self.TRUE:
+                return 1
+            if n in memo:
+                return memo[n]
+            lvl = self._level[n]
+            result = 0
+            for child in (self._low[n], self._high[n]):
+                child_count = count(child)
+                if child <= 1:
+                    gap = total - index[lvl] - 1
+                else:
+                    gap = index[self._level[child]] - index[lvl] - 1
+                result += child_count << gap
+            memo[n] = result
+            return result
+
+        if node == self.FALSE:
+            return 0
+        if node == self.TRUE:
+            return 1 << total
+        return count(node) << index[self._level[node]]
+
+    def sat_iter(self, node: int, levels: Sequence[int]) -> Iterator[Dict[int, bool]]:
+        """Enumerate satisfying assignments as {level: bool} dicts.
+
+        Unconstrained variables in ``levels`` are expanded to both values,
+        so the iteration is exactly ``satcount`` assignments long.
+        """
+        level_list = sorted(set(levels))
+        support = self.support(node)
+        if not support <= set(level_list):
+            raise BDDError("sat_iter levels must cover the node's support")
+
+        def walk(n: int, idx: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if n == self.FALSE:
+                return
+            if idx == len(level_list):
+                yield dict(partial)
+                return
+            level = level_list[idx]
+            if n > 1 and self._level[n] == level:
+                for value, child in ((False, self._low[n]), (True, self._high[n])):
+                    partial[level] = value
+                    yield from walk(child, idx + 1, partial)
+                del partial[level]
+            else:
+                for value in (False, True):
+                    partial[level] = value
+                    yield from walk(n, idx + 1, partial)
+                del partial[level]
+
+        yield from walk(node, 0, {})
+
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """The conjunction of literals described by ``assignment``."""
+        node = self.TRUE
+        for level in sorted(assignment, reverse=True):
+            self._check_level(level)
+            if assignment[level]:
+                node = self._mk(level, self.FALSE, node)
+            else:
+                node = self._mk(level, node, self.FALSE)
+        return node
+
+    def node_count(self, node: int) -> int:
+        """Number of distinct internal nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current <= 1 or current in seen:
+                continue
+            seen.add(current)
+            stack.append(self._low[current])
+            stack.append(self._high[current])
+        return len(seen)
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (the unique table is kept)."""
+        self._ite_cache.clear()
+        self._apply_cache.clear()
+        self._quant_cache.clear()
+        self._rename_cache.clear()

@@ -1,0 +1,11 @@
+"""Call graph construction: direct, indirect, and implicit calls."""
+
+from repro.callgraph.builder import CallGraph, build_call_graph
+from repro.callgraph.implicit import ImplicitCallRegistry, default_registry
+
+__all__ = [
+    "CallGraph",
+    "ImplicitCallRegistry",
+    "build_call_graph",
+    "default_registry",
+]

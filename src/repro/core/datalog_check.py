@@ -1,0 +1,99 @@
+"""The inconsistency computation as Datalog (Section 5.3.2, eq. 4.12).
+
+RegionWiz's core query -- region pairs with no partial order, mapped
+through reflexive ownership, filtered by the access relation -- is a
+four-rule Datalog program.  This module runs exactly that program on the
+:mod:`repro.datalog` solver over the pointer-analysis effects and the
+canonicalized hierarchy; a test cross-checks its ``objectPair`` output
+against :func:`repro.core.consistency.check_consistency` on the whole
+figure corpus, tying the executable formalism to the production checker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.hierarchy import RegionHierarchy, build_hierarchy
+from repro.datalog import Program
+from repro.pointer import AbstractObject, PointerAnalysisResult
+
+__all__ = ["datalog_object_pairs"]
+
+RULES = """
+# Reflexive transitive closure of the canonical subregion tree.
+le(x, x) :- region(x).
+le(x, y) :- parent(x, y).
+le(x, z) :- le(x, y), parent(y, z).
+
+# Region pairs with no partial order (the complement, eq. 4.13's domain).
+regionPair(x, y) :- region(x), region(y), !le(x, y).
+
+# Reflexive extension of ownership: f= covers the region itself.
+ownEq(r, o) :- own(r, o).
+ownEq(r, r) :- region(r).
+
+# objectPair (eq. 4.12): an access between objects owned by unordered
+# regions.
+objectPair(o1, n, o2) :-
+    access(o1, n, o2), ownEq(x, o1), ownEq(y, o2), regionPair(x, y).
+"""
+
+
+def datalog_object_pairs(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    backend: str = "set",
+) -> Set[Tuple[AbstractObject, Optional[int], AbstractObject]]:
+    """Solve eq. 4.12 as Datalog; returns {(source, offset, target)}."""
+    if hierarchy is None:
+        hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+
+    # Dense index for regions+objects (one shared object domain keeps the
+    # ownEq/access joins single-domain) and for offsets.
+    entities: List[AbstractObject] = sorted(
+        set(hierarchy.regions) | set(analysis.objects), key=str
+    )
+    entity_index: Dict[AbstractObject, int] = {
+        obj: i for i, obj in enumerate(entities)
+    }
+    offsets: List[Optional[int]] = sorted(
+        {offset for _, offset, _ in analysis.accesses},
+        key=lambda value: (value is None, value),
+    )
+    offset_index = {offset: i for i, offset in enumerate(offsets)}
+
+    program = Program(backend=backend)
+    program.domain("O", max(len(entities), 1))
+    program.domain("N", max(len(offsets), 1))
+    program.relation("region", ["O"])
+    program.relation("parent", ["O", "O"])
+    program.relation("own", ["O", "O"])
+    program.relation("access", ["O", "N", "O"])
+    program.relation("le", ["O", "O"])
+    program.relation("regionPair", ["O", "O"])
+    program.relation("ownEq", ["O", "O"])
+    program.relation("objectPair", ["O", "N", "O"])
+    program.rules(RULES)
+
+    for region in hierarchy.regions:
+        program.fact("region", entity_index[region])
+        parent = hierarchy.parent.get(region)
+        if parent is not None:
+            program.fact("parent", entity_index[region], entity_index[parent])
+    for region, obj in analysis.ownership:
+        if region in entity_index and obj in entity_index:
+            program.fact("own", entity_index[region], entity_index[obj])
+    for source, offset, target in analysis.accesses:
+        if source in entity_index and target in entity_index:
+            program.fact(
+                "access",
+                entity_index[source],
+                offset_index[offset],
+                entity_index[target],
+            )
+
+    solution = program.solve()
+    return {
+        (entities[source], offsets[offset], entities[target])
+        for source, offset, target in solution.tuples("objectPair")
+    }

@@ -1,0 +1,82 @@
+"""A second conditional correlation: locks and memory locations.
+
+The paper closes with "our future work also includes to study other
+conditional correlations, such as locks and memory locations" -- the
+RacerX/LOCKSMITH-style consistency the framework was designed to also
+express.  This module is that instantiation:
+
+* ``A`` = access events (thread, location, read/write, lockset held);
+* ``f`` = the may-race relation: two events touch the same location from
+  different threads and at least one writes;
+* ``phi`` = the lockset held at the event;
+* ``g`` = "the locksets intersect" (some common lock orders the events).
+
+Consistency of ``<f, phi, g>`` over a program's events is exactly the
+classic lockset discipline; violations are candidate races.  It shares
+:class:`~repro.core.correlation.ConditionalCorrelation` with the region
+instantiation, demonstrating the framework's claimed generality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.core.correlation import ConditionalCorrelation, Violation
+
+__all__ = ["LockAccess", "lockset_correlation", "find_races"]
+
+
+@dataclass(frozen=True)
+class LockAccess:
+    """One shared-memory access event."""
+
+    thread: str
+    location: str
+    is_write: bool
+    locks: FrozenSet[str]
+
+    @staticmethod
+    def read(thread: str, location: str, *locks: str) -> "LockAccess":
+        return LockAccess(thread, location, False, frozenset(locks))
+
+    @staticmethod
+    def write(thread: str, location: str, *locks: str) -> "LockAccess":
+        return LockAccess(thread, location, True, frozenset(locks))
+
+
+def lockset_correlation() -> ConditionalCorrelation:
+    """The <may-race, lockset, intersects> correlation over events."""
+
+    def may_race(a: LockAccess, b: LockAccess) -> bool:
+        return (
+            a.location == b.location
+            and a.thread != b.thread
+            and (a.is_write or b.is_write)
+        )
+
+    def lockset(a: LockAccess) -> FrozenSet[str]:
+        return a.locks
+
+    def intersects(s: FrozenSet[str], t: FrozenSet[str]) -> bool:
+        return bool(s & t)
+
+    return ConditionalCorrelation(
+        may_race, lockset, intersects, name="lockset"
+    )
+
+
+def find_races(
+    accesses: Iterable[LockAccess],
+) -> List[Tuple[LockAccess, LockAccess]]:
+    """Unordered candidate race pairs (each reported once)."""
+    correlation = lockset_correlation()
+    events = list(accesses)
+    seen = set()
+    races: List[Tuple[LockAccess, LockAccess]] = []
+    for violation in correlation.violations(events):
+        key = frozenset((violation.x, violation.y))
+        if key not in seen:
+            seen.add(key)
+            races.append((violation.x, violation.y))
+    return races

@@ -1,0 +1,91 @@
+"""Post-processing: condensation and ranking of warnings (Section 5.4).
+
+Context-sensitive object pairs are numerous (the same pair recurs in many
+similar contexts), so they are condensed to context-insensitive
+*instruction pairs* (I-pairs) keyed by the two allocation sites.  Then the
+single ranking heuristic: "for an inconsistent object pair, if their owner
+regions never have the subregion relation, we rank them high" -- pairs
+whose owners are ordered in *some* direction may be the always-safe
+intra-region pointers the flow-insensitive analysis cannot prove
+(Figure 5), so they rank low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.consistency import ConsistencyResult, ObjectPairWarning
+
+__all__ = ["IPair", "RankedWarnings", "rank_warnings"]
+
+
+@dataclass
+class IPair:
+    """A context-insensitive instruction pair: the allocation sites of the
+    pointing and pointed-to objects, with every contributing object pair."""
+
+    source_site: int
+    target_site: int
+    object_pairs: List[ObjectPairWarning] = field(default_factory=list)
+
+    @property
+    def high_ranked(self) -> bool:
+        """High when some contributing object pair can never be safe
+        (no owner combination has even a may-subregion relation in the
+        pointing direction)."""
+        return any(pair.never_safe for pair in self.object_pairs)
+
+    @property
+    def store_uids(self) -> FrozenSet[int]:
+        uids: set = set()
+        for pair in self.object_pairs:
+            uids |= pair.store_uids
+        return frozenset(uids)
+
+    @property
+    def num_contexts(self) -> int:
+        return len(self.object_pairs)
+
+
+@dataclass
+class RankedWarnings:
+    """Ranked I-pairs: high first, then by site for determinism."""
+
+    ipairs: List[IPair]
+
+    @property
+    def high(self) -> List[IPair]:
+        return [p for p in self.ipairs if p.high_ranked]
+
+    @property
+    def low(self) -> List[IPair]:
+        return [p for p in self.ipairs if not p.high_ranked]
+
+    @property
+    def i_pair_count(self) -> int:
+        return len(self.ipairs)
+
+    @property
+    def high_count(self) -> int:
+        return len(self.high)
+
+    def __iter__(self):
+        return iter(self.ipairs)
+
+
+def rank_warnings(result: ConsistencyResult) -> RankedWarnings:
+    """Condense object pairs to I-pairs and apply the ranking heuristic."""
+    by_sites: Dict[Tuple[int, int], IPair] = {}
+    for pair in result.object_pairs:
+        key = (pair.source.site, pair.target.site)
+        ipair = by_sites.get(key)
+        if ipair is None:
+            ipair = IPair(source_site=key[0], target_site=key[1])
+            by_sites[key] = ipair
+        ipair.object_pairs.append(pair)
+    ordered = sorted(
+        by_sites.values(),
+        key=lambda p: (not p.high_ranked, p.source_site, p.target_site),
+    )
+    return RankedWarnings(ordered)

@@ -1,0 +1,178 @@
+"""Def-use refinement of warnings (Section 4.3, Figure 5(b)).
+
+The paper sketches the fix for its flow-insensitive false positive: refine
+subregion and ownership *through variables* -- ``p' : R x V`` and
+``f' : V x O`` -- so that "the parent of r2 and the owner of o1 are always
+the same region" becomes provable whenever both came from the same region
+variable.  "A practical implementation can adopt techniques such as IPSSA,
+an unsound but effective approach.  We defer it to future work."
+
+This module implements that refinement over our IR.  Lowered temporaries
+are single-assignment, so a cheap local def-use walk resolves, for every
+region-create and region-alloc call, the *variable* its region argument
+was read from.  A warning is then suppressed when either
+
+* both objects' regions were drawn from the same variable (same region at
+  runtime regardless of which region that is), or
+* the pointing object's owner region was *created as a subregion of* the
+  variable that owns the pointed-to object (Figure 5's exact shape).
+
+Like IPSSA, this is deliberately unsound: it ignores reassignments of the
+variable between the two uses.  It is exposed as an opt-in
+(``refine_warnings``; CLI flag ``--refine``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.consistency import ObjectPairWarning
+from repro.core.ranking import RankedWarnings
+from repro.ir import (
+    Add,
+    AddrOf,
+    Assign,
+    Call,
+    IRModule,
+    Load,
+    Operand,
+    Temp,
+    VarOp,
+)
+from repro.interfaces import RegionInterface
+
+__all__ = ["RegionVarIndex", "build_region_var_index", "refine_warnings"]
+
+# A resolved region variable: (function, variable ir-name).
+RegionVar = Tuple[str, str]
+
+
+class RegionVarIndex:
+    """Per-allocation-site region variables (the f' and p' relations)."""
+
+    def __init__(self) -> None:
+        # alloc call uid -> the variable its region argument came from.
+        self.alloc_region_var: Dict[int, RegionVar] = {}
+        # create call uid -> the variable its *parent* argument came from.
+        self.create_parent_var: Dict[int, RegionVar] = {}
+
+    def same_region_variable(self, site_a: int, site_b: int) -> bool:
+        var_a = self.alloc_region_var.get(site_a)
+        return var_a is not None and var_a == self.alloc_region_var.get(site_b)
+
+    def subregion_of_variable(
+        self, create_site: int, alloc_site: int
+    ) -> bool:
+        parent = self.create_parent_var.get(create_site)
+        return parent is not None and parent == self.alloc_region_var.get(
+            alloc_site
+        )
+
+
+def _resolve_variable(
+    defs: Dict[int, object], func: str, operand: Operand, depth: int = 8
+) -> Optional[RegionVar]:
+    """Walk single-assignment temps back to the variable an operand was
+    read from.  Demoted (address-taken) variables are recognized through
+    their Load(AddrOf(var)) idiom."""
+    for _ in range(depth):
+        if isinstance(operand, VarOp):
+            return (func if operand.kind != "global" else "", operand.name)
+        if not isinstance(operand, Temp):
+            return None
+        definition = defs.get(operand.id)
+        if isinstance(definition, Assign):
+            operand = definition.src
+        elif isinstance(definition, Load):
+            address = definition.addr
+            if isinstance(address, Temp):
+                address_def = defs.get(address.id)
+                if isinstance(address_def, AddrOf):
+                    var = address_def.var
+                    return (
+                        func if var.kind != "global" else "",
+                        var.name,
+                    )
+            return None
+        elif isinstance(definition, Add) and definition.offset == 0:
+            operand = definition.base
+        else:
+            return None
+    return None
+
+
+def build_region_var_index(
+    module: IRModule, interface: RegionInterface
+) -> RegionVarIndex:
+    """Resolve region-argument variables for every interface call."""
+    index = RegionVarIndex()
+    for name, function in module.functions.items():
+        defs: Dict[int, object] = {}
+        for instr in function.instrs:
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, Temp):
+                defs[dst.id] = instr
+        for instr in function.instrs:
+            if not isinstance(instr, Call) or not instr.is_direct:
+                continue
+            callee = instr.callee.name  # type: ignore[union-attr]
+            if callee in interface.allocs:
+                spec = interface.allocs[callee]
+                if spec.region_arg < len(instr.args):
+                    var = _resolve_variable(
+                        defs, name, instr.args[spec.region_arg]
+                    )
+                    if var is not None:
+                        index.alloc_region_var[instr.uid] = var
+            elif callee in interface.creates:
+                spec = interface.creates[callee]
+                if (
+                    spec.parent_arg is not None
+                    and spec.parent_arg < len(instr.args)
+                ):
+                    var = _resolve_variable(
+                        defs, name, instr.args[spec.parent_arg]
+                    )
+                    if var is not None:
+                        index.create_parent_var[instr.uid] = var
+    return index
+
+
+def _pair_refutable(
+    pair: ObjectPairWarning, index: RegionVarIndex
+) -> bool:
+    """Whether def-use information proves this object pair safe."""
+    # Same region variable supplied both allocations: same region.
+    if index.same_region_variable(pair.source.site, pair.target.site):
+        return True
+    # The source's owner was created as a subregion of the variable that
+    # owns the target (Figure 5's shape): source region <= target region.
+    return any(
+        owner.kind == "region"
+        and index.subregion_of_variable(owner.site, pair.target.site)
+        for owner in pair.source_owners
+    )
+
+
+def refine_warnings(
+    ranked: RankedWarnings,
+    module: IRModule,
+    interface: RegionInterface,
+) -> RankedWarnings:
+    """Drop I-pairs all of whose object pairs are def-use refutable."""
+    index = build_region_var_index(module, interface)
+    kept = []
+    for ipair in ranked.ipairs:
+        surviving = [
+            pair
+            for pair in ipair.object_pairs
+            if not _pair_refutable(pair, index)
+        ]
+        if surviving:
+            replacement = type(ipair)(
+                source_site=ipair.source_site,
+                target_site=ipair.target_site,
+                object_pairs=surviving,
+            )
+            kept.append(replacement)
+    return RankedWarnings(kept)

@@ -1,0 +1,192 @@
+"""Concrete syntax for the Section 4.1 toy language.
+
+Lets tests and examples write programs in (nearly) the paper's own
+notation::
+
+    r  = rnew null;
+    o1 = ralloc r;
+    if ~ { x = o1 } else { x = null };
+    while ~ { o1.f = x };
+
+Statements are separated by ``;`` or newlines; ``~`` marks the unknown
+condition; blocks use braces.  Every statement gets a unique ``site``
+label (its 1-based ordinal), which the abstract semantics uses as its
+allocation-site name.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.toylang import (
+    Alloc,
+    Branch,
+    Copy,
+    Init,
+    LoadField,
+    Loop,
+    New,
+    Stmt,
+    StoreField,
+    seq,
+)
+
+__all__ = ["ToyParseError", "parse_toy"]
+
+
+class ToyParseError(Exception):
+    """Malformed toy-language text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<kw>rnew|ralloc|null|if|else|while)\b"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<punct>[{};=~.])"
+    r"|(?P<bad>\S))"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            break
+        if match.group("bad"):
+            raise ToyParseError(f"unexpected character {match.group('bad')!r}")
+        if match.group("kw"):
+            tokens.append(("kw", match.group("kw")))
+        elif match.group("ident"):
+            tokens.append(("ident", match.group("ident")))
+        elif match.group("punct"):
+            tokens.append(("punct", match.group("punct")))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._site = 0
+
+    def _fresh_site(self) -> int:
+        self._site += 1
+        return self._site
+
+    def _peek(self) -> Optional[Tuple[str, str]]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise ToyParseError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _accept(self, value: str) -> bool:
+        token = self._peek()
+        if token is not None and token[1] == value:
+            self._pos += 1
+            return True
+        return False
+
+    def _expect(self, value: str) -> None:
+        token = self._next()
+        if token[1] != value:
+            raise ToyParseError(f"expected {value!r}, found {token[1]!r}")
+
+    def parse_program(self) -> Stmt:
+        stmts = self.parse_statements(until=None)
+        if not stmts:
+            raise ToyParseError("empty program")
+        return seq(*stmts)
+
+    def parse_statements(self, until: Optional[str]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                if until is not None:
+                    raise ToyParseError(f"missing {until!r}")
+                return stmts
+            if until is not None and token[1] == until:
+                return stmts
+            if token[1] == ";":
+                self._pos += 1
+                continue
+            stmts.append(self.parse_statement())
+
+    def parse_statement(self) -> Stmt:
+        kind, value = self._next()
+        if kind == "kw" and value == "if":
+            self._expect("~")
+            self._expect("{")
+            then = self.parse_statements(until="}")
+            self._expect("}")
+            self._expect("else")
+            self._expect("{")
+            other = self.parse_statements(until="}")
+            self._expect("}")
+            site = self._fresh_site()
+            return Branch(
+                seq(*then) if then else Init("_", site=site),
+                seq(*other) if other else Init("_", site=site),
+            )
+        if kind == "kw" and value == "while":
+            self._expect("~")
+            self._expect("{")
+            body = self.parse_statements(until="}")
+            self._expect("}")
+            site = self._fresh_site()
+            return Loop(seq(*body) if body else Init("_", site=site))
+        if kind != "ident":
+            raise ToyParseError(f"expected a statement, found {value!r}")
+        target = value
+        if self._accept("."):
+            # x.f = y
+            field_kind, field = self._next()
+            if field_kind != "ident":
+                raise ToyParseError(f"expected a field name, found {field!r}")
+            self._expect("=")
+            src_kind, src = self._next()
+            if src_kind != "ident":
+                raise ToyParseError(f"expected a variable, found {src!r}")
+            return StoreField(target, field, src, site=self._fresh_site())
+        self._expect("=")
+        kind, value = self._next()
+        if kind == "kw" and value == "null":
+            return Init(target, site=self._fresh_site())
+        if kind == "kw" and value == "rnew":
+            arg = self._region_arg()
+            return New(target, arg, site=self._fresh_site())
+        if kind == "kw" and value == "ralloc":
+            arg = self._region_arg()
+            return Alloc(target, arg, site=self._fresh_site())
+        if kind == "ident":
+            if self._accept("."):
+                field_kind, field = self._next()
+                if field_kind != "ident":
+                    raise ToyParseError(
+                        f"expected a field name, found {field!r}"
+                    )
+                return LoadField(target, value, field, site=self._fresh_site())
+            return Copy(target, value, site=self._fresh_site())
+        raise ToyParseError(f"expected an expression, found {value!r}")
+
+    def _region_arg(self) -> Optional[str]:
+        kind, value = self._next()
+        if kind == "kw" and value == "null":
+            return None
+        if kind == "ident":
+            return value
+        raise ToyParseError(f"expected a region or null, found {value!r}")
+
+
+def parse_toy(text: str) -> Stmt:
+    """Parse a toy-language program into its statement tree."""
+    return _Parser(_tokenize(text)).parse_program()

@@ -1,0 +1,32 @@
+"""A bddbddb-style Datalog engine with set and BDD backends."""
+
+from repro.datalog.program import DatalogError, Program, Solution
+from repro.datalog.relation import BddRelation, Relation, RelationError, SetRelation
+from repro.datalog.rules import (
+    Atom,
+    Const,
+    DatalogSyntaxError,
+    NotEqual,
+    Rule,
+    Var,
+    parse_rule,
+    parse_rules,
+)
+
+__all__ = [
+    "Atom",
+    "BddRelation",
+    "Const",
+    "DatalogError",
+    "DatalogSyntaxError",
+    "NotEqual",
+    "Program",
+    "Relation",
+    "RelationError",
+    "Rule",
+    "SetRelation",
+    "Solution",
+    "Var",
+    "parse_rule",
+    "parse_rules",
+]

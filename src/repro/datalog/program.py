@@ -1,0 +1,595 @@
+"""A bddbddb-style Datalog solver with set and BDD backends.
+
+A :class:`Program` is declarative: declare finite domains, relation
+signatures, rules (text or :class:`~repro.datalog.rules.Rule`), and input
+facts, then call :meth:`Program.solve`.  Evaluation is stratified
+semi-naive fixpoint computation.  The ``backend`` argument picks tuple
+storage: ``"set"`` (explicit, fast in CPython) or ``"bdd"``
+(BuDDy/bddbddb-style; used by RegionWiz's context-sensitive relations and
+by the variable-order ablation).
+
+Both backends produce identical relations -- a property test holds them to
+that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.bdd import BDD, DomainInstance, DomainSpace
+from repro.datalog.relation import (
+    BddRelation,
+    Relation,
+    RelationError,
+    SetRelation,
+)
+from repro.datalog.rules import (
+    Atom,
+    Const,
+    DatalogSyntaxError,
+    NotEqual,
+    Rule,
+    Var,
+    parse_rules,
+)
+from repro.util.graph import strongly_connected_components
+
+__all__ = ["Program", "Solution", "DatalogError"]
+
+
+class DatalogError(Exception):
+    """Semantic errors: unknown relations, domain mismatches, bad strata."""
+
+
+@dataclass
+class _RelationDecl:
+    name: str
+    domains: Tuple[str, ...]
+    is_input: bool = True  # flipped off once it appears in a rule head
+
+
+class Program:
+    """Declarative Datalog program over finite domains."""
+
+    def __init__(
+        self, backend: str = "set", ordering: str = "interleaved"
+    ) -> None:
+        if backend not in ("set", "bdd"):
+            raise DatalogError(f"unknown backend {backend!r}")
+        self.backend = backend
+        self.ordering = ordering
+        self._domains: Dict[str, int] = {}
+        self._relations: Dict[str, _RelationDecl] = {}
+        self._rules: List[Rule] = []
+        self._facts: Dict[str, Set[Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def domain(self, name: str, size: int) -> None:
+        """Declare a finite domain with values ``0..size-1``."""
+        if name in self._domains:
+            raise DatalogError(f"domain {name!r} already declared")
+        if size < 1:
+            raise DatalogError(f"domain {name!r} must be non-empty")
+        self._domains[name] = size
+
+    def relation(self, name: str, domains: Sequence[str]) -> None:
+        """Declare a relation signature, e.g. ``("call", ["I", "F"])``."""
+        if name in self._relations:
+            raise DatalogError(f"relation {name!r} already declared")
+        for domain in domains:
+            if domain not in self._domains:
+                raise DatalogError(
+                    f"relation {name!r} uses undeclared domain {domain!r}"
+                )
+        self._relations[name] = _RelationDecl(name, tuple(domains))
+        self._facts[name] = set()
+
+    def rules(self, text: str) -> None:
+        """Add rules from concrete syntax (see :mod:`repro.datalog.rules`)."""
+        for rule in parse_rules(text):
+            self.rule(rule)
+
+    def rule(self, rule: Rule) -> None:
+        self._check_rule(rule)
+        if rule.is_fact:
+            values = tuple(
+                term.value  # type: ignore[union-attr]
+                for term in rule.head.terms
+            )
+            self.fact(rule.head.relation, *values)
+            return
+        self._relations[rule.head.relation].is_input = False
+        self._rules.append(rule)
+
+    def fact(self, name: str, *values: int) -> None:
+        """Assert an input tuple."""
+        decl = self._decl(name)
+        if len(values) != len(decl.domains):
+            raise DatalogError(
+                f"fact {name}{values} has arity {len(values)},"
+                f" expected {len(decl.domains)}"
+            )
+        for value, domain in zip(values, decl.domains):
+            if not 0 <= value < self._domains[domain]:
+                raise DatalogError(
+                    f"fact {name}{values}: {value} out of range for"
+                    f" domain {domain} (size {self._domains[domain]})"
+                )
+        self._facts[name].add(tuple(values))
+
+    def _decl(self, name: str) -> _RelationDecl:
+        decl = self._relations.get(name)
+        if decl is None:
+            raise DatalogError(f"unknown relation {name!r}")
+        return decl
+
+    # ------------------------------------------------------------------
+    # Static checks
+    # ------------------------------------------------------------------
+
+    def _check_rule(self, rule: Rule) -> None:
+        var_domains: Dict[Var, str] = {}
+        for atom in itertools.chain([rule.head], rule.body):
+            if isinstance(atom, NotEqual):
+                continue
+            decl = self._decl(atom.relation)
+            if len(atom.terms) != len(decl.domains):
+                raise DatalogError(
+                    f"atom {atom} has arity {len(atom.terms)},"
+                    f" {atom.relation} expects {len(decl.domains)}"
+                )
+            for term, domain in zip(atom.terms, decl.domains):
+                if isinstance(term, Const):
+                    if not 0 <= term.value < self._domains[domain]:
+                        raise DatalogError(
+                            f"constant {term.value} out of range for domain"
+                            f" {domain} in {atom}"
+                        )
+                else:
+                    bound = var_domains.setdefault(term, domain)
+                    if bound != domain:
+                        raise DatalogError(
+                            f"variable {term} used at domains {bound} and"
+                            f" {domain} in rule {rule}"
+                        )
+        for constraint in rule.constraints():
+            left = var_domains.get(constraint.left)
+            right = var_domains.get(constraint.right)
+            if left is None or right is None or left != right:
+                raise DatalogError(
+                    f"disequality {constraint} over mismatched or unknown"
+                    f" domains in rule {rule}"
+                )
+
+    def _stratify(self) -> List[List[Rule]]:
+        """Group rules into strata; reject negation inside a cycle."""
+        depends: Dict[str, Set[str]] = {name: set() for name in self._relations}
+        negative_edges: Set[Tuple[str, str]] = set()
+        for rule in self._rules:
+            head = rule.head.relation
+            for item in rule.body:
+                if isinstance(item, NotEqual):
+                    continue
+                depends[head].add(item.relation)
+                if item.negated:
+                    negative_edges.add((head, item.relation))
+        components = strongly_connected_components(depends)
+        component_of: Dict[str, int] = {}
+        for i, component in enumerate(components):
+            for name in component:
+                component_of[name] = i
+        for head, body_rel in negative_edges:
+            if component_of[head] == component_of[body_rel]:
+                raise DatalogError(
+                    f"program is not stratified: {head} negates {body_rel}"
+                    f" inside a recursive component"
+                )
+        # Tarjan emits dependencies first, so assigning rules to the
+        # component of their head and walking components in order is a
+        # valid stratified schedule.
+        strata: List[List[Rule]] = [[] for _ in components]
+        for rule in self._rules:
+            strata[component_of[rule.head.relation]].append(rule)
+        return [stratum for stratum in strata if stratum]
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self) -> "Solution":
+        """Evaluate to fixpoint and return the resulting relation store."""
+        strata = self._stratify()
+        if self.backend == "set":
+            store = _SetStore(self)
+        else:
+            store = _BddStore(self)
+        for name, facts in self._facts.items():
+            store.load_facts(name, facts)
+        for stratum in strata:
+            store.run_stratum(stratum)
+        return Solution(self, store)
+
+
+class Solution:
+    """Queryable result of :meth:`Program.solve`."""
+
+    def __init__(self, program: Program, store: "_Store") -> None:
+        self._program = program
+        self._store = store
+
+    def relation(self, name: str) -> Relation:
+        return self._store.relation(name)
+
+    def tuples(self, name: str) -> Set[Tuple[int, ...]]:
+        return set(self._store.relation(name))
+
+    def count(self, name: str) -> int:
+        return len(self._store.relation(name))
+
+    def __contains__(self, query: Tuple[str, Tuple[int, ...]]) -> bool:
+        name, values = query
+        return tuple(values) in self._store.relation(name)
+
+    @property
+    def bdd(self) -> Optional[BDD]:
+        """The underlying BDD manager (None for the set backend)."""
+        return getattr(self._store, "bdd", None)
+
+    def bdd_node_count(self, name: str) -> int:
+        """Nodes in a relation's BDD (0 for the set backend)."""
+        relation = self._store.relation(name)
+        if isinstance(relation, BddRelation):
+            return relation.bdd.node_count(relation.node)
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# Stores
+# ---------------------------------------------------------------------------
+
+
+class _Store:
+    def relation(self, name: str) -> Relation:
+        raise NotImplementedError
+
+    def load_facts(self, name: str, facts: Iterable[Tuple[int, ...]]) -> None:
+        self.relation(name).add_all(facts)
+
+    def run_stratum(self, rules: List[Rule]) -> None:
+        raise NotImplementedError
+
+
+class _SetStore(_Store):
+    """Semi-naive evaluation over explicit tuple sets."""
+
+    def __init__(self, program: Program) -> None:
+        self._relations: Dict[str, SetRelation] = {
+            name: SetRelation(name, decl.domains)
+            for name, decl in program._relations.items()
+        }
+
+    def relation(self, name: str) -> SetRelation:
+        return self._relations[name]
+
+    def run_stratum(self, rules: List[Rule]) -> None:
+        heads = {rule.head.relation for rule in rules}
+        # Delta = everything currently in the stratum's head relations
+        # (facts and contributions from earlier strata).
+        delta: Dict[str, Set[Tuple[int, ...]]] = {
+            name: set(self._relations[name]) for name in heads
+        }
+        # First round must also run rules whose body has no atom in this
+        # stratum (e.g. copies from lower strata).
+        for rule in rules:
+            fresh = self._eval_rule(rule, delta_atom=None, delta=None)
+            head = self._relations[rule.head.relation]
+            for values in fresh:
+                if head.add(values):
+                    delta[rule.head.relation].add(values)
+        while any(delta.values()):
+            new_delta: Dict[str, Set[Tuple[int, ...]]] = {
+                name: set() for name in heads
+            }
+            for rule in rules:
+                positions = [
+                    i
+                    for i, item in enumerate(rule.body)
+                    if isinstance(item, Atom)
+                    and not item.negated
+                    and item.relation in heads
+                ]
+                for position in positions:
+                    atom = rule.body[position]
+                    assert isinstance(atom, Atom)
+                    if not delta[atom.relation]:
+                        continue
+                    fresh = self._eval_rule(
+                        rule, delta_atom=position, delta=delta[atom.relation]
+                    )
+                    head = self._relations[rule.head.relation]
+                    for values in fresh:
+                        if head.add(values):
+                            new_delta[rule.head.relation].add(values)
+            delta = new_delta
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        delta_atom: Optional[int],
+        delta: Optional[Set[Tuple[int, ...]]],
+    ) -> List[Tuple[int, ...]]:
+        positive = [
+            (i, item)
+            for i, item in enumerate(rule.body)
+            if isinstance(item, Atom) and not item.negated
+        ]
+        # Join the delta atom first: every derivation must use a new tuple.
+        if delta_atom is not None:
+            positive.sort(key=lambda pair: pair[0] != delta_atom)
+        results: List[Tuple[int, ...]] = []
+
+        def check_tail(bindings: Dict[Var, int]) -> bool:
+            for item in rule.body:
+                if isinstance(item, NotEqual):
+                    if bindings[item.left] == bindings[item.right]:
+                        return False
+                elif item.negated:
+                    values = tuple(
+                        term.value if isinstance(term, Const) else bindings[term]
+                        for term in item.terms
+                    )
+                    if values in self._relations[item.relation]:
+                        return False
+            return True
+
+        def join(position: int, bindings: Dict[Var, int]) -> None:
+            if position == len(positive):
+                if check_tail(bindings):
+                    results.append(
+                        tuple(
+                            term.value
+                            if isinstance(term, Const)
+                            else bindings[term]
+                            for term in rule.head.terms
+                        )
+                    )
+                return
+            body_index, atom = positive[position]
+            bound_positions: List[int] = []
+            key: List[int] = []
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Const):
+                    bound_positions.append(i)
+                    key.append(term.value)
+                elif term in bindings:
+                    bound_positions.append(i)
+                    key.append(bindings[term])
+            if body_index == delta_atom and delta is not None:
+                candidates = [
+                    values
+                    for values in delta
+                    if all(
+                        values[p] == k for p, k in zip(bound_positions, key)
+                    )
+                ]
+            else:
+                candidates = self._relations[atom.relation].lookup(
+                    tuple(bound_positions), tuple(key)
+                )
+            for values in candidates:
+                extended = dict(bindings)
+                consistent = True
+                for i, term in enumerate(atom.terms):
+                    if isinstance(term, Const):
+                        continue
+                    if term in extended and extended[term] != values[i]:
+                        consistent = False
+                        break
+                    extended[term] = values[i]
+                if consistent:
+                    join(position + 1, extended)
+
+        join(0, {})
+        return results
+
+
+class _BddStore(_Store):
+    """Semi-naive evaluation over BDD relations (the bddbddb path)."""
+
+    def __init__(self, program: Program) -> None:
+        self.bdd = BDD()
+        self.space = DomainSpace(self.bdd, ordering=program.ordering)
+        instance_need: Dict[str, int] = {name: 1 for name in program._domains}
+        for decl in program._relations.values():
+            for domain in set(decl.domains):
+                count = decl.domains.count(domain)
+                instance_need[domain] = max(instance_need[domain], count)
+        for rule in program._rules:
+            per_type: Dict[str, Set[Var]] = {}
+            for atom in itertools.chain([rule.head], rule.body):
+                if isinstance(atom, NotEqual):
+                    continue
+                decl = program._relations[atom.relation]
+                for term, domain in zip(atom.terms, decl.domains):
+                    if isinstance(term, Var):
+                        per_type.setdefault(domain, set()).add(term)
+            for domain, variables in per_type.items():
+                instance_need[domain] = max(
+                    instance_need[domain], len(variables)
+                )
+        for name, size in program._domains.items():
+            self.space.declare(name, size, instances=instance_need[name])
+        self._relations: Dict[str, BddRelation] = {}
+        for name, decl in program._relations.items():
+            counters: Dict[str, int] = {}
+            instances = []
+            for domain in decl.domains:
+                index = counters.get(domain, 0)
+                counters[domain] = index + 1
+                instances.append(self.space.instance(domain, index))
+            self._relations[name] = BddRelation(
+                name, decl.domains, self.space, instances
+            )
+        self._program = program
+
+    def relation(self, name: str) -> BddRelation:
+        return self._relations[name]
+
+    # -- rule evaluation ---------------------------------------------------
+
+    def _variable_instances(self, rule: Rule) -> Dict[Var, DomainInstance]:
+        assignment: Dict[Var, DomainInstance] = {}
+        counters: Dict[str, int] = {}
+        for atom in itertools.chain(rule.body, [rule.head]):
+            if isinstance(atom, NotEqual):
+                continue
+            decl = self._program._relations[atom.relation]
+            for term, domain in zip(atom.terms, decl.domains):
+                if isinstance(term, Var) and term not in assignment:
+                    index = counters.get(domain, 0)
+                    counters[domain] = index + 1
+                    assignment[term] = self.space.instance(domain, index)
+        return assignment
+
+    def _atom_node(
+        self,
+        atom: Atom,
+        variables: Dict[Var, DomainInstance],
+        override_node: Optional[int] = None,
+    ) -> int:
+        """Relation node moved into the rule's variable space."""
+        relation = self._relations[atom.relation]
+        node = relation.node if override_node is None else override_node
+        bdd = self.bdd
+        project: List[DomainInstance] = []
+        first_position: Dict[Var, DomainInstance] = {}
+        sources: List[DomainInstance] = []
+        targets: List[DomainInstance] = []
+        for instance, term in zip(relation.instances, atom.terms):
+            if isinstance(term, Const):
+                node = bdd.apply_and(
+                    node, self.space.encode(instance, term.value)
+                )
+                project.append(instance)
+            elif term in first_position:
+                node = bdd.apply_and(
+                    node, self.space.equality(first_position[term], instance)
+                )
+                project.append(instance)
+            else:
+                first_position[term] = instance
+                sources.append(instance)
+                targets.append(variables[term])
+        if project:
+            node = bdd.exist(node, self.space.levels_of(project))
+        mapping = {
+            level_src: level_dst
+            for src, dst in zip(sources, targets)
+            for level_src, level_dst in zip(src.levels, dst.levels)
+        }
+        return bdd.rename(node, mapping)
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        delta_atom: Optional[int] = None,
+        delta_node: Optional[int] = None,
+    ) -> int:
+        """Evaluate one rule body; returns a node on the head's instances."""
+        bdd = self.bdd
+        variables = self._variable_instances(rule)
+        node = bdd.TRUE
+        for i, item in enumerate(rule.body):
+            if isinstance(item, NotEqual) or item.negated:
+                continue
+            override = delta_node if i == delta_atom else None
+            node = bdd.apply_and(
+                node, self._atom_node(item, variables, override)
+            )
+            if node == bdd.FALSE:
+                return bdd.FALSE
+        for item in rule.body:
+            if isinstance(item, NotEqual):
+                eq = self.space.equality(
+                    variables[item.left], variables[item.right]
+                )
+                node = bdd.apply_diff(node, eq)
+            elif isinstance(item, Atom) and item.negated:
+                node = bdd.apply_diff(
+                    node, self._atom_node(item, variables)
+                )
+            if node == bdd.FALSE:
+                return bdd.FALSE
+        head_vars = set(rule.head.variables)
+        dead = [
+            instance
+            for var, instance in variables.items()
+            if var not in head_vars
+        ]
+        if dead:
+            node = bdd.exist(node, self.space.levels_of(dead))
+        # Move variables onto the head relation's canonical instances.
+        head_relation = self._relations[rule.head.relation]
+        mapping: Dict[int, int] = {}
+        seen: Dict[Var, DomainInstance] = {}
+        equalities: List[int] = []
+        consts: List[int] = []
+        for instance, term in zip(head_relation.instances, rule.head.terms):
+            if isinstance(term, Const):
+                consts.append(self.space.encode(instance, term.value))
+            elif term in seen:
+                equalities.append(self.space.equality(seen[term], instance))
+            else:
+                seen[term] = instance
+                src = variables[term]
+                for level_src, level_dst in zip(src.levels, instance.levels):
+                    mapping[level_src] = level_dst
+        node = bdd.rename(node, mapping)
+        for extra in itertools.chain(consts, equalities):
+            node = bdd.apply_and(node, extra)
+        return node
+
+    def run_stratum(self, rules: List[Rule]) -> None:
+        bdd = self.bdd
+        heads = {rule.head.relation for rule in rules}
+        delta: Dict[str, int] = {
+            name: self._relations[name].node for name in heads
+        }
+        for rule in rules:
+            head = self._relations[rule.head.relation]
+            fresh = self._eval_rule(rule)
+            new = bdd.apply_diff(fresh, head.node)
+            if new != bdd.FALSE:
+                head.union_node(new)
+                delta[rule.head.relation] = bdd.apply_or(
+                    delta[rule.head.relation], new
+                )
+        while any(node != bdd.FALSE for node in delta.values()):
+            new_delta: Dict[str, int] = {name: bdd.FALSE for name in heads}
+            for rule in rules:
+                head = self._relations[rule.head.relation]
+                for i, item in enumerate(rule.body):
+                    if (
+                        not isinstance(item, Atom)
+                        or item.negated
+                        or item.relation not in heads
+                    ):
+                        continue
+                    delta_node = delta[item.relation]
+                    if delta_node == bdd.FALSE:
+                        continue
+                    fresh = self._eval_rule(
+                        rule, delta_atom=i, delta_node=delta_node
+                    )
+                    new = bdd.apply_diff(fresh, head.node)
+                    if new != bdd.FALSE:
+                        head.union_node(new)
+                        new_delta[rule.head.relation] = bdd.apply_or(
+                            new_delta[rule.head.relation], new
+                        )
+            delta = new_delta

@@ -1,0 +1,297 @@
+"""Datalog rule AST and a small textual rule parser.
+
+bddbddb accepts analyses written as Datalog rules over finite-domain
+relations; RegionWiz expresses call-graph construction and the
+points-to/effect computation that way (Section 5).  This module provides the
+rule representation shared by both solver backends and a parser for the
+concrete syntax::
+
+    vF(v2, f) :- assign(v2, v1), vF(v1, f).
+    regionPair(x, y) :- region(x), region(y), !le(x, y), x != y.
+    root(0).
+
+Terms are variables (lowercase identifiers), named constants, or integer
+literals.  ``!atom(...)`` is stratified negation; ``x != y`` is the built-in
+disequality constraint.  A rule with an empty body (a *fact*) asserts its
+constant head tuple.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple, Union
+
+__all__ = [
+    "Var",
+    "Const",
+    "Term",
+    "Atom",
+    "NotEqual",
+    "Rule",
+    "DatalogSyntaxError",
+    "parse_rules",
+    "parse_rule",
+]
+
+
+class DatalogSyntaxError(Exception):
+    """Raised on malformed rule text."""
+
+
+@dataclass(frozen=True)
+class Var:
+    """A rule variable (scoped to a single rule)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term: an integer index into its domain."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(term, ...)``, possibly negated in a rule body."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+    negated: bool = False
+
+    def __str__(self) -> str:
+        bang = "!" if self.negated else ""
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{bang}{self.relation}({args})"
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        return tuple(t for t in self.terms if isinstance(t, Var))
+
+
+@dataclass(frozen=True)
+class NotEqual:
+    """The built-in constraint ``left != right``."""
+
+    left: Var
+    right: Var
+
+    def __str__(self) -> str:
+        return f"{self.left} != {self.right}"
+
+
+BodyItem = Union[Atom, NotEqual]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  An empty body makes the rule a fact."""
+
+    head: Atom
+    body: Tuple[BodyItem, ...]
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(b) for b in self.body)}."
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def positive_atoms(self) -> Iterator[Atom]:
+        for item in self.body:
+            if isinstance(item, Atom) and not item.negated:
+                yield item
+
+    def negative_atoms(self) -> Iterator[Atom]:
+        for item in self.body:
+            if isinstance(item, Atom) and item.negated:
+                yield item
+
+    def constraints(self) -> Iterator[NotEqual]:
+        for item in self.body:
+            if isinstance(item, NotEqual):
+                yield item
+
+    def validate(self) -> None:
+        """Check range-restriction (safety) conditions.
+
+        Every head variable, every negated-atom variable, and every
+        disequality variable must occur in some positive body atom.
+        """
+        bound = {
+            var for atom in self.positive_atoms() for var in atom.variables
+        }
+        if self.head.negated:
+            raise DatalogSyntaxError(f"negated head in rule: {self}")
+        for var in self.head.variables:
+            if var not in bound:
+                raise DatalogSyntaxError(
+                    f"unsafe rule (head variable {var} unbound): {self}"
+                )
+        for atom in self.negative_atoms():
+            for var in atom.variables:
+                if var not in bound:
+                    raise DatalogSyntaxError(
+                        f"unsafe rule (negated variable {var} unbound): {self}"
+                    )
+        for constraint in self.constraints():
+            for var in (constraint.left, constraint.right):
+                if var not in bound:
+                    raise DatalogSyntaxError(
+                        f"unsafe rule (constraint variable {var} unbound):"
+                        f" {self}"
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#[^\n]*)
+  | (?P<turnstile>:-)
+  | (?P<neq>!=)
+  | (?P<bang>!)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<number>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DatalogSyntaxError(
+                f"unexpected character {text[pos]!r} at offset {pos}"
+            )
+        kind = match.lastgroup
+        assert kind is not None
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, match.group()))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: Sequence[Tuple[str, str]]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def _peek(self) -> Tuple[str, str]:
+        if self.at_end():
+            raise DatalogSyntaxError("unexpected end of input")
+        return self._tokens[self._pos]
+
+    def _next(self) -> Tuple[str, str]:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        token_kind, value = self._next()
+        if token_kind != kind:
+            raise DatalogSyntaxError(f"expected {kind}, found {value!r}")
+        return value
+
+    def parse_term(self) -> Term:
+        kind, value = self._next()
+        if kind == "number":
+            return Const(int(value))
+        if kind == "ident":
+            return Var(value)
+        raise DatalogSyntaxError(f"expected a term, found {value!r}")
+
+    def parse_atom(self, negated: bool = False) -> Atom:
+        name = self._expect("ident")
+        self._expect("lparen")
+        terms: List[Term] = []
+        if self._peek()[0] != "rparen":
+            terms.append(self.parse_term())
+            while self._peek()[0] == "comma":
+                self._next()
+                terms.append(self.parse_term())
+        self._expect("rparen")
+        return Atom(name, tuple(terms), negated=negated)
+
+    def parse_body_item(self) -> BodyItem:
+        kind, _ = self._peek()
+        if kind == "bang":
+            self._next()
+            return self.parse_atom(negated=True)
+        # Either an atom or `x != y`: look ahead past the identifier.
+        if kind == "ident" and self._pos + 1 < len(self._tokens):
+            next_kind = self._tokens[self._pos + 1][0]
+            if next_kind == "neq":
+                left = Var(self._expect("ident"))
+                self._expect("neq")
+                right_kind, right_value = self._next()
+                if right_kind != "ident":
+                    raise DatalogSyntaxError(
+                        "!= requires variables on both sides"
+                    )
+                return NotEqual(left, Var(right_value))
+        return self.parse_atom()
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: List[BodyItem] = []
+        kind, _ = self._peek()
+        if kind == "turnstile":
+            self._next()
+            body.append(self.parse_body_item())
+            while self._peek()[0] == "comma":
+                self._next()
+                body.append(self.parse_body_item())
+        self._expect("dot")
+        rule = Rule(head, tuple(body))
+        if rule.is_fact:
+            for term in head.terms:
+                if isinstance(term, Var):
+                    raise DatalogSyntaxError(
+                        f"fact with unbound variable {term}: {rule}"
+                    )
+        rule.validate()
+        return rule
+
+
+def parse_rules(text: str) -> List[Rule]:
+    """Parse a newline/dot-separated sequence of rules."""
+    parser = _Parser(_tokenize(text))
+    rules: List[Rule] = []
+    while not parser.at_end():
+        rules.append(parser.parse_rule())
+    return rules
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one rule."""
+    rules = parse_rules(text)
+    if len(rules) != 1:
+        raise DatalogSyntaxError(f"expected one rule, found {len(rules)}")
+    return rules[0]

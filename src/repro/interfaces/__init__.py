@@ -1,0 +1,23 @@
+"""Region-interface specs: APR pools and RC regions."""
+
+from repro.interfaces.apr import APR_HEADER, apr_pools_interface
+from repro.interfaces.rc import RC_HEADER, rc_regions_interface
+from repro.interfaces.spec import (
+    CleanupRegister,
+    RegionAlloc,
+    RegionCreate,
+    RegionDelete,
+    RegionInterface,
+)
+
+__all__ = [
+    "APR_HEADER",
+    "CleanupRegister",
+    "RC_HEADER",
+    "RegionAlloc",
+    "RegionCreate",
+    "RegionDelete",
+    "RegionInterface",
+    "apr_pools_interface",
+    "rc_regions_interface",
+]

@@ -1,0 +1,72 @@
+"""The Apache Portable Runtime (APR) pools interface (Figure 6).
+
+Used by Apache httpd, Subversion, FreeSWITCH, jxta-c, and lklftpd in the
+paper's evaluation.  ``apr_pool_create`` returns the new subregion through
+a pointer-to-pointer out-parameter; a null parent means the root region.
+Subversion wraps pool creation in ``svn_pool_create``, which the paper's
+case studies use, so the spec includes it (in real builds it is a macro or
+thin wrapper over ``apr_pool_create``).
+"""
+
+from __future__ import annotations
+
+from repro.interfaces.spec import (
+    CleanupRegister,
+    RegionAlloc,
+    RegionCreate,
+    RegionDelete,
+    RegionInterface,
+)
+
+__all__ = ["apr_pools_interface", "APR_HEADER"]
+
+
+def apr_pools_interface() -> RegionInterface:
+    """Interface spec for APR pools (plus Subversion's thin wrappers)."""
+    interface = RegionInterface("apr")
+    interface.add(
+        # apr_pool_create(apr_pool_t **newp, apr_pool_t *parent)
+        RegionCreate("apr_pool_create", parent_arg=1, out_arg=0),
+        RegionCreate("apr_pool_create_ex", parent_arg=1, out_arg=0),
+        # svn_pool_create(apr_pool_t *parent) -> apr_pool_t *
+        RegionCreate("svn_pool_create", parent_arg=0, out_arg=None),
+        RegionAlloc("apr_palloc", region_arg=0),
+        RegionAlloc("apr_pcalloc", region_arg=0),
+        RegionAlloc("apr_pstrdup", region_arg=0),
+        RegionAlloc("apr_pstrndup", region_arg=0),
+        RegionAlloc("apr_pmemdup", region_arg=0),
+        RegionAlloc("apr_psprintf", region_arg=0),
+        RegionDelete("apr_pool_destroy", region_arg=0),
+        RegionDelete("apr_pool_clear", region_arg=0, clears_only=True),
+        RegionDelete("svn_pool_destroy", region_arg=0),
+        RegionDelete("svn_pool_clear", region_arg=0, clears_only=True),
+        CleanupRegister(
+            "apr_pool_cleanup_register",
+            region_arg=0,
+            data_arg=1,
+            fn_args=(2, 3),
+        ),
+    )
+    return interface
+
+
+# Shared prototypes for corpora written against APR pools, in the C subset.
+APR_HEADER = """
+typedef struct apr_pool_t apr_pool_t;
+typedef int apr_status_t;
+typedef unsigned long apr_size_t;
+
+apr_status_t apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+void *apr_palloc(apr_pool_t *p, apr_size_t size);
+void *apr_pcalloc(apr_pool_t *p, apr_size_t size);
+char *apr_pstrdup(apr_pool_t *p, char *s);
+void apr_pool_clear(apr_pool_t *p);
+void apr_pool_destroy(apr_pool_t *p);
+apr_status_t apr_pool_cleanup_register(apr_pool_t *p, void *data,
+                                       apr_status_t (*plain_cleanup)(void *),
+                                       apr_status_t (*child_cleanup)(void *));
+
+apr_pool_t *svn_pool_create(apr_pool_t *parent);
+void svn_pool_destroy(apr_pool_t *p);
+void svn_pool_clear(apr_pool_t *p);
+"""

@@ -1,0 +1,49 @@
+"""The RC regions interface (Gay & Aiken, PLDI 2001).
+
+Used by the ``rcc`` compiler in the paper's evaluation.  RC's primitives
+return the new region directly; ``newregion()`` creates a top-level region
+(child of the implicit root), ``newsubregion(parent)`` creates a nested
+one.  RC maintains runtime reference counts so deleting a still-referenced
+region traps -- our runtime simulator reproduces that behaviour as the
+dynamic baseline.
+"""
+
+from __future__ import annotations
+
+from repro.interfaces.spec import (
+    RegionAlloc,
+    RegionCreate,
+    RegionDelete,
+    RegionInterface,
+)
+
+__all__ = ["rc_regions_interface", "RC_HEADER"]
+
+
+def rc_regions_interface() -> RegionInterface:
+    """Interface spec for RC regions."""
+    interface = RegionInterface("rc")
+    interface.add(
+        RegionCreate("newregion", parent_arg=None, out_arg=None),
+        RegionCreate("newsubregion", parent_arg=0, out_arg=None),
+        RegionAlloc("ralloc", region_arg=0),
+        RegionAlloc("rallocarray", region_arg=0),
+        RegionAlloc("rstralloc", region_arg=0),
+        RegionAlloc("rstrdup", region_arg=0),
+        RegionDelete("deleteregion", region_arg=0),
+    )
+    return interface
+
+
+# Shared prototypes for corpora written against RC regions.
+RC_HEADER = """
+typedef struct region_ *region;
+
+region newregion(void);
+region newsubregion(region parent);
+void *ralloc(region r, unsigned long size);
+void *rallocarray(region r, unsigned long n, unsigned long size);
+char *rstralloc(region r, unsigned long size);
+char *rstrdup(region r, char *s);
+void deleteregion(region r);
+"""

@@ -1,0 +1,108 @@
+"""Region-based memory management interface specifications.
+
+RegionWiz "currently supports two region-based memory management
+interfaces used in real-world C programs: RC regions and Apache Portable
+Runtime (APR) pools" (Section 5).  An interface spec tells the analysis
+and the runtime which functions play the ``rnew`` / ``ralloc`` /
+region-delete / cleanup-register roles and where their region arguments
+live, so the same analysis core serves any region library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "RegionCreate",
+    "RegionAlloc",
+    "RegionDelete",
+    "CleanupRegister",
+    "RegionInterface",
+]
+
+
+@dataclass(frozen=True)
+class RegionCreate:
+    """An ``rnew``-style function creating a subregion.
+
+    ``parent_arg`` is the argument index of the parent region (``None``
+    when the function always creates a child of the root region);
+    ``out_arg`` is the index of a ``region **`` out-parameter, or ``None``
+    when the new region is returned.
+    """
+
+    name: str
+    parent_arg: Optional[int] = None
+    out_arg: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RegionAlloc:
+    """A ``ralloc``-style function allocating an object in a region.
+
+    The new object is returned; ``region_arg`` locates the owning region.
+    """
+
+    name: str
+    region_arg: int = 0
+
+
+@dataclass(frozen=True)
+class RegionDelete:
+    """Region deletion/clearing.  ``clears_only`` keeps the region itself
+    alive (APR's ``apr_pool_clear``) while reclaiming its descendants."""
+
+    name: str
+    region_arg: int = 0
+    clears_only: bool = False
+
+
+@dataclass(frozen=True)
+class CleanupRegister:
+    """Cleanup registration: the runtime invokes ``fn_args`` functions with
+    the ``data_arg`` value when the region is cleared or destroyed."""
+
+    name: str
+    region_arg: int = 0
+    data_arg: int = 1
+    fn_args: Tuple[int, ...] = (2,)
+
+
+@dataclass
+class RegionInterface:
+    """A complete region API description."""
+
+    name: str
+    creates: Dict[str, RegionCreate] = field(default_factory=dict)
+    allocs: Dict[str, RegionAlloc] = field(default_factory=dict)
+    deletes: Dict[str, RegionDelete] = field(default_factory=dict)
+    cleanups: Dict[str, CleanupRegister] = field(default_factory=dict)
+
+    def add(self, *specs) -> "RegionInterface":
+        for spec in specs:
+            if isinstance(spec, RegionCreate):
+                self.creates[spec.name] = spec
+            elif isinstance(spec, RegionAlloc):
+                self.allocs[spec.name] = spec
+            elif isinstance(spec, RegionDelete):
+                self.deletes[spec.name] = spec
+            elif isinstance(spec, CleanupRegister):
+                self.cleanups[spec.name] = spec
+            else:
+                raise TypeError(f"unknown interface spec {spec!r}")
+        return self
+
+    def is_interface_function(self, name: str) -> bool:
+        return (
+            name in self.creates
+            or name in self.allocs
+            or name in self.deletes
+            or name in self.cleanups
+        )
+
+    def function_names(self) -> Iterable[str]:
+        yield from self.creates
+        yield from self.allocs
+        yield from self.deletes
+        yield from self.cleanups

@@ -1,0 +1,183 @@
+"""Control-flow graphs and an IR well-formedness verifier.
+
+The analyses in this reproduction are flow-insensitive, but a CFG earns
+its keep three ways: the verifier catches lowering bugs early (every test
+module's IR is verified), the dominator computation supports the
+flow-sensitivity extension point Section 4.3 sketches, and block-level
+statistics feed the workload reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir.instr import (
+    CBranch,
+    Instr,
+    Jump,
+    Label,
+    Return,
+)
+from repro.ir.module import IRFunction, IRModule
+
+__all__ = ["BasicBlock", "CFG", "IRVerifyError", "build_cfg", "verify_function", "verify_module"]
+
+
+class IRVerifyError(Exception):
+    """Malformed IR: dangling labels, duplicate labels, bad operands."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    index: int
+    instrs: List[Instr] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        return self.instrs[-1] if self.instrs else None
+
+
+@dataclass
+class CFG:
+    """Blocks in layout order; block 0 is the entry."""
+
+    function: IRFunction
+    blocks: List[BasicBlock]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def reachable_blocks(self) -> Set[int]:
+        seen: Set[int] = set()
+        frontier = [0] if self.blocks else []
+        while frontier:
+            index = frontier.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            frontier.extend(self.blocks[index].successors)
+        return seen
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """Classic iterative dominator sets over reachable blocks."""
+        reachable = sorted(self.reachable_blocks())
+        if not reachable:
+            return {}
+        universe = set(reachable)
+        dom: Dict[int, Set[int]] = {b: set(universe) for b in reachable}
+        dom[0] = {0}
+        changed = True
+        while changed:
+            changed = False
+            for index in reachable:
+                if index == 0:
+                    continue
+                preds = [
+                    p for p in self.blocks[index].predecessors
+                    if p in universe
+                ]
+                if preds:
+                    new = set(universe)
+                    for pred in preds:
+                        new &= dom[pred]
+                else:
+                    new = set()
+                new.add(index)
+                if new != dom[index]:
+                    dom[index] = new
+                    changed = True
+        return dom
+
+
+def build_cfg(function: IRFunction) -> CFG:
+    """Split a function's linear instruction list into basic blocks."""
+    # Leaders: first instruction, labels, and instructions following a
+    # terminator (jump/branch/return).
+    label_block: Dict[int, int] = {}
+    blocks: List[BasicBlock] = []
+    current: Optional[BasicBlock] = None
+
+    def start_block() -> BasicBlock:
+        block = BasicBlock(index=len(blocks))
+        blocks.append(block)
+        return block
+
+    current = start_block()
+    for instr in function.instrs:
+        if isinstance(instr, Label):
+            if current.instrs:
+                current = start_block()
+            label_block[instr.lid] = current.index
+            current.instrs.append(instr)
+            continue
+        current.instrs.append(instr)
+        if isinstance(instr, (Jump, CBranch, Return)):
+            current = start_block()
+    if not blocks[-1].instrs and len(blocks) > 1:
+        blocks.pop()
+
+    # Edges.
+    for i, block in enumerate(blocks):
+        terminator = block.terminator
+        if isinstance(terminator, Jump):
+            block.successors.append(label_block[terminator.target])
+        elif isinstance(terminator, CBranch):
+            block.successors.append(label_block[terminator.true_target])
+            if terminator.false_target != terminator.true_target:
+                block.successors.append(label_block[terminator.false_target])
+        elif isinstance(terminator, Return):
+            pass
+        elif i + 1 < len(blocks):
+            block.successors.append(i + 1)  # fallthrough
+    for block in blocks:
+        for succ in block.successors:
+            blocks[succ].predecessors.append(block.index)
+    return CFG(function, blocks)
+
+
+def verify_function(function: IRFunction) -> CFG:
+    """Check structural invariants; returns the CFG on success."""
+    labels: Set[int] = set()
+    for instr in function.instrs:
+        if instr.uid < 0:
+            raise IRVerifyError(
+                f"{function.name}: instruction without a uid: {instr}"
+            )
+        if isinstance(instr, Label):
+            if instr.lid in labels:
+                raise IRVerifyError(
+                    f"{function.name}: duplicate label L{instr.lid}"
+                )
+            labels.add(instr.lid)
+    for instr in function.instrs:
+        if isinstance(instr, Jump):
+            targets = [instr.target]
+        elif isinstance(instr, CBranch):
+            targets = [instr.true_target, instr.false_target]
+        else:
+            continue
+        for target in targets:
+            if target not in labels:
+                raise IRVerifyError(
+                    f"{function.name}: jump to undefined label L{target}"
+                )
+    return build_cfg(function)
+
+
+def verify_module(module: IRModule) -> Dict[str, CFG]:
+    """Verify every function; returns the CFGs keyed by name."""
+    uids: Set[int] = set()
+    for _, instr in module.all_instrs():
+        if instr.uid in uids:
+            raise IRVerifyError(f"duplicate instruction uid {instr.uid}")
+        uids.add(instr.uid)
+    return {
+        name: verify_function(function)
+        for name, function in module.functions.items()
+    }

@@ -1,0 +1,284 @@
+"""The Phoenix-like intermediate representation.
+
+RegionWiz extracts "instructions of the intermediate representation" where
+"each instruction consists of destination operands, opcode, and source
+operands" (Section 5.1).  The paper's own example lowers::
+
+    int week = mytime(&t)->tm_wday;
+
+to::
+
+    t143 = CALL _mytime, &_t
+    t144 = ADD t143, 24
+    _week = ASSIGN [t144]*
+
+This module defines exactly that instruction vocabulary: ASSIGN, ADDROF,
+ADD (pointer plus constant byte offset -- field-sensitivity by offset),
+LOAD/STORE (the ``[...]`` memory operands), CALL, RETURN, and the minimal
+label/jump set so lowered functions remain complete and printable.  Every
+instruction carries a module-unique ``uid`` (the unit of the paper's
+"instruction pairs" in post-processing) and a source location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.lang.errors import SourceLocation
+
+__all__ = [
+    "Temp",
+    "VarOp",
+    "FuncAddr",
+    "IntConst",
+    "NullConst",
+    "StrConst",
+    "Operand",
+    "Instr",
+    "Assign",
+    "AddrOf",
+    "Add",
+    "BinOp",
+    "Load",
+    "Store",
+    "Call",
+    "Return",
+    "Label",
+    "Jump",
+    "CBranch",
+]
+
+
+# ---------------------------------------------------------------------------
+# Operands
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Temp:
+    """A compiler temporary, function-local."""
+
+    id: int
+
+    def __str__(self) -> str:
+        return f"t{self.id}"
+
+
+@dataclass(frozen=True)
+class VarOp:
+    """A named variable.  ``name`` is the sema-unique ``ir_name``."""
+
+    name: str
+    kind: str  # 'local' | 'param' | 'global'
+
+    def __str__(self) -> str:
+        return f"_{self.name}"
+
+
+@dataclass(frozen=True)
+class FuncAddr:
+    """The address of a function (direct call target / fp initializer)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"&{self.name}"
+
+
+@dataclass(frozen=True)
+class IntConst:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class NullConst:
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class StrConst:
+    """A string literal; ``site`` identifies the static allocation."""
+
+    site: int
+    value: str
+
+    def __str__(self) -> str:
+        preview = self.value if len(self.value) <= 12 else self.value[:9] + "..."
+        return f"str{self.site}({preview!r})"
+
+
+Operand = Union[Temp, VarOp, FuncAddr, IntConst, NullConst, StrConst]
+Dest = Union[Temp, VarOp]
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Instr:
+    """Base instruction; ``uid`` is assigned by the module builder."""
+
+    loc: SourceLocation
+    uid: int = field(default=-1, init=False, compare=False)
+
+    def operands(self) -> Tuple[Operand, ...]:
+        """All source operands (for generic scans)."""
+        return ()
+
+
+@dataclass
+class Assign(Instr):
+    dst: Dest
+    src: Operand
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.src,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = ASSIGN {self.src}"
+
+
+@dataclass
+class AddrOf(Instr):
+    """``dst = &var``: makes a variable's storage an analysis object."""
+
+    dst: Dest
+    var: VarOp
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.var,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = ADDROF {self.var}"
+
+
+@dataclass
+class Add(Instr):
+    """``dst = base + offset`` in bytes; ``offset=None`` is a dynamic
+    offset (array indexing by a non-constant, pointer arithmetic), which
+    the analysis treats per the paper's declared unsoundness."""
+
+    dst: Dest
+    base: Operand
+    offset: Optional[int]
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.base,)
+
+    def __str__(self) -> str:
+        offset = "?" if self.offset is None else str(self.offset)
+        return f"{self.dst} = ADD {self.base}, {offset}"
+
+
+@dataclass
+class BinOp(Instr):
+    """Scalar arithmetic/comparison; opaque to the pointer analysis
+    (pointer-plus-constant is :class:`Add` instead)."""
+
+    dst: Dest
+    op: str
+    left: Operand
+    right: Operand
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op.upper()!s:s} {self.left}, {self.right}"
+
+
+@dataclass
+class Load(Instr):
+    """``dst = [addr]``"""
+
+    dst: Dest
+    addr: Operand
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.addr,)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = LOAD [{self.addr}]"
+
+
+@dataclass
+class Store(Instr):
+    """``[addr] = src``"""
+
+    addr: Operand
+    src: Operand
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.addr, self.src)
+
+    def __str__(self) -> str:
+        return f"STORE [{self.addr}] = {self.src}"
+
+
+@dataclass
+class Call(Instr):
+    """``dst = CALL callee, args...``; callee is a :class:`FuncAddr` for
+    direct calls or a variable/temp for indirect calls."""
+
+    dst: Optional[Dest]
+    callee: Operand
+    args: Tuple[Operand, ...]
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.callee, *self.args)
+
+    @property
+    def is_direct(self) -> bool:
+        return isinstance(self.callee, FuncAddr)
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}CALL {self.callee}{', ' if args else ''}{args}"
+
+
+@dataclass
+class Return(Instr):
+    src: Optional[Operand]
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return () if self.src is None else (self.src,)
+
+    def __str__(self) -> str:
+        return f"RETURN {self.src}" if self.src is not None else "RETURN"
+
+
+@dataclass
+class Label(Instr):
+    lid: int
+
+    def __str__(self) -> str:
+        return f"L{self.lid}:"
+
+
+@dataclass
+class Jump(Instr):
+    target: int
+
+    def __str__(self) -> str:
+        return f"JUMP L{self.target}"
+
+
+@dataclass
+class CBranch(Instr):
+    cond: Operand
+    true_target: int
+    false_target: int
+
+    def operands(self) -> Tuple[Operand, ...]:
+        return (self.cond,)
+
+    def __str__(self) -> str:
+        return f"CBRANCH {self.cond}, L{self.true_target}, L{self.false_target}"

@@ -1,0 +1,78 @@
+"""IR containers: functions and modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ir.instr import Call, Instr
+from repro.lang.errors import SourceLocation
+from repro.lang.types import CType, FunctionType
+
+__all__ = ["IRFunction", "IRModule"]
+
+
+@dataclass
+class IRFunction:
+    """A lowered function: parameter names (ir-unique) plus linear code."""
+
+    name: str
+    params: List[str]
+    ret_type: CType
+    instrs: List[Instr] = field(default_factory=list)
+    loc: SourceLocation = SourceLocation.UNKNOWN
+
+    def calls(self) -> Iterator[Call]:
+        for instr in self.instrs:
+            if isinstance(instr, Call):
+                yield instr
+
+    def __str__(self) -> str:
+        lines = [f"func {self.name}({', '.join(self.params)}):"]
+        for instr in self.instrs:
+            lines.append(f"  {instr}")
+        return "\n".join(lines)
+
+
+@dataclass
+class IRModule:
+    """A whole program in IR.
+
+    ``prototypes`` keeps declared-but-undefined functions (library
+    interface entry points such as ``apr_pool_create``): the analysis
+    models those through region-interface specs rather than code.
+    """
+
+    functions: Dict[str, IRFunction] = field(default_factory=dict)
+    prototypes: Dict[str, FunctionType] = field(default_factory=dict)
+    globals: List[str] = field(default_factory=list)
+    string_literals: Dict[int, str] = field(default_factory=dict)
+    _instr_by_uid: Dict[int, Instr] = field(default_factory=dict, repr=False)
+    _func_of_uid: Dict[int, str] = field(default_factory=dict, repr=False)
+
+    def add_function(self, function: IRFunction) -> None:
+        self.functions[function.name] = function
+        for instr in function.instrs:
+            self._instr_by_uid[instr.uid] = instr
+            self._func_of_uid[instr.uid] = function.name
+
+    def instr(self, uid: int) -> Instr:
+        return self._instr_by_uid[uid]
+
+    def function_of(self, uid: int) -> str:
+        return self._func_of_uid[uid]
+
+    def is_defined(self, name: str) -> bool:
+        return name in self.functions
+
+    def all_instrs(self) -> Iterator[Tuple[str, Instr]]:
+        for name, function in self.functions.items():
+            for instr in function.instrs:
+                yield name, instr
+
+    @property
+    def num_instrs(self) -> int:
+        return len(self._instr_by_uid)
+
+    def __str__(self) -> str:
+        return "\n\n".join(str(f) for f in self.functions.values())

@@ -1,0 +1,25 @@
+"""C-subset frontend: lexer, parser, types, and semantic analysis."""
+
+from repro.lang.errors import (
+    CompileError,
+    LexError,
+    ParseError,
+    SemaError,
+    SourceLocation,
+)
+from repro.lang.parser import Parser, parse
+from repro.lang.sema import FunctionInfo, SemaResult, Symbol, analyze
+
+__all__ = [
+    "CompileError",
+    "FunctionInfo",
+    "LexError",
+    "ParseError",
+    "Parser",
+    "SemaError",
+    "SemaResult",
+    "SourceLocation",
+    "Symbol",
+    "analyze",
+    "parse",
+]

@@ -1,0 +1,266 @@
+"""AST nodes for the C subset.
+
+Expressions carry a ``ctype`` slot filled in by semantic analysis
+(:mod:`repro.lang.sema`); the lowerer relies on it for field offsets and
+pointer classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.lang.errors import SourceLocation
+from repro.lang.types import CType
+
+__all__ = [
+    "Node",
+    "Expr",
+    "Stmt",
+    "Decl",
+    "TranslationUnit",
+    "StructDef",
+    "TypedefDecl",
+    "VarDecl",
+    "Param",
+    "FuncDecl",
+    "Block",
+    "DeclStmt",
+    "ExprStmt",
+    "If",
+    "While",
+    "DoWhile",
+    "For",
+    "Return",
+    "Break",
+    "Continue",
+    "Ident",
+    "IntLit",
+    "StrLit",
+    "NullLit",
+    "Unary",
+    "Binary",
+    "Assign",
+    "Cond",
+    "Call",
+    "Member",
+    "Index",
+    "Cast",
+    "SizeOf",
+]
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base expression; ``ctype`` is annotated by sema."""
+
+    ctype: Optional[CType] = field(default=None, init=False, compare=False)
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    """The NULL constant (also produced for literal 0 in pointer contexts)."""
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '*', '&', '!', '-', '+', '~'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic/relational/logical operators
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary conditional ``cond ? then : other``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class Call(Expr):
+    func: Expr
+    args: List[Expr]
+
+
+@dataclass
+class Member(Expr):
+    base: Expr
+    name: str
+    arrow: bool  # True for '->', False for '.'
+
+
+@dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass
+class Cast(Expr):
+    to: CType
+    operand: Expr
+
+
+@dataclass
+class SizeOf(Expr):
+    target: Union[CType, Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt]
+
+
+@dataclass
+class VarDecl(Node):
+    type: CType
+    name: str
+    init: Optional[Expr]
+    is_global: bool = False
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decl: VarDecl
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Expr, VarDecl]]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Decl(Node):
+    pass
+
+
+@dataclass
+class StructDef(Decl):
+    name: str
+    fields: Optional[List[Tuple[CType, str]]]  # None: forward declaration
+
+
+@dataclass
+class TypedefDecl(Decl):
+    name: str
+    type: CType
+
+
+@dataclass
+class Param(Node):
+    type: CType
+    name: Optional[str]
+
+
+@dataclass
+class FuncDecl(Decl):
+    ret: CType
+    name: str
+    params: List[Param]
+    varargs: bool
+    body: Optional[Block]  # None: prototype only
+
+    @property
+    def is_definition(self) -> bool:
+        return self.body is not None
+
+
+@dataclass
+class TranslationUnit(Node):
+    decls: List[Decl]

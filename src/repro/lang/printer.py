@@ -1,0 +1,224 @@
+"""A C pretty-printer for the AST.
+
+Emits parseable C-subset source from a (possibly transformed) AST.  Used
+by the parser round-trip property test (parse . print . parse is a
+fixpoint up to locations) and handy for corpus minimization and debugging
+generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.lang import nodes
+from repro.lang.types import (
+    ArrayType,
+    CType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    VoidType,
+)
+
+__all__ = ["print_type", "print_expr", "print_stmt", "print_unit"]
+
+_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+def print_type(ctype: CType, name: str = "") -> str:
+    """Render a declaration of ``name`` with type ``ctype`` (C's
+    inside-out declarator syntax)."""
+    return _declare(ctype, name).strip()
+
+
+def _declare(ctype: CType, inner: str) -> str:
+    if isinstance(ctype, PointerType):
+        target = ctype.target
+        decorated = f"*{inner}"
+        if isinstance(target, (FunctionType, ArrayType)):
+            decorated = f"({decorated})"
+        return _declare(target, decorated)
+    if isinstance(ctype, ArrayType):
+        return _declare(ctype.element, f"{inner}[{ctype.length}]")
+    if isinstance(ctype, FunctionType):
+        params = ", ".join(_declare(p, "") .strip() for p in ctype.params)
+        if ctype.varargs:
+            params = f"{params}, ..." if params else "..."
+        if not params:
+            params = "void"
+        return _declare(ctype.ret, f"{inner}({params})")
+    if isinstance(ctype, StructType):
+        return f"struct {ctype.name} {inner}"
+    if isinstance(ctype, (IntType, VoidType)):
+        return f"{ctype} {inner}"
+    raise TypeError(f"cannot print type {ctype!r}")
+
+
+def print_expr(expr: nodes.Expr, parent_prec: int = 0) -> str:
+    text, prec = _expr(expr)
+    if prec < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _expr(expr: nodes.Expr):
+    if isinstance(expr, nodes.IntLit):
+        return str(expr.value), 99
+    if isinstance(expr, nodes.StrLit):
+        escaped = (
+            expr.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+            .replace("\0", "\\0")
+            .replace("\r", "\\r")
+        )
+        return f'"{escaped}"', 99
+    if isinstance(expr, nodes.NullLit):
+        return "NULL", 99
+    if isinstance(expr, nodes.Ident):
+        return expr.name, 99
+    if isinstance(expr, nodes.Unary):
+        operand = print_expr(expr.operand, 11)
+        return f"{expr.op}{operand}", 11
+    if isinstance(expr, nodes.Binary):
+        prec = _PRECEDENCE.get(expr.op, 0)
+        left = print_expr(expr.left, prec)
+        right = print_expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+    if isinstance(expr, nodes.Assign):
+        target = print_expr(expr.target, 1)
+        value = print_expr(expr.value, 0)
+        return f"{target} = {value}", 0
+    if isinstance(expr, nodes.Cond):
+        cond = print_expr(expr.cond, 1)
+        then = print_expr(expr.then, 0)
+        other = print_expr(expr.other, 0)
+        return f"{cond} ? {then} : {other}", 0
+    if isinstance(expr, nodes.Call):
+        func = print_expr(expr.func, 12)
+        args = ", ".join(print_expr(a, 0) for a in expr.args)
+        return f"{func}({args})", 12
+    if isinstance(expr, nodes.Member):
+        base = print_expr(expr.base, 12)
+        op = "->" if expr.arrow else "."
+        return f"{base}{op}{expr.name}", 12
+    if isinstance(expr, nodes.Index):
+        base = print_expr(expr.base, 12)
+        return f"{base}[{print_expr(expr.index, 0)}]", 12
+    if isinstance(expr, nodes.Cast):
+        operand = print_expr(expr.operand, 11)
+        return f"({print_type(expr.to)}){operand}", 11
+    if isinstance(expr, nodes.SizeOf):
+        target = expr.target
+        if isinstance(target, CType):
+            return f"sizeof({print_type(target)})", 11
+        return f"sizeof({print_expr(target, 0)})", 11
+    raise TypeError(f"cannot print expression {expr!r}")
+
+
+def print_stmt(stmt: nodes.Stmt, indent: int = 0) -> str:
+    pad = "    " * indent
+    if isinstance(stmt, nodes.Block):
+        inner = "\n".join(print_stmt(s, indent + 1) for s in stmt.stmts)
+        return f"{pad}{{\n{inner}\n{pad}}}" if inner else f"{pad}{{ }}"
+    if isinstance(stmt, nodes.DeclStmt):
+        return f"{pad}{_print_var_decl(stmt.decl)};"
+    if isinstance(stmt, nodes.ExprStmt):
+        return f"{pad}{print_expr(stmt.expr)};"
+    if isinstance(stmt, nodes.If):
+        text = f"{pad}if ({print_expr(stmt.cond)})\n"
+        text += print_stmt(_as_block(stmt.then), indent)
+        if stmt.other is not None:
+            text += f"\n{pad}else\n"
+            text += print_stmt(_as_block(stmt.other), indent)
+        return text
+    if isinstance(stmt, nodes.While):
+        return (
+            f"{pad}while ({print_expr(stmt.cond)})\n"
+            + print_stmt(_as_block(stmt.body), indent)
+        )
+    if isinstance(stmt, nodes.DoWhile):
+        return (
+            f"{pad}do\n"
+            + print_stmt(_as_block(stmt.body), indent)
+            + f"\n{pad}while ({print_expr(stmt.cond)});"
+        )
+    if isinstance(stmt, nodes.For):
+        if isinstance(stmt.init, nodes.VarDecl):
+            init = _print_var_decl(stmt.init)
+        elif stmt.init is not None:
+            init = print_expr(stmt.init)
+        else:
+            init = ""
+        cond = print_expr(stmt.cond) if stmt.cond is not None else ""
+        step = print_expr(stmt.step) if stmt.step is not None else ""
+        return (
+            f"{pad}for ({init}; {cond}; {step})\n"
+            + print_stmt(_as_block(stmt.body), indent)
+        )
+    if isinstance(stmt, nodes.Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {print_expr(stmt.value)};"
+    if isinstance(stmt, nodes.Break):
+        return f"{pad}break;"
+    if isinstance(stmt, nodes.Continue):
+        return f"{pad}continue;"
+    raise TypeError(f"cannot print statement {stmt!r}")
+
+
+def _as_block(stmt: nodes.Stmt) -> nodes.Block:
+    if isinstance(stmt, nodes.Block):
+        return stmt
+    return nodes.Block(stmt.loc, [stmt])
+
+
+def _print_var_decl(decl: nodes.VarDecl) -> str:
+    text = print_type(decl.type, decl.name)
+    if decl.init is not None:
+        text += f" = {print_expr(decl.init)}"
+    return text
+
+
+def print_unit(unit: nodes.TranslationUnit) -> str:
+    """Render a whole translation unit back to C source."""
+    chunks: List[str] = []
+    for decl in unit.decls:
+        if isinstance(decl, nodes.StructDef):
+            if decl.fields is None:
+                chunks.append(f"struct {decl.name};")
+            else:
+                fields = "\n".join(
+                    f"    {print_type(ftype, fname)};"
+                    for ftype, fname in decl.fields
+                )
+                chunks.append(f"struct {decl.name} {{\n{fields}\n}};")
+        elif isinstance(decl, nodes.TypedefDecl):
+            chunks.append(f"typedef {print_type(decl.type, decl.name)};")
+        elif isinstance(decl, nodes.VarDecl):
+            chunks.append(f"{_print_var_decl(decl)};")
+        elif isinstance(decl, nodes.FuncDecl):
+            params = ", ".join(
+                print_type(p.type, p.name or "") for p in decl.params
+            )
+            if decl.varargs:
+                params = f"{params}, ..." if params else "..."
+            if not params:
+                params = "void"
+            signature = print_type(decl.ret, f"{decl.name}({params})")
+            if decl.body is None:
+                chunks.append(f"{signature};")
+            else:
+                chunks.append(f"{signature}\n{print_stmt(decl.body)}")
+        else:
+            raise TypeError(f"cannot print declaration {decl!r}")
+    return "\n\n".join(chunks) + "\n"

@@ -1,0 +1,258 @@
+"""C types and struct layout for the analysis frontend.
+
+RegionWiz is field-sensitive via *byte offsets* rather than symbolic field
+names ("we use offset values instead of symbolic names for fields", Section
+5.5), so the type system's main job is to compute a realistic,
+machine-dependent struct layout.  The layout model is LP64 (pointers and
+``long`` 8 bytes, ``int`` 4, natural alignment with padding), matching the
+paper's example where ``tm.tm_wday`` lives at offset 24.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.errors import SemaError, SourceLocation
+
+__all__ = [
+    "CType",
+    "VoidType",
+    "IntType",
+    "PointerType",
+    "StructType",
+    "StructField",
+    "FunctionType",
+    "ArrayType",
+    "VOID",
+    "CHAR",
+    "SHORT",
+    "INT",
+    "LONG",
+    "UNSIGNED",
+    "SIZE_T",
+    "VOID_PTR",
+    "CHAR_PTR",
+]
+
+
+class CType:
+    """Base class for C types."""
+
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def align(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_integral(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_pointerlike(self) -> bool:
+        """Pointers and arrays: things that can hold/denote addresses."""
+        return isinstance(self, (PointerType, ArrayType))
+
+    def pointee(self) -> "CType":
+        raise SemaError(f"cannot dereference non-pointer type {self}")
+
+
+@dataclass(frozen=True)
+class VoidType(CType):
+    def size(self) -> int:
+        # GNU-style: sizeof(void) == 1, which also makes void* arithmetic
+        # in source code harmless to lower.
+        return 1
+
+    def align(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(CType):
+    name: str
+    width: int
+    signed: bool = True
+
+    def size(self) -> int:
+        return self.width
+
+    def align(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(CType):
+    target: CType
+
+    def size(self) -> int:
+        return 8
+
+    def align(self) -> int:
+        return 8
+
+    def pointee(self) -> CType:
+        return self.target
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(CType):
+    element: CType
+    length: int
+
+    def size(self) -> int:
+        return self.element.size() * self.length
+
+    def align(self) -> int:
+        return self.element.align()
+
+    def pointee(self) -> CType:
+        # Arrays decay to a pointer to their element type.
+        return self.element
+
+    def __str__(self) -> str:
+        return f"{self.element}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FunctionType(CType):
+    ret: CType
+    params: Tuple[CType, ...]
+    varargs: bool = False
+
+    def size(self) -> int:
+        raise SemaError("function types have no size")
+
+    def align(self) -> int:
+        raise SemaError("function types have no alignment")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.varargs:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.ret}({params})"
+
+
+@dataclass
+class StructField:
+    """A named member with its computed byte offset."""
+
+    name: str
+    type: CType
+    offset: int = -1
+
+
+class StructType(CType):
+    """A (possibly initially incomplete) struct with natural-alignment layout.
+
+    Identity is by declaration, not by name, so two scopes' ``struct foo``
+    would be distinct; the subset uses a single global struct namespace.
+    """
+
+    def __init__(self, name: str, loc: SourceLocation = SourceLocation.UNKNOWN):
+        self.name = name
+        self.loc = loc
+        self._fields: Optional[List[StructField]] = None
+        self._size = 0
+        self._align = 1
+
+    @property
+    def is_complete(self) -> bool:
+        return self._fields is not None
+
+    @property
+    def fields(self) -> List[StructField]:
+        if self._fields is None:
+            raise SemaError(f"struct {self.name} is incomplete", self.loc)
+        return self._fields
+
+    def define(self, fields: Sequence[Tuple[str, CType]]) -> None:
+        """Complete the struct and compute the LP64 layout."""
+        if self._fields is not None:
+            raise SemaError(f"struct {self.name} redefined", self.loc)
+        laid_out: List[StructField] = []
+        offset = 0
+        max_align = 1
+        seen: Dict[str, bool] = {}
+        for name, ctype in fields:
+            if name in seen:
+                raise SemaError(
+                    f"duplicate field {name!r} in struct {self.name}", self.loc
+                )
+            seen[name] = True
+            align = ctype.align()
+            max_align = max(max_align, align)
+            offset = _round_up(offset, align)
+            laid_out.append(StructField(name, ctype, offset))
+            offset += ctype.size()
+        self._size = _round_up(max(offset, 1), max_align)
+        self._align = max_align
+        self._fields = laid_out
+
+    def field(self, name: str) -> StructField:
+        for member in self.fields:
+            if member.name == name:
+                return member
+        raise SemaError(f"struct {self.name} has no field {name!r}", self.loc)
+
+    def has_field(self, name: str) -> bool:
+        return any(member.name == name for member in self.fields)
+
+    def size(self) -> int:
+        if self._fields is None:
+            raise SemaError(f"sizeof incomplete struct {self.name}", self.loc)
+        return self._size
+
+    def align(self) -> int:
+        if self._fields is None:
+            raise SemaError(f"alignof incomplete struct {self.name}", self.loc)
+        return self._align
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __repr__(self) -> str:
+        state = "complete" if self.is_complete else "incomplete"
+        return f"<StructType {self.name} ({state})>"
+
+
+def _round_up(value: int, align: int) -> int:
+    return (value + align - 1) // align * align
+
+
+# Singleton base types (LP64).
+VOID = VoidType()
+CHAR = IntType("char", 1)
+SHORT = IntType("short", 2)
+INT = IntType("int", 4)
+LONG = IntType("long", 8)
+UNSIGNED = IntType("unsigned", 4, signed=False)
+SIZE_T = IntType("size_t", 8, signed=False)
+VOID_PTR = PointerType(VOID)
+CHAR_PTR = PointerType(CHAR)

@@ -1,0 +1,28 @@
+"""Pointer analysis: context numbering, cloned analysis, Andersen baseline."""
+
+from repro.pointer.analysis import (
+    AbstractObject,
+    AnalysisOptions,
+    NULL_OBJECT,
+    PointerAnalysisResult,
+    ROOT_REGION,
+    analyze_pointers,
+)
+from repro.pointer.andersen import analyze_andersen, andersen_options
+from repro.pointer.contexts import ContextNumbering, number_contexts
+from repro.pointer.datalog_pta import DatalogPTA, run_datalog_pta
+
+__all__ = [
+    "AbstractObject",
+    "AnalysisOptions",
+    "ContextNumbering",
+    "DatalogPTA",
+    "NULL_OBJECT",
+    "run_datalog_pta",
+    "PointerAnalysisResult",
+    "ROOT_REGION",
+    "analyze_andersen",
+    "analyze_pointers",
+    "andersen_options",
+    "number_contexts",
+]

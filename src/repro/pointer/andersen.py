@@ -1,0 +1,42 @@
+"""The context-insensitive Andersen baseline (Section 4.3).
+
+"We briefly describe a standard Anderson-style analysis" -- the degenerate
+configuration of the cloned engine: one context per function, no heap
+cloning.  Kept as a named entry point because the paper (and our
+ablations) compare against it, and because it is the scalable fallback
+for very large synthetic packages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.callgraph import CallGraph
+from repro.interfaces import RegionInterface
+from repro.pointer.analysis import (
+    AnalysisOptions,
+    PointerAnalysisResult,
+    analyze_pointers,
+)
+
+__all__ = ["andersen_options", "analyze_andersen"]
+
+
+def andersen_options(field_sensitive: bool = True) -> AnalysisOptions:
+    """Options for the plain Andersen configuration."""
+    return AnalysisOptions(
+        context_sensitive=False,
+        heap_cloning=False,
+        field_sensitive=field_sensitive,
+    )
+
+
+def analyze_andersen(
+    graph: CallGraph,
+    interface: RegionInterface,
+    field_sensitive: bool = True,
+) -> PointerAnalysisResult:
+    """Run the context-insensitive baseline analysis."""
+    return analyze_pointers(
+        graph, interface, andersen_options(field_sensitive=field_sensitive)
+    )

@@ -1,0 +1,21 @@
+"""Executable region runtime and C-subset interpreter (dynamic baseline)."""
+
+from repro.runtime.interp import (
+    ExecutionResult,
+    InterpError,
+    Interpreter,
+    run_program,
+)
+from repro.runtime.pool import Fault, MemObject, Region, RegionRuntime, RuntimeError_
+
+__all__ = [
+    "ExecutionResult",
+    "Fault",
+    "InterpError",
+    "Interpreter",
+    "MemObject",
+    "Region",
+    "RegionRuntime",
+    "RuntimeError_",
+    "run_program",
+]

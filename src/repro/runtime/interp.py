@@ -1,0 +1,593 @@
+"""A C-subset interpreter over the region runtime.
+
+Executes the sema-annotated AST directly (the IR is the static analysis'
+food; execution wants scoping and short-circuit semantics).  Region
+interface calls -- creation, allocation, deletion, cleanup registration --
+are intercepted and routed to a :class:`~repro.runtime.pool.RegionRuntime`,
+so running a program yields the ground-truth dynamic behaviour: dangling
+pointers actually created/dereferenced, RC refusals, cleanup execution
+order, leak candidates.
+
+This is the reproduction's stand-in for the dynamic approaches the paper
+compares against (C@ and RC maintain region reference counts at runtime):
+the ``bench_dynamic_vs_static`` benchmark runs seeded-buggy programs under
+this interpreter to show dynamic detection misses rarely-executed paths
+that RegionWiz flags statically.
+
+Value model: ints are Python ints; pointers are ``(MemObject, offset)``
+pairs; regions are :class:`Region` handles; functions are
+``("func", name)``; null is ``None``.  Every local lives in a memory cell
+(a 1-slot object in the frame's stack region), so ``&x`` works uniformly
+and stack lifetimes are enforced by region deletion at return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.interfaces import RegionInterface
+from repro.lang import nodes
+from repro.lang.sema import SemaResult, Symbol
+from repro.lang.types import ArrayType, CType, StructType
+from repro.runtime.pool import MemObject, Region, RegionRuntime, RuntimeError_
+
+__all__ = ["ExecutionResult", "Interpreter", "run_program", "InterpError"]
+
+
+class InterpError(Exception):
+    """Execution errors: budget exhaustion, calling unknown values, etc."""
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value) -> None:
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+@dataclass
+class ExecutionResult:
+    runtime: RegionRuntime
+    return_value: object
+    steps: int
+    external_calls: List[str] = field(default_factory=list)
+
+    @property
+    def faults(self):
+        return self.runtime.faults
+
+    def fault_kinds(self):
+        return self.runtime.fault_kinds()
+
+
+class _Frame:
+    def __init__(self, function: str, stack_region: Region) -> None:
+        self.function = function
+        self.stack_region = stack_region
+        self.cells: Dict[str, MemObject] = {}
+
+
+class Interpreter:
+    def __init__(
+        self,
+        sema: SemaResult,
+        interface: RegionInterface,
+        max_steps: int = 200_000,
+    ) -> None:
+        self.sema = sema
+        self.interface = interface
+        self.max_steps = max_steps
+        self.runtime = RegionRuntime()
+        self.globals: Dict[str, MemObject] = {}
+        self.external_calls: List[str] = []
+        self._steps = 0
+        self._strings: Dict[int, MemObject] = {}
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        entry: str = "main",
+        args: Tuple = (),
+        globals_init: Optional[Dict[str, object]] = None,
+    ) -> ExecutionResult:
+        self._init_globals(globals_init or {})
+        value = self.call_function(entry, list(args))
+        return ExecutionResult(
+            runtime=self.runtime,
+            return_value=value,
+            steps=self._steps,
+            external_calls=self.external_calls,
+        )
+
+    def _init_globals(self, overrides: Dict[str, object]) -> None:
+        frame = _Frame("<globals>", self.runtime.root)
+        for decl in self.sema.unit.decls:
+            if not isinstance(decl, nodes.VarDecl):
+                continue
+            cell = self.runtime.alloc(
+                self.runtime.root, max(self._sizeof(decl.type), 8),
+                site=f"global {decl.name}",
+            )
+            self.globals[decl.name] = cell
+            if decl.name in overrides:
+                self.runtime.store(cell, 0, overrides[decl.name])
+            elif decl.init is not None:
+                self.runtime.store(cell, 0, self._eval(decl.init, frame))
+            else:
+                self.runtime.store(cell, 0, 0)
+
+    def call_function(self, name: str, args: List[object]) -> object:
+        info = self.sema.functions.get(name)
+        if info is None:
+            return self._call_external(name, args, loc=None)
+        stack = self.runtime.create_region(name=f"<stack:{name}>", internal=True)
+        frame = _Frame(name, stack)
+        for symbol, value in zip(info.params, args):
+            cell = self._cell(frame, symbol)
+            self.runtime.store(cell, 0, value)
+        try:
+            assert info.decl.body is not None
+            self._exec_block(info.decl.body, frame)
+            result: object = None
+        except _ReturnSignal as signal:
+            result = signal.value
+        finally:
+            self.runtime.destroy_region(stack)
+        return result
+
+    def _tick(self) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpError("execution budget exceeded")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _exec_block(self, block: nodes.Block, frame: _Frame) -> None:
+        for stmt in block.stmts:
+            self._exec(stmt, frame)
+
+    def _exec(self, stmt: nodes.Stmt, frame: _Frame) -> None:
+        self._tick()
+        if isinstance(stmt, nodes.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, nodes.DeclStmt):
+            self._exec_decl(stmt.decl, frame)
+        elif isinstance(stmt, nodes.ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, nodes.If):
+            if self._truthy(self._eval(stmt.cond, frame)):
+                self._exec(stmt.then, frame)
+            elif stmt.other is not None:
+                self._exec(stmt.other, frame)
+        elif isinstance(stmt, nodes.While):
+            while self._truthy(self._eval(stmt.cond, frame)):
+                self._tick()
+                try:
+                    self._exec(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+        elif isinstance(stmt, nodes.DoWhile):
+            while True:
+                self._tick()
+                try:
+                    self._exec(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, frame)):
+                    break
+        elif isinstance(stmt, nodes.For):
+            if isinstance(stmt.init, nodes.VarDecl):
+                self._exec_decl(stmt.init, frame)
+            elif stmt.init is not None:
+                self._eval(stmt.init, frame)
+            while stmt.cond is None or self._truthy(self._eval(stmt.cond, frame)):
+                self._tick()
+                try:
+                    self._exec(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if stmt.step is not None:
+                    self._eval(stmt.step, frame)
+        elif isinstance(stmt, nodes.Return):
+            value = None if stmt.value is None else self._eval(stmt.value, frame)
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, nodes.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, nodes.Continue):
+            raise _ContinueSignal()
+        else:
+            raise InterpError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_decl(self, decl: nodes.VarDecl, frame: _Frame) -> None:
+        symbol: Symbol = decl.symbol  # type: ignore[attr-defined]
+        cell = self._cell(frame, symbol)
+        if decl.init is not None:
+            self.runtime.store(cell, 0, self._eval(decl.init, frame))
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: nodes.Expr, frame: _Frame) -> object:
+        self._tick()
+        if isinstance(expr, nodes.IntLit):
+            return expr.value
+        if isinstance(expr, nodes.NullLit):
+            return None
+        if isinstance(expr, nodes.StrLit):
+            return self._string_object(expr)
+        if isinstance(expr, nodes.Ident):
+            symbol: Symbol = expr.symbol  # type: ignore[attr-defined]
+            if symbol.kind == "func":
+                return ("func", symbol.name)
+            cell = self._lookup_cell(frame, symbol)
+            if isinstance(symbol.ctype, ArrayType):
+                return (cell, 0)  # arrays decay to their storage address
+            return self.runtime.load(cell, 0)
+        if isinstance(expr, nodes.Unary):
+            return self._eval_unary(expr, frame)
+        if isinstance(expr, nodes.Binary):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, nodes.Assign):
+            value = self._eval(expr.value, frame)
+            self._assign(expr.target, value, frame)
+            return value
+        if isinstance(expr, nodes.Cond):
+            if self._truthy(self._eval(expr.cond, frame)):
+                return self._eval(expr.then, frame)
+            return self._eval(expr.other, frame)
+        if isinstance(expr, nodes.Call):
+            return self._eval_call(expr, frame)
+        if isinstance(expr, nodes.Member):
+            obj, offset = self._address_of(expr, frame)
+            return self.runtime.load(obj, offset)
+        if isinstance(expr, nodes.Index):
+            obj, offset = self._address_of(expr, frame)
+            return self.runtime.load(obj, offset)
+        if isinstance(expr, nodes.Cast):
+            return self._eval(expr.operand, frame)
+        if isinstance(expr, nodes.SizeOf):
+            target = expr.target
+            ctype = target if isinstance(target, CType) else target.ctype
+            return self._sizeof(ctype)
+        raise InterpError(f"cannot evaluate {type(expr).__name__}")
+
+    def _eval_unary(self, expr: nodes.Unary, frame: _Frame) -> object:
+        if expr.op == "&":
+            return self._address_of(expr.operand, frame)
+        if expr.op == "*":
+            pointer = self._eval(expr.operand, frame)
+            obj, offset = self._as_pointer(pointer, expr)
+            return self.runtime.load(obj, offset)
+        value = self._eval(expr.operand, frame)
+        if expr.op == "!":
+            return 0 if self._truthy(value) else 1
+        if expr.op == "-":
+            return -self._as_int(value)
+        if expr.op == "~":
+            return ~self._as_int(value)
+        return value  # unary +
+
+    def _eval_binary(self, expr: nodes.Binary, frame: _Frame) -> object:
+        op = expr.op
+        if op == "&&":
+            left = self._eval(expr.left, frame)
+            if not self._truthy(left):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right, frame)) else 0
+        if op == "||":
+            left = self._eval(expr.left, frame)
+            if self._truthy(left):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, frame)) else 0
+        if op == ",":
+            self._eval(expr.left, frame)
+            return self._eval(expr.right, frame)
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if op in ("==", "!="):
+            equal = self._values_equal(left, right)
+            return int(equal if op == "==" else not equal)
+        # Pointer arithmetic.
+        if isinstance(left, tuple) and left and isinstance(left[0], MemObject):
+            element = 1
+            if expr.left.ctype is not None and expr.left.ctype.is_pointerlike:
+                try:
+                    element = expr.left.ctype.pointee().size()
+                except Exception:
+                    element = 1
+            delta = self._as_int(right) * element
+            return (left[0], left[1] + (delta if op == "+" else -delta))
+        lhs, rhs = self._as_int(left), self._as_int(right)
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise InterpError("division by zero")
+            return int(lhs / rhs)
+        if op == "%":
+            if rhs == 0:
+                raise InterpError("modulo by zero")
+            return lhs - int(lhs / rhs) * rhs
+        if op == "<":
+            return int(lhs < rhs)
+        if op == ">":
+            return int(lhs > rhs)
+        if op == "<=":
+            return int(lhs <= rhs)
+        if op == ">=":
+            return int(lhs >= rhs)
+        if op == "<<":
+            return lhs << rhs
+        if op == ">>":
+            return lhs >> rhs
+        if op == "&":
+            return lhs & rhs
+        if op == "|":
+            return lhs | rhs
+        if op == "^":
+            return lhs ^ rhs
+        raise InterpError(f"unknown operator {op}")
+
+    # ------------------------------------------------------------------
+    # Lvalues
+    # ------------------------------------------------------------------
+
+    def _assign(self, target: nodes.Expr, value: object, frame: _Frame) -> None:
+        if isinstance(target, nodes.Ident):
+            symbol: Symbol = target.symbol  # type: ignore[attr-defined]
+            cell = self._lookup_cell(frame, symbol)
+            self.runtime.store(cell, 0, value)
+            return
+        if isinstance(target, nodes.Cast):
+            self._assign(target.operand, value, frame)
+            return
+        obj, offset = self._address_of(target, frame)
+        self.runtime.store(obj, offset, value)
+
+    def _address_of(self, expr: nodes.Expr, frame: _Frame) -> Tuple[MemObject, int]:
+        if isinstance(expr, nodes.Ident):
+            symbol: Symbol = expr.symbol  # type: ignore[attr-defined]
+            return (self._lookup_cell(frame, symbol), 0)
+        if isinstance(expr, nodes.Unary) and expr.op == "*":
+            return self._as_pointer(self._eval(expr.operand, frame), expr)
+        if isinstance(expr, nodes.Member):
+            if expr.arrow:
+                base = self._as_pointer(self._eval(expr.base, frame), expr)
+            else:
+                base = self._address_of(expr.base, frame)
+            struct = self._member_struct(expr)
+            return (base[0], base[1] + struct.field(expr.name).offset)
+        if isinstance(expr, nodes.Index):
+            base = self._as_pointer(self._eval(expr.base, frame), expr)
+            index = self._as_int(self._eval(expr.index, frame))
+            assert expr.base.ctype is not None
+            try:
+                element = expr.base.ctype.pointee().size()
+            except Exception:
+                element = 1
+            return (base[0], base[1] + index * element)
+        if isinstance(expr, nodes.Cast):
+            return self._address_of(expr.operand, frame)
+        raise InterpError(f"cannot take address of {type(expr).__name__}")
+
+    def _member_struct(self, expr: nodes.Member) -> StructType:
+        assert expr.base.ctype is not None
+        base_type = expr.base.ctype
+        if expr.arrow:
+            base_type = base_type.pointee()
+        assert isinstance(base_type, StructType)
+        return base_type
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def _eval_call(self, expr: nodes.Call, frame: _Frame) -> object:
+        callee = expr.func
+        name: Optional[str] = None
+        if isinstance(callee, nodes.Ident):
+            symbol: Symbol = callee.symbol  # type: ignore[attr-defined]
+            if symbol.kind == "func":
+                name = symbol.name
+        if name is None:
+            value = self._eval(callee, frame)
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == "func":
+                name = value[1]
+            else:
+                raise InterpError(f"call through non-function value {value!r}")
+        args = [self._eval(arg, frame) for arg in expr.args]
+        intercepted = self._interface_call(name, args, expr)
+        if intercepted is not NotImplemented:
+            return intercepted
+        if name in self.sema.functions:
+            return self.call_function(name, args)
+        return self._call_external(name, args, expr.loc)
+
+    def _call_external(self, name: str, args, loc) -> object:
+        self.external_calls.append(name)
+        return 0
+
+    def _interface_call(self, name: str, args: List[object], expr) -> object:
+        interface = self.interface
+        if name in interface.creates:
+            spec = interface.creates[name]
+            parent: Optional[Region] = None
+            if spec.parent_arg is not None and spec.parent_arg < len(args):
+                value = args[spec.parent_arg]
+                if isinstance(value, Region):
+                    parent = value
+            region = self.runtime.create_region(
+                parent, name=f"{name}@{expr.loc.line}"
+            )
+            if spec.out_arg is None:
+                return region
+            out = args[spec.out_arg]
+            obj, offset = self._as_pointer(out, expr)
+            self.runtime.store(obj, offset, region)
+            return 0
+        if name in interface.allocs:
+            spec = interface.allocs[name]
+            region = None
+            if spec.region_arg < len(args) and isinstance(
+                args[spec.region_arg], Region
+            ):
+                region = args[spec.region_arg]
+            size = 8
+            if len(args) > spec.region_arg + 1:
+                try:
+                    size = self._as_int(args[spec.region_arg + 1])
+                except InterpError:
+                    size = 8
+            obj = self.runtime.alloc(
+                region, max(size, 1), site=f"{name}@{expr.loc.line}"
+            )
+            return (obj, 0)
+        if name in interface.deletes:
+            spec = interface.deletes[name]
+            value = args[spec.region_arg] if spec.region_arg < len(args) else None
+            if isinstance(value, Region):
+                if spec.clears_only:
+                    self.runtime.clear_region(value)
+                else:
+                    self.runtime.destroy_region(value)
+            return 0
+        if name in interface.cleanups:
+            spec = interface.cleanups[name]
+            region = args[spec.region_arg] if spec.region_arg < len(args) else None
+            data = args[spec.data_arg] if spec.data_arg < len(args) else None
+            if isinstance(region, Region):
+                for position in spec.fn_args:
+                    if position >= len(args):
+                        continue
+                    fn = args[position]
+                    if (
+                        isinstance(fn, tuple)
+                        and len(fn) == 2
+                        and fn[0] == "func"
+                        and fn[1] in self.sema.functions
+                    ):
+                        fn_name = fn[1]
+                        self.runtime.register_cleanup(
+                            region,
+                            data,
+                            lambda d, _n=fn_name: self.call_function(_n, [d]),
+                        )
+            return 0
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+
+    def _cell(self, frame: _Frame, symbol: Symbol) -> MemObject:
+        cell = frame.cells.get(symbol.ir_name)
+        if cell is None:
+            size = max(self._sizeof(symbol.ctype), 8)
+            cell = self.runtime.alloc(
+                frame.stack_region, size, site=f"stack {symbol.ir_name}"
+            )
+            frame.cells[symbol.ir_name] = cell
+        return cell
+
+    def _lookup_cell(self, frame: _Frame, symbol: Symbol) -> MemObject:
+        if symbol.kind in ("local", "param"):
+            return self._cell(frame, symbol)
+        cell = self.globals.get(symbol.name)
+        if cell is None:
+            cell = self.runtime.alloc(
+                self.runtime.root, 8, site=f"global {symbol.name}"
+            )
+            self.globals[symbol.name] = cell
+            self.runtime.store(cell, 0, 0)
+        return cell
+
+    def _string_object(self, expr: nodes.StrLit) -> Tuple[MemObject, int]:
+        key = id(expr)
+        obj = self._strings.get(key)
+        if obj is None:
+            obj = self.runtime.alloc(
+                self.runtime.root, len(expr.value) + 1, site=f"string {expr.value!r}"
+            )
+            for index, char in enumerate(expr.value):
+                obj.slots[index] = ord(char)
+            obj.slots[len(expr.value)] = 0
+            self._strings[key] = obj
+        return (obj, 0)
+
+    def _sizeof(self, ctype: Optional[CType]) -> int:
+        if ctype is None:
+            return 8
+        try:
+            return ctype.size()
+        except Exception:
+            return 8
+
+    @staticmethod
+    def _truthy(value: object) -> bool:
+        if value is None:
+            return False
+        if isinstance(value, int):
+            return value != 0
+        return True  # pointers, regions, functions
+
+    @staticmethod
+    def _as_int(value: object) -> int:
+        if isinstance(value, int):
+            return value
+        if value is None:
+            return 0
+        raise InterpError(f"expected an integer, got {value!r}")
+
+    def _as_pointer(self, value: object, expr) -> Tuple[MemObject, int]:
+        if (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and isinstance(value[0], MemObject)
+        ):
+            return value
+        if value is None:
+            raise InterpError(f"null dereference at {expr.loc}")
+        raise InterpError(f"expected a pointer, got {value!r} at {expr.loc}")
+
+    def _values_equal(self, left: object, right: object) -> bool:
+        if left is None or right is None:
+            return left is None and right is None or (
+                (left is None and right == 0) or (right is None and left == 0)
+            )
+        return left == right
+
+
+def run_program(
+    sema: SemaResult,
+    interface: RegionInterface,
+    entry: str = "main",
+    args: Tuple = (),
+    globals_init: Optional[Dict[str, object]] = None,
+    max_steps: int = 200_000,
+) -> ExecutionResult:
+    """Execute an analyzed program and return the runtime observations."""
+    interpreter = Interpreter(sema, interface, max_steps=max_steps)
+    return interpreter.run(entry=entry, args=args, globals_init=globals_init)

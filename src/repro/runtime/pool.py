@@ -1,0 +1,314 @@
+"""An executable region runtime: the dynamic side of the paper.
+
+Implements the semantics both region interfaces share: a hierarchy of
+regions, object allocation, recursive deletion (children first), cleanup
+callbacks (registered LIFO, run on clear/destroy, APR-style), and --
+because the paper contrasts RegionWiz with the *dynamic* safe-region
+techniques of C@/RC [16, 17] -- per-region reference counts of incoming
+external pointers, so that deleting a region that is still referenced can
+be detected at runtime exactly as RC would.
+
+The runtime also keeps a fault log (:class:`Fault`) of dangling-pointer
+creations and dereferences, and byte-accounting for the paper's notion of
+*leaks*: objects with longer-than-necessary lifetime.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+__all__ = ["Region", "MemObject", "Fault", "RegionRuntime", "RuntimeError_"]
+
+
+class RuntimeError_(Exception):
+    """Hard runtime misuse (allocating in a dead region, etc.)."""
+
+
+@dataclass
+class MemObject:
+    """An object allocated in a region.  Storage is a byte-offset-indexed
+    slot map; slots hold arbitrary runtime values (ints, pointers...)."""
+
+    uid: int
+    region: "Region"
+    size: int
+    site: str  # description of the allocation site
+    slots: Dict[int, object] = field(default_factory=dict)
+    live: bool = True
+
+    def __str__(self) -> str:
+        return f"obj#{self.uid}({self.site})"
+
+
+@dataclass
+class Fault:
+    """A detected memory-safety event."""
+
+    kind: str  # 'dangling-created' | 'dangling-deref' | 'rc-violation'
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class Region:
+    uid: int
+    parent: Optional["Region"]
+    runtime: "RegionRuntime"
+    name: str = ""
+    children: List["Region"] = field(default_factory=list)
+    objects: List[MemObject] = field(default_factory=list)
+    cleanups: List[Tuple[object, Callable[[object], None]]] = field(
+        default_factory=list
+    )
+    live: bool = True
+    # RC-style count of pointers into this region from outside it.
+    external_refs: int = 0
+    # Internal regions (interpreter stack frames) are bookkeeping only:
+    # their cells neither contribute RC references nor count as leakable.
+    internal: bool = False
+
+    def __str__(self) -> str:
+        return self.name or f"region#{self.uid}"
+
+    def is_ancestor_of(self, other: "Region") -> bool:
+        current: Optional[Region] = other
+        while current is not None:
+            if current is self:
+                return True
+            current = current.parent
+        return False
+
+    @property
+    def bytes_allocated(self) -> int:
+        return sum(obj.size for obj in self.objects)
+
+
+class RegionRuntime:
+    """Owns the region tree rooted at the immortal root region."""
+
+    def __init__(self) -> None:
+        self._uids = itertools.count(1)
+        self.root = Region(0, None, self, name="<root>")
+        self.faults: List[Fault] = []
+        self.bytes_live = 0
+        self.peak_bytes = 0
+        self.total_allocated = 0
+        self._all_objects: List[MemObject] = []
+
+    # ------------------------------------------------------------------
+    # Region lifecycle
+    # ------------------------------------------------------------------
+
+    def create_region(
+        self, parent: Optional[Region] = None, name: str = "", internal: bool = False
+    ) -> Region:
+        parent = parent or self.root
+        if not parent.live:
+            raise RuntimeError_(f"creating subregion of dead region {parent}")
+        region = Region(next(self._uids), parent, self, name=name, internal=internal)
+        parent.children.append(region)
+        return region
+
+    def destroy_region(self, region: Region) -> None:
+        """Recursively delete children, run cleanups, reclaim objects."""
+        if region is self.root:
+            raise RuntimeError_("cannot destroy the root region")
+        dying: List[MemObject] = []
+        self._reclaim(region, keep_region=False, dying=dying)
+        if region.parent is not None and region in region.parent.children:
+            region.parent.children.remove(region)
+        self._flag_dangling_into(dying)
+
+    def clear_region(self, region: Region) -> None:
+        """APR's apr_pool_clear: reclaim descendants, keep the region."""
+        dying: List[MemObject] = []
+        self._reclaim(region, keep_region=True, dying=dying)
+        self._flag_dangling_into(dying)
+
+    def _reclaim(
+        self, region: Region, keep_region: bool, dying: List[MemObject]
+    ) -> None:
+        if not region.live:
+            return
+        # RC-style check: a still-referenced region may not be deleted.
+        if region.external_refs > 0:
+            self.faults.append(
+                Fault(
+                    "rc-violation",
+                    f"{region} deleted with {region.external_refs} external"
+                    " reference(s); RC would refuse/trap here",
+                )
+            )
+        for child in list(region.children):
+            self._reclaim(child, keep_region=False, dying=dying)
+        region.children.clear()
+        # Cleanups run LIFO, before the memory disappears (APR semantics).
+        for data, callback in reversed(region.cleanups):
+            callback(data)
+        region.cleanups.clear()
+        for obj in region.objects:
+            if obj.live:
+                obj.live = False
+                self.bytes_live -= obj.size
+                # Release the dying object's own references.
+                for value in obj.slots.values():
+                    self._rc_adjust(obj, value, -1)
+                if not region.internal:
+                    dying.append(obj)
+        region.objects.clear()
+        if not keep_region:
+            region.live = False
+
+    def _flag_dangling_into(self, dying: List[MemObject]) -> None:
+        """Any live object still holding a pointer to a just-reclaimed
+        object now holds a dangling pointer: the inconsistency surfacing
+        at runtime.  Scanned after the whole subtree is reclaimed so that
+        pointers *among* the dying objects (intra-region cycles, safe
+        child-to-parent-region pointers) do not fault."""
+        if not dying:
+            return
+        dead_set = {id(obj) for obj in dying}
+        for holder in self._all_objects:
+            if not holder.live or holder.region.internal:
+                continue
+            for offset, value in holder.slots.items():
+                target = self._pointee(value)
+                if target is not None and id(target) in dead_set:
+                    self.faults.append(
+                        Fault(
+                            "dangling-created",
+                            f"{holder}+{offset} -> {target}"
+                            f" (holder in {holder.region},"
+                            f" target was in {target.region})",
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # Objects and slots
+    # ------------------------------------------------------------------
+
+    def alloc(self, region: Optional[Region], size: int, site: str = "") -> MemObject:
+        region = region or self.root
+        if not region.live:
+            raise RuntimeError_(f"allocation in dead region {region}")
+        obj = MemObject(next(self._uids), region, size, site)
+        region.objects.append(obj)
+        self._all_objects.append(obj)
+        self.bytes_live += size
+        self.total_allocated += size
+        self.peak_bytes = max(self.peak_bytes, self.bytes_live)
+        return obj
+
+    @staticmethod
+    def _pointee(value: object) -> Optional[MemObject]:
+        if isinstance(value, MemObject):
+            return value
+        if (
+            isinstance(value, tuple)
+            and len(value) == 2
+            and isinstance(value[0], MemObject)
+        ):
+            return value[0]
+        return None
+
+    def store(self, obj: MemObject, offset: int, value: object) -> None:
+        if not obj.live:
+            self.faults.append(
+                Fault("dangling-deref", f"store through dead {obj}+{offset}")
+            )
+            return
+        # Storing a pointer to an already-reclaimed object creates a
+        # dangling pointer on the spot.
+        target = self._pointee(value)
+        if (
+            target is not None
+            and not target.live
+            and not obj.region.internal
+        ):
+            self.faults.append(
+                Fault(
+                    "dangling-created",
+                    f"{obj}+{offset} stored stale pointer -> {target}",
+                )
+            )
+        # Maintain RC external-reference counts for region-valued and
+        # object-valued slots.
+        self._rc_adjust(obj, obj.slots.get(offset), -1)
+        obj.slots[offset] = value
+        self._rc_adjust(obj, value, +1)
+
+    def load(self, obj: MemObject, offset: int) -> object:
+        if not obj.live:
+            self.faults.append(
+                Fault("dangling-deref", f"load through dead {obj}+{offset}")
+            )
+            return None
+        value = obj.slots.get(offset)
+        target = self._pointee(value)
+        if target is not None and not target.live:
+            self.faults.append(
+                Fault(
+                    "dangling-deref",
+                    f"load of dangling pointer {obj}+{offset} -> {target}",
+                )
+            )
+        return value
+
+    def _rc_adjust(self, holder: MemObject, value: object, delta: int) -> None:
+        if holder.region.internal:
+            return  # stack cells are not inter-region data pointers
+        target_region: Optional[Region] = None
+        target = self._pointee(value)
+        if target is not None:
+            target_region = target.region
+        elif isinstance(value, Region):
+            target_region = value
+        if target_region is None or target_region is self.root:
+            return
+        if holder.region is not target_region and not target_region.is_ancestor_of(
+            holder.region
+        ):
+            # An inter-region pointer not covered by the subregion order:
+            # exactly what RC's reference counts track.
+            target_region.external_refs += delta
+
+    def register_cleanup(
+        self, region: Region, data: object, callback: Callable[[object], None]
+    ) -> None:
+        if not region.live:
+            raise RuntimeError_(f"cleanup registered on dead region {region}")
+        region.cleanups.append((data, callback))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def fault_kinds(self) -> Set[str]:
+        return {fault.kind for fault in self.faults}
+
+    def live_objects(self) -> List[MemObject]:
+        return [obj for obj in self._all_objects if obj.live]
+
+    def leak_candidates(self) -> List[MemObject]:
+        """Objects with longer-than-necessary lifetime (the paper's
+        "leaks"): live objects that nothing live points to anymore, in
+        regions other than the root."""
+        pointed_to: Set[int] = set()
+        for holder in self._all_objects:
+            if not holder.live:
+                continue
+            for value in holder.slots.values():
+                target = self._pointee(value)
+                if target is not None:
+                    pointed_to.add(target.uid)
+        return [
+            obj
+            for obj in self.live_objects()
+            if obj.uid not in pointed_to
+            and obj.region is not self.root
+            and not obj.region.internal
+        ]

@@ -1,0 +1,28 @@
+"""The RegionWiz driver: pipeline, reports, and CLI."""
+
+from repro.tool.open_analysis import (
+    HARNESS_ENTRY,
+    analyze_open_program,
+    build_harness,
+)
+from repro.tool.regionwiz import (
+    Fig11Row,
+    PhaseTimes,
+    RegionWizReport,
+    Warning_,
+    run_regionwiz,
+)
+from repro.tool.report import format_fig11_table, format_report
+
+__all__ = [
+    "Fig11Row",
+    "HARNESS_ENTRY",
+    "PhaseTimes",
+    "RegionWizReport",
+    "Warning_",
+    "analyze_open_program",
+    "build_harness",
+    "format_fig11_table",
+    "format_report",
+    "run_regionwiz",
+]

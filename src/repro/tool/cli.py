@@ -1,0 +1,153 @@
+"""Command-line interface: ``regionwiz file.c [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.lang.errors import CompileError
+from repro.pointer import AnalysisOptions
+from repro.tool.regionwiz import run_regionwiz
+from repro.tool.report import format_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="regionwiz",
+        description=(
+            "Find region lifetime inconsistencies in C programs using"
+            " region-based memory management (APR pools or RC regions)."
+        ),
+    )
+    parser.add_argument("files", nargs="+", help="C source files (concatenated)")
+    parser.add_argument(
+        "--interface",
+        choices=["apr", "rc"],
+        default="apr",
+        help="region interface the program uses (default: apr)",
+    )
+    parser.add_argument(
+        "--entry", default="main", help="program entry function (default: main)"
+    )
+    parser.add_argument(
+        "--open",
+        action="store_true",
+        dest="open_program",
+        help=(
+            "library mode: synthesize a harness calling every exported"
+            " function with unconstrained arguments (no main required)"
+        ),
+    )
+    parser.add_argument(
+        "--context-insensitive",
+        action="store_true",
+        help="disable context cloning (Andersen baseline)",
+    )
+    parser.add_argument(
+        "--no-heap-cloning",
+        action="store_true",
+        help="disable per-context heap specialization",
+    )
+    parser.add_argument(
+        "--field-insensitive",
+        action="store_true",
+        help="collapse all field offsets to zero",
+    )
+    parser.add_argument(
+        "--refine",
+        action="store_true",
+        help=(
+            "apply the Section 4.3 def-use refinement (suppresses"
+            " same-region-variable false positives; IPSSA-style, unsound)"
+        ),
+    )
+    parser.add_argument(
+        "--sound-offsets",
+        action="store_true",
+        help="track unknown/dynamic offsets instead of ignoring them",
+    )
+    parser.add_argument(
+        "--max-contexts",
+        type=int,
+        default=1 << 16,
+        help="clamp per-function context counts (default: 65536)",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="show low-ranked warnings too (default: high-ranked only)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="show store locations"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    chunks = []
+    for path in args.files:
+        try:
+            with open(path) as handle:
+                chunks.append(handle.read())
+        except OSError as error:
+            print(f"regionwiz: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+    source = "\n".join(chunks)
+    interface = (
+        rc_regions_interface() if args.interface == "rc" else apr_pools_interface()
+    )
+    options = AnalysisOptions(
+        context_sensitive=not args.context_insensitive,
+        heap_cloning=not args.no_heap_cloning,
+        field_sensitive=not args.field_insensitive,
+        track_unknown_offsets=args.sound_offsets,
+        max_contexts=args.max_contexts,
+    )
+    try:
+        if args.open_program:
+            from repro.tool.open_analysis import analyze_open_program
+
+            report = analyze_open_program(
+                source,
+                interface,
+                filename=args.files[0],
+                options=options,
+                name=args.files[0],
+            )
+        else:
+            report = run_regionwiz(
+                source,
+                filename=args.files[0],
+                interface=interface,
+                entry=args.entry,
+                options=options,
+                name=args.files[0],
+                refine=args.refine,
+            )
+    except (CompileError, ValueError) as error:
+        print(f"regionwiz: {error}", file=sys.stderr)
+        return 2
+    if not args.all:
+        report.warnings = [w for w in report.warnings if w.high_ranked]
+    if args.json_output:
+        from repro.tool.report import report_to_json
+
+        print(report_to_json(report))
+    else:
+        print(format_report(report, verbose=args.verbose))
+    return 1 if report.warnings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,269 @@
+"""The RegionWiz tool: the four-phase pipeline of Section 5.
+
+1. **Call graph construction** -- direct, indirect, and implicit calls,
+   pruned by reachability from the entry point.
+2. **Context cloning** -- Whaley-Lam path numbering over the SCC-reduced
+   call graph.
+3. **Conditional correlation computation** -- the context-sensitive,
+   field-sensitive pointer analysis with heap cloning, producing the
+   subregion/ownership/heap effects, then the regionPair/objectPair
+   verification.
+4. **Post processing** -- condensation to instruction pairs and the
+   ranking heuristic.
+
+:func:`run_regionwiz` drives all four on C source text and returns a
+:class:`RegionWizReport` carrying the warnings (with source locations) and
+the Figure 11 statistics row.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.callgraph import (
+    CallGraph,
+    ImplicitCallRegistry,
+    build_call_graph,
+    default_registry,
+)
+from repro.core import (
+    ConsistencyResult,
+    IPair,
+    RankedWarnings,
+    check_consistency,
+    rank_warnings,
+)
+from repro.interfaces import RegionInterface, apr_pools_interface
+from repro.ir import IRModule, lower
+from repro.lang import SemaResult, SourceLocation, analyze, parse
+from repro.pointer import (
+    AnalysisOptions,
+    ContextNumbering,
+    PointerAnalysisResult,
+    analyze_pointers,
+    number_contexts,
+)
+
+__all__ = ["Warning_", "PhaseTimes", "Fig11Row", "RegionWizReport", "run_regionwiz"]
+
+
+@dataclass(frozen=True)
+class Warning_:
+    """A reported instruction pair with everything needed to inspect it."""
+
+    source_site: int
+    target_site: int
+    source_loc: SourceLocation
+    target_loc: SourceLocation
+    store_locs: Tuple[SourceLocation, ...]
+    high_ranked: bool
+    num_contexts: int
+    description: str
+
+    def __str__(self) -> str:
+        rank = "HIGH" if self.high_ranked else "low "
+        return f"[{rank}] {self.description}"
+
+
+@dataclass
+class PhaseTimes:
+    call_graph: float = 0.0
+    context_cloning: float = 0.0
+    correlation: float = 0.0
+    post_processing: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.call_graph
+            + self.context_cloning
+            + self.correlation
+            + self.post_processing
+        )
+
+
+@dataclass
+class Fig11Row:
+    """One row of the paper's Figure 11 quantitative table."""
+
+    name: str
+    time_seconds: float
+    regions: int
+    objects: int
+    subregion: int
+    ownership: int
+    heap: int
+    r_pairs: int
+    o_pairs: int
+    i_pairs: int
+    high: int
+
+    HEADER = (
+        "name", "time", "R", "H", "sub.", "own.", "heap",
+        "R-pair", "O-pair", "I-pair", "high",
+    )
+
+    def as_tuple(self) -> Tuple:
+        return (
+            self.name,
+            f"{self.time_seconds:.2f}s",
+            self.regions,
+            self.objects,
+            self.subregion,
+            self.ownership,
+            self.heap,
+            self.r_pairs,
+            self.o_pairs,
+            self.i_pairs,
+            self.high,
+        )
+
+
+@dataclass
+class RegionWizReport:
+    sema: SemaResult
+    module: IRModule
+    graph: CallGraph
+    numbering: ContextNumbering
+    analysis: PointerAnalysisResult
+    consistency: ConsistencyResult
+    ranked: RankedWarnings
+    warnings: List[Warning_]
+    times: PhaseTimes
+    name: str = "program"
+
+    @property
+    def high_warnings(self) -> List[Warning_]:
+        return [w for w in self.warnings if w.high_ranked]
+
+    @property
+    def is_consistent(self) -> bool:
+        return not self.warnings
+
+    def fig11_row(self) -> Fig11Row:
+        return Fig11Row(
+            name=self.name,
+            time_seconds=self.times.total,
+            regions=self.consistency.num_regions,
+            objects=self.consistency.num_objects,
+            subregion=self.consistency.subregion_size,
+            ownership=self.consistency.ownership_size,
+            heap=self.consistency.heap_size,
+            r_pairs=self.consistency.region_pair_count,
+            o_pairs=self.consistency.o_pair_count,
+            i_pairs=self.ranked.i_pair_count,
+            high=self.ranked.high_count,
+        )
+
+
+def _loc_of_site(module: IRModule, site: int) -> SourceLocation:
+    try:
+        return module.instr(site).loc
+    except KeyError:
+        return SourceLocation.UNKNOWN
+
+
+def _describe(module: IRModule, ipair: IPair) -> str:
+    sample = ipair.object_pairs[0]
+    source_loc = _loc_of_site(module, ipair.source_site)
+    target_loc = _loc_of_site(module, ipair.target_site)
+    return (
+        f"object allocated at {source_loc} may hold a dangling pointer to"
+        f" object allocated at {target_loc}"
+        f" (owners: {', '.join(sorted(str(r) for r in sample.source_owners))}"
+        f" vs {', '.join(sorted(str(r) for r in sample.target_owners))};"
+        f" {ipair.num_contexts} context(s))"
+    )
+
+
+def run_regionwiz(
+    source: str,
+    filename: str = "<input>",
+    interface: Optional[RegionInterface] = None,
+    entry: str = "main",
+    options: Optional[AnalysisOptions] = None,
+    registry: Optional[ImplicitCallRegistry] = None,
+    name: str = "program",
+    refine: bool = False,
+) -> RegionWizReport:
+    """Run the full RegionWiz pipeline on C source text.
+
+    ``refine=True`` additionally applies the Section 4.3 def-use
+    refinement (IPSSA-style, deliberately unsound) to suppress warnings
+    whose region arguments provably came from the same variable.
+    """
+    if interface is None:
+        interface = apr_pools_interface()
+    if options is None:
+        options = AnalysisOptions()
+    if registry is None:
+        registry = default_registry()
+    times = PhaseTimes()
+
+    # Frontend (the paper gets IR from Phoenix; we parse and lower).
+    sema = analyze(parse(source, filename))
+    module = lower(sema)
+
+    # Phase 1: call graph construction.
+    start = time.perf_counter()
+    graph = build_call_graph(module, entry=entry, registry=registry)
+    times.call_graph = time.perf_counter() - start
+
+    # Phase 2: context cloning.
+    start = time.perf_counter()
+    numbering = number_contexts(
+        graph,
+        context_sensitive=options.context_sensitive,
+        max_contexts=options.max_contexts,
+    )
+    times.context_cloning = time.perf_counter() - start
+
+    # Phase 3: conditional correlation computation.
+    start = time.perf_counter()
+    analysis = analyze_pointers(graph, interface, options, numbering)
+    consistency = check_consistency(analysis)
+    times.correlation = time.perf_counter() - start
+
+    # Phase 4: post processing.
+    start = time.perf_counter()
+    ranked = rank_warnings(consistency)
+    if refine:
+        from repro.core.refine import refine_warnings
+
+        ranked = refine_warnings(ranked, module, interface)
+    warnings = []
+    for ipair in ranked:
+        store_locs = tuple(
+            sorted(
+                (_loc_of_site(module, uid) for uid in ipair.store_uids),
+                key=str,
+            )
+        )
+        warnings.append(
+            Warning_(
+                source_site=ipair.source_site,
+                target_site=ipair.target_site,
+                source_loc=_loc_of_site(module, ipair.source_site),
+                target_loc=_loc_of_site(module, ipair.target_site),
+                store_locs=store_locs,
+                high_ranked=ipair.high_ranked,
+                num_contexts=ipair.num_contexts,
+                description=_describe(module, ipair),
+            )
+        )
+    times.post_processing = time.perf_counter() - start
+
+    return RegionWizReport(
+        sema=sema,
+        module=module,
+        graph=graph,
+        numbering=numbering,
+        analysis=analysis,
+        consistency=consistency,
+        ranked=ranked,
+        warnings=warnings,
+        times=times,
+        name=name,
+    )

@@ -1,0 +1,105 @@
+"""Reports: warning listings, Figure-11-style tables, JSON export."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from repro.tool.regionwiz import Fig11Row, RegionWizReport
+
+__all__ = ["format_report", "format_fig11_table", "report_to_json"]
+
+
+def format_report(report: RegionWizReport, verbose: bool = False) -> str:
+    """Human-readable warning listing, high-ranked first."""
+    lines: List[str] = []
+    row = report.fig11_row()
+    lines.append(f"RegionWiz report for {report.name}")
+    lines.append(
+        f"  {row.regions} region(s), {row.objects} object(s);"
+        f" subregion={row.subregion} ownership={row.ownership}"
+        f" heap={row.heap}"
+    )
+    lines.append(
+        f"  verified {row.r_pairs} region pair(s):"
+        f" {row.o_pairs} inconsistent object pair(s),"
+        f" {row.i_pairs} instruction pair(s), {row.high} high-ranked"
+    )
+    lines.append(
+        f"  phases: call-graph {report.times.call_graph * 1000:.1f}ms,"
+        f" cloning {report.times.context_cloning * 1000:.1f}ms,"
+        f" correlation {report.times.correlation * 1000:.1f}ms,"
+        f" post {report.times.post_processing * 1000:.1f}ms"
+    )
+    if report.is_consistent:
+        lines.append("  region lifetime is consistent: no warnings")
+        return "\n".join(lines)
+    lines.append("")
+    for index, warning in enumerate(report.warnings, 1):
+        rank = "HIGH" if warning.high_ranked else "low"
+        lines.append(f"warning {index} [{rank}]: {warning.description}")
+        if verbose and warning.store_locs:
+            for loc in warning.store_locs:
+                lines.append(f"    pointer stored at {loc}")
+    return "\n".join(lines)
+
+
+def report_to_json(report: RegionWizReport) -> str:
+    """Machine-readable report (stable schema for CI integration)."""
+    row = report.fig11_row()
+    payload = {
+        "name": report.name,
+        "consistent": report.is_consistent,
+        "statistics": {
+            "regions": row.regions,
+            "objects": row.objects,
+            "subregion": row.subregion,
+            "ownership": row.ownership,
+            "heap": row.heap,
+            "region_pairs": row.r_pairs,
+            "object_pairs": row.o_pairs,
+            "instruction_pairs": row.i_pairs,
+            "high_ranked": row.high,
+            "time_seconds": round(row.time_seconds, 6),
+        },
+        "phases_ms": {
+            "call_graph": round(report.times.call_graph * 1000, 3),
+            "context_cloning": round(
+                report.times.context_cloning * 1000, 3
+            ),
+            "correlation": round(report.times.correlation * 1000, 3),
+            "post_processing": round(
+                report.times.post_processing * 1000, 3
+            ),
+        },
+        "warnings": [
+            {
+                "rank": "high" if warning.high_ranked else "low",
+                "source": str(warning.source_loc),
+                "target": str(warning.target_loc),
+                "stores": [str(loc) for loc in warning.store_locs],
+                "contexts": warning.num_contexts,
+                "description": warning.description,
+            }
+            for warning in report.warnings
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def format_fig11_table(rows: Iterable[Fig11Row]) -> str:
+    """Fixed-width table with the same columns as the paper's Figure 11."""
+    materialized: List[Sequence] = [Fig11Row.HEADER]
+    materialized.extend(row.as_tuple() for row in rows)
+    widths = [
+        max(len(str(row[col])) for row in materialized)
+        for col in range(len(Fig11Row.HEADER))
+    ]
+    lines = []
+    for index, row in enumerate(materialized):
+        cells = [str(value).rjust(width) for value, width in zip(row, widths)]
+        cells[0] = str(row[0]).ljust(widths[0])  # name column left-aligned
+        lines.append("  ".join(cells))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

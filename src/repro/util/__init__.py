@@ -1,0 +1,15 @@
+"""Shared utilities (graph algorithms, timers)."""
+
+from repro.util.graph import (
+    GraphCycleError,
+    condensation,
+    strongly_connected_components,
+    topological_order,
+)
+
+__all__ = [
+    "GraphCycleError",
+    "condensation",
+    "strongly_connected_components",
+    "topological_order",
+]

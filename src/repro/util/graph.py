@@ -1,0 +1,123 @@
+"""Small graph utilities shared by the Datalog solver and the call graph.
+
+Both need strongly connected components (Datalog stratification; the
+Whaley-Lam context-numbering step collapses call-graph cycles) and a
+topological order of the condensation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Set
+
+__all__ = [
+    "strongly_connected_components",
+    "condensation",
+    "topological_order",
+    "GraphCycleError",
+]
+
+Node = Hashable
+
+
+class GraphCycleError(Exception):
+    """Raised when a cycle appears where a DAG is required."""
+
+
+def strongly_connected_components(
+    successors: Mapping[Node, Iterable[Node]]
+) -> List[List[Node]]:
+    """Tarjan's algorithm, iterative (analysis graphs can be deep).
+
+    Returns SCCs in *reverse* topological order (callees/dependencies
+    first), which is exactly the order bottom-up analyses want.
+    Nodes that appear only as successors are included.
+    """
+    nodes: List[Node] = list(successors)
+    seen: Set[Node] = set(nodes)
+    for targets in list(successors.values()):
+        for target in targets:
+            if target not in seen:
+                seen.add(target)
+                nodes.append(target)
+
+    index: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Set[Node] = set()
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        # Iterative Tarjan: work items are (node, iterator over successors).
+        work = [(root, iter(successors.get(root, ())))]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, succ_iter = work[-1]
+            advanced = False
+            for target in succ_iter:
+                if target not in index:
+                    index[target] = lowlink[target] = counter
+                    counter += 1
+                    stack.append(target)
+                    on_stack.add(target)
+                    work.append((target, iter(successors.get(target, ()))))
+                    advanced = True
+                    break
+                if target in on_stack:
+                    lowlink[node] = min(lowlink[node], index[target])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: List[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condensation(
+    successors: Mapping[Node, Iterable[Node]]
+) -> tuple[List[List[Node]], Dict[Node, int], Dict[int, Set[int]]]:
+    """SCCs (reverse topological), node->component map, and component DAG."""
+    components = strongly_connected_components(successors)
+    component_of: Dict[Node, int] = {}
+    for i, component in enumerate(components):
+        for node in component:
+            component_of[node] = i
+    dag: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
+    for node, targets in successors.items():
+        for target in targets:
+            a, b = component_of[node], component_of[target]
+            if a != b:
+                dag[a].add(b)
+    return components, component_of, dag
+
+
+def topological_order(successors: Mapping[Node, Iterable[Node]]) -> List[Node]:
+    """Topological order of a DAG (edges point from earlier to later).
+
+    Raises :class:`GraphCycleError` on cycles.
+    """
+    components, _, _ = condensation(successors)
+    for component in components:
+        if len(component) > 1:
+            raise GraphCycleError(f"cycle through {component}")
+    # A single-node component is still a cycle if it has a self edge.
+    for node, targets in successors.items():
+        if node in set(targets):
+            raise GraphCycleError(f"self loop at {node!r}")
+    # Tarjan emits reverse topological order.
+    return [component[0] for component in reversed(components)]

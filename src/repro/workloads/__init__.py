@@ -1,0 +1,31 @@
+"""Workloads: paper-figure corpus and synthetic package generator."""
+
+from repro.workloads.figures import FIGURES, FigureProgram, figure
+from repro.workloads.generator import (
+    BUG_KINDS,
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.workloads.packages import (
+    PACKAGES,
+    ExecutableModel,
+    PackageModel,
+    generate_package,
+    package,
+)
+
+__all__ = [
+    "BUG_KINDS",
+    "ExecutableModel",
+    "FIGURES",
+    "FigureProgram",
+    "GeneratedWorkload",
+    "PACKAGES",
+    "PackageModel",
+    "WorkloadSpec",
+    "figure",
+    "generate_package",
+    "generate_workload",
+    "package",
+]

@@ -1,0 +1,587 @@
+"""C-subset transcriptions of every code figure in the paper.
+
+Each :class:`FigureProgram` carries the source (written against the
+shared APR/RC prototype headers), the interface it uses, and the expected
+analysis outcome, so tests and benchmarks can iterate the whole corpus.
+The sources stay as close to the paper's listings as the subset allows;
+mini implementations of the APR utility code the cases depend on
+(``apr_hash_first`` etc., Figure 9c) are included as analyzed source,
+exactly as the paper analyzed APR's own code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.interfaces import APR_HEADER, RC_HEADER
+
+__all__ = ["FigureProgram", "FIGURES", "figure", "MINI_APR_HASH"]
+
+
+@dataclass(frozen=True)
+class FigureProgram:
+    name: str
+    title: str
+    source: str
+    interface: str = "apr"  # 'apr' | 'rc'
+    entry: str = "main"
+    # Expected static outcome:
+    expect_consistent: bool = True
+    expect_high: int = 0  # high-ranked I-pairs
+    min_warnings: int = 0  # total I-pairs (lower bound)
+    # Expected dynamic outcome when run (None: not runnable as-is):
+    runtime_faults: Optional[bool] = None
+
+    @property
+    def full_source(self) -> str:
+        header = RC_HEADER if self.interface == "rc" else APR_HEADER
+        return header + self.source
+
+
+# Mini APR hash table, following Figure 9(c)'s apr_hash_first verbatim.
+MINI_APR_HASH = """
+typedef struct apr_hash_t apr_hash_t;
+typedef struct apr_hash_index_t apr_hash_index_t;
+
+struct apr_hash_index_t {
+    apr_hash_t *ht;
+    int index;
+};
+
+struct apr_hash_t {
+    apr_pool_t *pool;
+    struct apr_hash_index_t iterator;
+    int count;
+};
+
+apr_hash_t *apr_hash_make(apr_pool_t *pool) {
+    apr_hash_t *ht = apr_palloc(pool, sizeof(struct apr_hash_t));
+    ht->pool = pool;
+    ht->count = 0;
+    return ht;
+}
+
+apr_hash_index_t *apr_hash_first(apr_pool_t *p, apr_hash_t *ht) {
+    apr_hash_index_t *hi;
+    if (p)
+        hi = apr_palloc(p, sizeof(struct apr_hash_index_t));
+    else
+        hi = &ht->iterator;
+    hi->ht = ht;
+    return hi;
+}
+
+apr_hash_index_t *apr_hash_next(apr_hash_index_t *hi) {
+    hi->index = hi->index + 1;
+    if (hi->index < hi->ht->count)
+        return hi;
+    return NULL;
+}
+"""
+
+
+FIGURES: List[FigureProgram] = []
+
+
+def _register(program: FigureProgram) -> FigureProgram:
+    FIGURES.append(program)
+    return program
+
+
+def figure(name: str) -> FigureProgram:
+    for program in FIGURES:
+        if program.name == name:
+            return program
+    raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: the connection/request example (consistent as written).
+# ---------------------------------------------------------------------------
+
+FIG1_CONNECTION_REQUEST = _register(FigureProgram(
+    name="fig1",
+    title="Figure 1: connection-request (consistent)",
+    source="""
+struct conn { int fd; };
+struct request { struct conn *connection; int id; };
+
+int main(void) {
+    apr_pool_t *r;
+    apr_pool_t *subr;
+    apr_pool_create(&r, NULL);
+    struct conn *conn = apr_palloc(r, sizeof(struct conn));     /* line 1 */
+    apr_pool_create(&subr, r);                                  /* line 3 */
+    struct request *req = apr_palloc(subr, sizeof(struct request)); /* 5 */
+    req->connection = conn;                                     /* line 6 */
+    apr_pool_destroy(subr);
+    apr_pool_destroy(r);
+    return 0;
+}
+""",
+    expect_consistent=True,
+    runtime_faults=False,
+))
+
+
+# Figure 2's four subregion configurations, as one program each.
+
+FIG2_SAME_REGION = _register(FigureProgram(
+    name="fig2a",
+    title="Figure 2(a): r1 = r2, intra-region pointer always safe",
+    source="""
+struct cell { void *f; };
+int main(void) {
+    apr_pool_t *r;
+    apr_pool_create(&r, NULL);
+    void *o1 = apr_palloc(r, 8);
+    struct cell *o2 = apr_palloc(r, sizeof(struct cell));
+    o2->f = o1;
+    apr_pool_destroy(r);
+    return 0;
+}
+""",
+    expect_consistent=True,
+    runtime_faults=False,
+))
+
+FIG2_SUBREGION_SAFE = _register(FigureProgram(
+    name="fig2b",
+    title="Figure 2(b): r2 < r1, inter-region pointer always safe",
+    source="""
+struct cell { void *f; };
+int main(void) {
+    apr_pool_t *r1;
+    apr_pool_t *r2;
+    apr_pool_create(&r1, NULL);
+    apr_pool_create(&r2, r1);
+    void *o1 = apr_palloc(r1, 8);
+    struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+    o2->f = o1;
+    apr_pool_destroy(r1);
+    return 0;
+}
+""",
+    expect_consistent=True,
+    runtime_faults=False,
+))
+
+FIG2_UNRELATED = _register(FigureProgram(
+    name="fig2c",
+    title="Figure 2(c): unrelated regions, pointer may dangle",
+    source="""
+struct cell { void *f; };
+int main(void) {
+    apr_pool_t *r1;
+    apr_pool_t *r2;
+    apr_pool_create(&r1, NULL);
+    apr_pool_create(&r2, NULL);
+    void *o1 = apr_palloc(r1, 8);
+    struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+    o2->f = o1;
+    apr_pool_destroy(r1);   /* o1 dies while o2 still points at it */
+    void *use = o2->f;
+    apr_pool_destroy(r2);
+    return 0;
+}
+""",
+    expect_consistent=False,
+    expect_high=1,
+    min_warnings=1,
+    runtime_faults=True,
+))
+
+FIG2_INVERTED = _register(FigureProgram(
+    name="fig2d",
+    title="Figure 2(d): r1 < r2, pointer will dangle",
+    source="""
+struct cell { void *f; };
+int main(void) {
+    apr_pool_t *r2;
+    apr_pool_t *r1;
+    apr_pool_create(&r2, NULL);
+    apr_pool_create(&r1, r2);   /* r1 is the subregion: inverted */
+    void *o1 = apr_palloc(r1, 8);
+    struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+    o2->f = o1;
+    apr_pool_destroy(r1);       /* o1 always dies first */
+    void *use = o2->f;
+    apr_pool_destroy(r2);
+    return 0;
+}
+""",
+    expect_consistent=False,
+    expect_high=1,  # the safe direction can never hold: definite bug, high
+    min_warnings=1,
+    runtime_faults=True,
+))
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: aliasing makes may-subregion unsound.
+# ---------------------------------------------------------------------------
+
+FIG3_ALIASING = _register(FigureProgram(
+    name="fig3",
+    title="Figure 3: ambiguous parent via aliasing (inconsistent)",
+    source="""
+struct cell { void *f; };
+int P;
+int Q;
+
+int main(void) {
+    apr_pool_t *r0;
+    apr_pool_t *r1;
+    apr_pool_t *r;
+    apr_pool_t *r2;
+    apr_pool_create(&r0, NULL);
+    apr_pool_create(&r1, NULL);
+    void *o1 = apr_palloc(r1, 8);           /* line 1 */
+    r = NULL;
+    if (P) r = r0;                          /* line 2 */
+    if (Q) r = r1;                          /* line 3 */
+    apr_pool_create(&r2, r);                /* line 4 */
+    struct cell *o2 = apr_palloc(r2, sizeof(struct cell)); /* line 5 */
+    o2->f = o1;                             /* line 6 */
+    apr_pool_destroy(r1);   /* r1 (holding o1) dies first... */
+    apr_pool_destroy(r0);   /* ...so o2 dangles unless r2 <= r1 */
+    return 0;
+}
+""",
+    # The warning ranks LOW: r2 *may* be a subregion of r1 (the Q branch),
+    # and with may-information only, the heuristic cannot distinguish this
+    # real inconsistency from Figure 5's always-safe shape -- the paper's
+    # acknowledged post-processing unsoundness ("developers may ... miss
+    # lower-ranked inconsistencies", Section 5.5).
+    expect_consistent=False,
+    expect_high=0,
+    min_warnings=1,
+    runtime_faults=None,  # depends on P/Q: exercised in the dynamic bench
+))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: the intra-region pointer the flow-insensitive analysis cannot
+# prove safe -- a known false positive, which must rank LOW.
+# ---------------------------------------------------------------------------
+
+FIG5_INTRA_REGION = _register(FigureProgram(
+    name="fig5",
+    title="Figure 5: intra-region pointer false positive (low rank)",
+    source="""
+struct cell { void *f; };
+int cond;
+
+int main(void) {
+    apr_pool_t *p;
+    apr_pool_t *q;
+    if (cond)                                /* line 1 */
+        apr_pool_create(&p, NULL);
+    else
+        apr_pool_create(&p, NULL);
+    apr_pool_create(&q, p);                  /* line 2 */
+    void *o1 = apr_palloc(p, 8);             /* line 3 */
+    struct cell *o2 = apr_palloc(q, sizeof(struct cell)); /* line 4 */
+    o2->f = o1;                              /* line 5: always safe */
+    apr_pool_destroy(p);
+    return 0;
+}
+""",
+    # The analysis reports it (imprecision), but the ranking heuristic
+    # keeps it out of the high bucket because the owners are related on
+    # some resolution of the aliasing.
+    expect_consistent=False,
+    expect_high=0,
+    min_warnings=1,
+    runtime_faults=False,
+))
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: the Subversion hash/iterator inconsistency (real bug).
+# ---------------------------------------------------------------------------
+
+FIG9_HASH_ITERATOR = _register(FigureProgram(
+    name="fig9",
+    title="Figure 9: svn hash table vs iterator lifetime (real bug)",
+    source=MINI_APR_HASH + """
+typedef struct svn_stringbuf_t svn_stringbuf_t;
+struct svn_stringbuf_t { char *data; int len; };
+
+/* libsvn_subr/xml.c:svn_xml_ap_to_hash */
+apr_hash_t *svn_xml_ap_to_hash(int ap, apr_pool_t *pool) {
+    apr_hash_t *ht = apr_hash_make(pool);
+    return ht;
+}
+
+/* libsvn_subr/xml.c:svn_xml_make_open_tag_hash */
+void svn_xml_make_open_tag_hash(svn_stringbuf_t *str, apr_pool_t *pool,
+                                apr_hash_t *ht) {
+    apr_hash_index_t *hi;
+    for (hi = apr_hash_first(pool, ht); hi; hi = apr_hash_next(hi)) {
+        str->len = str->len + 1;
+    }
+}
+
+/* libsvn_subr/xml.c:svn_xml_make_open_tag_v */
+void svn_xml_make_open_tag_v(svn_stringbuf_t *str, apr_pool_t *pool, int ap) {
+    apr_pool_t *subpool = svn_pool_create(pool);
+    apr_hash_t *ht = svn_xml_ap_to_hash(ap, subpool);
+    svn_xml_make_open_tag_hash(str, pool, ht);
+    svn_pool_destroy(subpool);
+}
+
+int main(void) {
+    apr_pool_t *pool;
+    apr_pool_create(&pool, NULL);
+    svn_stringbuf_t *str = apr_palloc(pool, sizeof(struct svn_stringbuf_t));
+    str->len = 0;
+    svn_xml_make_open_tag_v(str, pool, 0);
+    apr_pool_destroy(pool);
+    return 0;
+}
+""",
+    # The iterator hi (allocated in pool) holds hi->ht into subpool: a
+    # longer-than-necessary lifetime / potential leak, flagged high.
+    expect_consistent=False,
+    expect_high=1,
+    min_warnings=1,
+    runtime_faults=True,  # dangling-created when subpool is destroyed
+))
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: a temporary inconsistency (benign; static warning expected).
+# ---------------------------------------------------------------------------
+
+FIG10_TEMPORARY = _register(FigureProgram(
+    name="fig10",
+    title="Figure 10: temporary inconsistency in do_open (benign)",
+    source=MINI_APR_HASH + """
+typedef struct svn_wc_adm_access_t svn_wc_adm_access_t;
+struct svn_wc_adm_access_t { apr_hash_t *set; int flags; };
+
+svn_wc_adm_access_t *adm_access_alloc(apr_pool_t *pool) {
+    svn_wc_adm_access_t *lock =
+        apr_palloc(pool, sizeof(struct svn_wc_adm_access_t));
+    lock->set = NULL;
+    return lock;
+}
+
+int write_lock;
+int levels_to_lock;
+
+/* libsvn_wc/lock.c:do_open (slightly simplified, as in the paper) */
+int do_open(svn_wc_adm_access_t *associated, apr_pool_t *pool) {
+    svn_wc_adm_access_t *lock;
+    apr_pool_t *subpool = svn_pool_create(pool);
+    if (write_lock)
+        lock = adm_access_alloc(pool);
+    else
+        lock = adm_access_alloc(pool);
+    if (levels_to_lock != 0) {
+        if (associated)
+            lock->set = apr_hash_make(subpool);   /* temporary */
+        if (associated) {
+            lock->set = associated->set;          /* reassigned */
+        }
+    }
+    if (associated)
+        lock->set = associated->set;
+    svn_pool_destroy(subpool);
+    return 0;
+}
+
+int main(void) {
+    apr_pool_t *pool;
+    apr_pool_create(&pool, NULL);
+    svn_wc_adm_access_t *associated = adm_access_alloc(pool);
+    associated->set = apr_hash_make(pool);
+    do_open(associated, pool);
+    apr_pool_destroy(pool);
+    return 0;
+}
+""",
+    expect_consistent=False,
+    expect_high=1,  # lock in pool pointing into subpool: flagged
+    min_warnings=1,
+    runtime_faults=False,  # benign: reassigned before subpool dies
+))
+
+
+# ---------------------------------------------------------------------------
+# Section 6.2: the make_error_internal false positive.
+# ---------------------------------------------------------------------------
+
+SEC62_MAKE_ERROR = _register(FigureProgram(
+    name="sec62",
+    title="Section 6.2: make_error_internal false positive",
+    source="""
+typedef struct svn_error_t svn_error_t;
+struct svn_error_t {
+    svn_error_t *child;
+    apr_pool_t *pool;
+    int code;
+};
+
+/* libsvn_subr/error.c:make_error_internal */
+svn_error_t *make_error_internal(int code, svn_error_t *child) {
+    apr_pool_t *pool;
+    svn_error_t *new_error;
+    if (child)
+        pool = child->pool;
+    else
+        apr_pool_create(&pool, NULL);
+    new_error = apr_pcalloc(pool, sizeof(struct svn_error_t));
+    new_error->child = child;
+    new_error->pool = pool;
+    new_error->code = code;
+    return new_error;
+}
+
+int main(void) {
+    svn_error_t *inner = make_error_internal(1, NULL);
+    svn_error_t *outer = make_error_internal(2, inner);
+    return outer->code;
+}
+""",
+    # In fact consistent (new_error shares child's pool when child is
+    # non-null), but the path-insensitive analysis cannot prove P implies
+    # Q and reports it -- the paper's own false-positive case.  The paper
+    # saw it high-ranked; our reproduction ranks it LOW because the
+    # analysis tracks the region pointer through new_error->pool /
+    # child->pool, so a may-safe owner combination exists.  (A strict
+    # precision improvement; see EXPERIMENTS.md.)
+    expect_consistent=False,
+    expect_high=0,
+    min_warnings=1,
+    runtime_faults=False,
+))
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: the two XML parser creation APIs + the run_log use.
+# ---------------------------------------------------------------------------
+
+FIG12_APR_XML = _register(FigureProgram(
+    name="fig12a",
+    title="Figure 12(a): apr_xml_parser_create (consistent, cleanup)",
+    source="""
+typedef struct XML_ParserStruct XML_ParserStruct;
+typedef XML_ParserStruct *XML_Parser;
+typedef struct apr_xml_parser apr_xml_parser;
+struct apr_xml_parser { XML_Parser xp; int errnum; };
+
+XML_Parser XML_ParserCreate(char *encoding);
+void XML_ParserFree(XML_Parser parser);
+
+apr_status_t cleanup_parser(void *data) {
+    apr_xml_parser *parser = data;
+    XML_ParserFree(parser->xp);
+    return 0;
+}
+
+apr_xml_parser *apr_xml_parser_create(apr_pool_t *pool) {
+    apr_xml_parser *parser = apr_pcalloc(pool, sizeof(struct apr_xml_parser));
+    parser->xp = XML_ParserCreate(NULL);
+    apr_pool_cleanup_register(pool, parser, cleanup_parser, cleanup_parser);
+    return parser;
+}
+
+int main(void) {
+    apr_pool_t *pool;
+    apr_pool_create(&pool, NULL);
+    apr_xml_parser *parser = apr_xml_parser_create(pool);
+    apr_pool_destroy(pool);
+    return 0;
+}
+""",
+    expect_consistent=True,
+    runtime_faults=False,
+))
+
+FIG12_SVN_XML = _register(FigureProgram(
+    name="fig12b",
+    title="Figure 12(b)+run_log: svn_xml_make_parser (inconsistent)",
+    source="""
+typedef struct XML_ParserStruct XML_ParserStruct;
+typedef XML_ParserStruct *XML_Parser;
+typedef struct svn_xml_parser_t svn_xml_parser_t;
+struct svn_xml_parser_t { XML_Parser parser; apr_pool_t *pool; };
+
+XML_Parser XML_ParserCreate(char *encoding);
+
+/* libsvn_subr/xml.c:svn_xml_make_parser */
+svn_xml_parser_t *svn_xml_make_parser(apr_pool_t *pool) {
+    svn_xml_parser_t *svn_parser;
+    apr_pool_t *subpool;
+    XML_Parser parser = XML_ParserCreate(NULL);
+    /* ### we probably don't want this pool... (the paper's comment) */
+    subpool = svn_pool_create(pool);
+    svn_parser = apr_pcalloc(subpool, sizeof(struct svn_xml_parser_t));
+    svn_parser->parser = parser;
+    svn_parser->pool = subpool;
+    return svn_parser;
+}
+
+/* libsvn_wc/log.c:run_log */
+struct log_runner { svn_xml_parser_t *parser; int count; };
+
+int run_log(apr_pool_t *pool) {
+    struct log_runner *loggy = apr_pcalloc(pool, sizeof(struct log_runner));
+    svn_xml_parser_t *parser = svn_xml_make_parser(pool);
+    loggy->parser = parser;
+    return 0;
+}
+
+int main(void) {
+    apr_pool_t *pool;
+    apr_pool_create(&pool, NULL);
+    run_log(pool);
+    apr_pool_destroy(pool);
+    return 0;
+}
+""",
+    # loggy (in pool) -> parser (in subpool of pool): flagged.
+    expect_consistent=False,
+    expect_high=1,
+    min_warnings=1,
+    runtime_faults=False,  # subpool dies with pool here: latent only
+))
+
+
+# ---------------------------------------------------------------------------
+# The rcc-style string inconsistency (Section 6.1, RC regions).
+# ---------------------------------------------------------------------------
+
+RCC_STRING = _register(FigureProgram(
+    name="rcc_string",
+    title="rcc: object holds string from an unrelated region",
+    interface="rc",
+    source="""
+struct decl { char *name; int kind; };
+
+char *intern_name(region strings, char *raw) {
+    return rstrdup(strings, raw);
+}
+
+struct decl *make_decl(region decls, char *name) {
+    struct decl *d = ralloc(decls, sizeof(struct decl));
+    d->name = name;                 /* should duplicate into decls */
+    return d;
+}
+
+int main(void) {
+    region strings = newregion();
+    region decls = newregion();     /* no subregion relation */
+    char *name = intern_name(strings, "ident");
+    struct decl *d = make_decl(decls, name);
+    return 0;
+}
+""",
+    expect_consistent=False,
+    expect_high=1,
+    min_warnings=1,
+    runtime_faults=False,  # the regions are never deleted, as in the paper
+))

@@ -1,0 +1,380 @@
+"""Deterministic synthetic region-workload generator.
+
+The paper evaluates on six real packages (37-240 KLOC of C).  Offline we
+cannot analyze Apache or Subversion themselves, so this generator emits
+C-subset programs that exercise the same *region usage patterns* the
+paper describes for staged applications:
+
+* a stage hierarchy (server -> connection -> request) with one region per
+  stage, child stages allocating from subregions (Figure 1's shape);
+* shared utility helpers called from many sites, so calling contexts and
+  cloned heap objects multiply exactly as in Section 5.2;
+* per-stage object graphs with safe child-to-parent pointers;
+* **seeded inconsistencies** drawn from the paper's own bug taxonomy, each
+  with known ground truth, so a benchmark can check the tool finds
+  precisely the seeded bugs and ranks them as expected.
+
+Generation is deterministic in its parameters (no RNG), so benchmark
+numbers are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.interfaces import APR_HEADER, RC_HEADER
+
+__all__ = ["BUG_KINDS", "WorkloadSpec", "GeneratedWorkload", "generate_workload"]
+
+
+# Bug taxonomy: (kind, truly_inconsistent, expected_high_rank).
+BUG_KINDS: Dict[str, Tuple[bool, bool]] = {
+    # Two sibling pools cross-linked (Figure 2c): real, never-safe.
+    "cross_sibling": (True, True),
+    # Long-lived object points into a subregion (Figures 9/12b): real,
+    # never-safe.
+    "into_subregion": (True, True),
+    # Ambiguous parent via aliasing (Figure 3): real, but may-safe on one
+    # resolution, so it ranks low -- the heuristic's acknowledged miss.
+    "ambiguous_parent": (True, False),
+    # Intra-region pointer the flow-insensitive analysis cannot prove
+    # (Figure 5): false positive, ranks low.
+    "intra_fp": (False, False),
+    # Conditional pool selection without a region-pointer field to
+    # rescue precision (Section 6.2's shape): false positive, ranks HIGH.
+    "conditional_pool": (False, True),
+    # Object keeps a string from an unrelated region (the rcc case):
+    # real, never-safe.
+    "string_bug": (True, True),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Size and bug-mix parameters for one synthetic executable."""
+
+    name: str
+    interface: str = "apr"  # 'apr' | 'rc'
+    stages: int = 3  # depth of the region hierarchy
+    fanout: int = 1  # child-stage calls per stage: contexts ~ fanout^depth
+    helpers_per_stage: int = 2  # call-graph breadth per stage
+    objects_per_stage: int = 3  # allocations per stage body
+    utility_functions: int = 2  # shared helpers (context multiplication)
+    utility_call_sites: int = 2  # calls to each utility per stage
+    bugs: Dict[str, int] = field(default_factory=dict)
+
+    def expected_high(self) -> int:
+        return sum(
+            count
+            for kind, count in self.bugs.items()
+            if BUG_KINDS[kind][1]
+        )
+
+    def expected_true_bugs(self) -> int:
+        return sum(
+            count
+            for kind, count in self.bugs.items()
+            if BUG_KINDS[kind][0]
+        )
+
+    def expected_low_minimum(self) -> int:
+        return sum(
+            count
+            for kind, count in self.bugs.items()
+            if not BUG_KINDS[kind][1]
+        )
+
+
+@dataclass
+class GeneratedWorkload:
+    spec: WorkloadSpec
+    source: str
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def kloc(self) -> float:
+        return len(self.source.splitlines()) / 1000.0
+
+
+# ---------------------------------------------------------------------------
+# Code templates
+# ---------------------------------------------------------------------------
+
+_APR_PRELUDE = """
+struct payload {
+    struct payload *link;
+    char *label;
+    int tag;
+};
+"""
+
+_RC_PRELUDE = _APR_PRELUDE
+
+
+class _Emitter:
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.lines: List[str] = []
+        self.is_apr = spec.interface == "apr"
+
+    # -- interface-neutral snippets --------------------------------------
+
+    @property
+    def pool_type(self) -> str:
+        return "apr_pool_t *" if self.is_apr else "region "
+
+    def create(self, var: str, parent: str) -> str:
+        if self.is_apr:
+            return (
+                f"    apr_pool_t *{var};\n"
+                f"    apr_pool_create(&{var}, {parent});"
+            )
+        parent_expr = (
+            f"newsubregion({parent})" if parent != "NULL" else "newregion()"
+        )
+        return f"    region {var} = {parent_expr};"
+
+    def alloc(self, var: str, pool: str) -> str:
+        fn = "apr_palloc" if self.is_apr else "ralloc"
+        return (
+            f"    struct payload *{var} ="
+            f" {fn}({pool}, sizeof(struct payload));"
+        )
+
+    def strdup(self, var: str, pool: str, text: str) -> str:
+        fn = "apr_pstrdup" if self.is_apr else "rstrdup"
+        return f'    char *{var} = {fn}({pool}, "{text}");'
+
+    def destroy(self, pool: str) -> str:
+        fn = "apr_pool_destroy" if self.is_apr else "deleteregion"
+        return f"    {fn}({pool});"
+
+    def emit(self, text: str = "") -> None:
+        self.lines.append(text)
+
+    # -- program structure -------------------------------------------------
+
+    def utilities(self) -> None:
+        """Shared helpers: linked from every stage, multiplying contexts."""
+        for index in range(self.spec.utility_functions):
+            self.emit(
+                f"struct payload *util_chain_{index}("
+                f"{self.pool_type}pool, struct payload *prev) {{"
+            )
+            self.emit(self.alloc("node", "pool"))
+            self.emit("    node->link = prev;")
+            self.emit(f"    node->tag = {index};")
+            self.emit("    return node;")
+            self.emit("}")
+            self.emit()
+
+    def stage(self, index: int) -> None:
+        spec = self.spec
+        if index + 1 < spec.stages:
+            next_call = "\n".join(
+                f"    stage_{index + 1}(pool, local);"
+                for _ in range(max(spec.fanout, 1))
+            )
+        else:
+            next_call = "    /* leaf stage */"
+        # Per-stage helpers deepen call paths.
+        for helper in range(spec.helpers_per_stage):
+            self.emit(
+                f"void stage_{index}_helper_{helper}("
+                f"{self.pool_type}pool, struct payload *carry) {{"
+            )
+            for obj in range(spec.objects_per_stage):
+                self.emit(self.alloc(f"item_{obj}", "pool"))
+                # Safe pointer: same-region chain plus up-pointer to carry.
+                if obj:
+                    self.emit(f"    item_{obj}->link = item_{obj - 1};")
+                else:
+                    self.emit(f"    item_{obj}->link = carry;")
+            for util in range(spec.utility_functions):
+                for _ in range(spec.utility_call_sites):
+                    self.emit(
+                        f"    util_chain_{util}(pool, item_0);"
+                    )
+            self.emit("}")
+            self.emit()
+
+        self.emit(
+            f"void stage_{index}({self.pool_type}parent,"
+            " struct payload *up) {"
+        )
+        self.emit(self.create("pool", "parent"))
+        self.emit(self.alloc("local", "pool"))
+        self.emit("    local->link = up;  /* child -> parent: safe */")
+        for helper in range(spec.helpers_per_stage):
+            self.emit(f"    stage_{index}_helper_{helper}(pool, local);")
+        self.emit(next_call)
+        self.emit(self.destroy("pool"))
+        self.emit("}")
+        self.emit()
+
+    # -- seeded bugs ---------------------------------------------------------
+
+    def bug_cross_sibling(self, index: int) -> None:
+        self.emit(f"void bug_cross_sibling_{index}({self.pool_type}parent) {{")
+        self.emit(self.create("left", "parent"))
+        self.emit(self.create("right", "parent"))
+        self.emit(self.alloc("holder", "left"))
+        self.emit(self.alloc("victim", "right"))
+        self.emit("    holder->link = victim;  /* siblings: may dangle */")
+        self.emit(self.destroy("right"))
+        self.emit(self.destroy("left"))
+        self.emit("}")
+        self.emit()
+
+    def bug_into_subregion(self, index: int) -> None:
+        self.emit(f"void bug_into_subregion_{index}({self.pool_type}parent) {{")
+        self.emit(self.create("sub", "parent"))
+        self.emit(self.alloc("outer", "parent"))
+        self.emit(self.alloc("inner", "sub"))
+        self.emit("    outer->link = inner;  /* outer outlives inner */")
+        self.emit(self.destroy("sub"))
+        self.emit("}")
+        self.emit()
+
+    def bug_ambiguous_parent(self, index: int) -> None:
+        self.emit(f"int choose_{index};")
+        self.emit(
+            f"void bug_ambiguous_parent_{index}({self.pool_type}parent) {{"
+        )
+        self.emit(self.create("a", "parent"))
+        self.emit(self.create("b", "parent"))
+        self.emit(self.alloc("target", "b"))
+        self.emit(f"    {self.pool_type}picked = a;")
+        self.emit(f"    if (choose_{index}) picked = b;")
+        if self.is_apr:
+            self.emit("    apr_pool_t *child;")
+            self.emit("    apr_pool_create(&child, picked);")
+        else:
+            self.emit("    region child = newsubregion(picked);")
+        self.emit(self.alloc("holder", "child"))
+        self.emit("    holder->link = target;  /* only safe when picked==b */")
+        self.emit(self.destroy("a"))
+        self.emit(self.destroy("b"))
+        self.emit("}")
+        self.emit()
+
+    def bug_intra_fp(self, index: int) -> None:
+        self.emit(f"int flip_{index};")
+        self.emit(f"void bug_intra_fp_{index}(void) {{")
+        self.emit(f"    {self.pool_type}p;")
+        if self.is_apr:
+            self.emit(f"    if (flip_{index}) apr_pool_create(&p, NULL);")
+            self.emit("    else apr_pool_create(&p, NULL);")
+            self.emit("    apr_pool_t *q;")
+            self.emit("    apr_pool_create(&q, p);")
+        else:
+            self.emit(f"    if (flip_{index}) p = newregion();")
+            self.emit("    else p = newregion();")
+            self.emit("    region q = newsubregion(p);")
+        self.emit(self.alloc("o1", "p"))
+        self.emit(self.alloc("o2", "q"))
+        self.emit("    o2->link = o1;  /* always safe; analysis can't tell */")
+        self.emit(self.destroy("p"))
+        self.emit("}")
+        self.emit()
+
+    def bug_conditional_pool(self, index: int) -> None:
+        # Section 6.2's make_error_internal shape, with the owning pool
+        # recovered through an *opaque* lookup the analysis cannot see
+        # through -- so the (actually safe) pointer ranks HIGH, exactly
+        # the false-positive class the paper found in its high bucket.
+        self.emit(
+            f"struct payload *bug_conditional_pool_{index}("
+            "struct payload *prev) {"
+        )
+        self.emit(f"    {self.pool_type}pool;")
+        if self.is_apr:
+            self.emit("    if (prev) pool = pool_of(prev);")
+            self.emit("    else apr_pool_create(&pool, NULL);")
+        else:
+            self.emit("    if (prev) pool = pool_of(prev);")
+            self.emit("    else pool = newregion();")
+        self.emit(self.alloc("next", "pool"))
+        self.emit("    next->link = prev;  /* safe, but needs path info */")
+        self.emit("    return next;")
+        self.emit("}")
+        self.emit()
+
+    def bug_string_bug(self, index: int) -> None:
+        self.emit(f"void bug_string_{index}({self.pool_type}parent) {{")
+        self.emit(self.create("strings", "parent"))
+        self.emit(self.create("decls", "parent"))
+        self.emit(self.strdup("name", "strings", f"ident_{index}"))
+        self.emit(self.alloc("decl", "decls"))
+        self.emit("    decl->label = name;  /* should have been duplicated */")
+        self.emit("}")
+        self.emit()
+
+    # -- driver ----------------------------------------------------------
+
+    def conditional_pool_support(self) -> None:
+        """An external prototype: the owning pool comes back through a
+        lookup whose body the analysis never sees (a library registry),
+        like child->pool before the analysis connects the dots."""
+        self.emit(f"{self.pool_type}pool_of(struct payload *obj);")
+        self.emit()
+
+    def main(self) -> None:
+        spec = self.spec
+        self.emit("int main(void) {")
+        if self.is_apr:
+            self.emit("    apr_pool_t *top;")
+            self.emit("    apr_pool_create(&top, NULL);")
+        else:
+            self.emit("    region top = newregion();")
+        if spec.stages:
+            self.emit(self.alloc("boot", "top"))
+            self.emit("    stage_0(top, boot);")
+        for kind, count in sorted(spec.bugs.items()):
+            for index in range(count):
+                if kind == "intra_fp":
+                    self.emit(f"    bug_intra_fp_{index}();")
+                elif kind == "conditional_pool":
+                    self.emit(
+                        f"    struct payload *cp_{index} ="
+                        f" bug_conditional_pool_{index}(NULL);"
+                    )
+                    self.emit(
+                        f"    cp_{index} = bug_conditional_pool_{index}"
+                        f"(cp_{index});"
+                    )
+                elif kind == "string_bug":
+                    self.emit(f"    bug_string_{index}(top);")
+                else:
+                    self.emit(f"    bug_{kind}_{index}(top);")
+        self.emit(self.destroy("top"))
+        self.emit("    return 0;")
+        self.emit("}")
+
+    def build(self) -> str:
+        header = APR_HEADER if self.is_apr else RC_HEADER
+        self.emit(_APR_PRELUDE if self.is_apr else _RC_PRELUDE)
+        if "conditional_pool" in self.spec.bugs:
+            self.conditional_pool_support()
+        self.utilities()
+        # Leaf stages first so calls target already-defined functions.
+        for index in reversed(range(self.spec.stages)):
+            self.stage(index)
+        for kind, count in sorted(self.spec.bugs.items()):
+            emitter = getattr(self, f"bug_{kind}")
+            for index in range(count):
+                emitter(index)
+        self.main()
+        return header + "\n".join(self.lines) + "\n"
+
+
+def generate_workload(spec: WorkloadSpec) -> GeneratedWorkload:
+    """Emit the C source for a workload spec (deterministic)."""
+    unknown = set(spec.bugs) - set(BUG_KINDS)
+    if unknown:
+        raise ValueError(f"unknown bug kinds: {sorted(unknown)}")
+    return GeneratedWorkload(spec=spec, source=_Emitter(spec).build())

@@ -1,0 +1,225 @@
+"""Unit tests for the ROBDD engine."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError
+
+
+@pytest.fixture
+def bdd():
+    return BDD(num_vars=8)
+
+
+class TestTerminals:
+    def test_constants(self, bdd):
+        assert bdd.FALSE == 0
+        assert bdd.TRUE == 1
+
+    def test_negate_terminals(self, bdd):
+        assert bdd.negate(bdd.TRUE) == bdd.FALSE
+        assert bdd.negate(bdd.FALSE) == bdd.TRUE
+
+    def test_num_nodes_starts_at_two(self):
+        assert BDD().num_nodes == 2
+
+
+class TestVariables:
+    def test_var_is_interned(self, bdd):
+        assert bdd.var(3) == bdd.var(3)
+
+    def test_var_and_nvar_are_complements(self, bdd):
+        v = bdd.var(2)
+        assert bdd.negate(v) == bdd.nvar(2)
+
+    def test_out_of_range_var_raises(self, bdd):
+        with pytest.raises(BDDError):
+            bdd.var(8)
+        with pytest.raises(BDDError):
+            bdd.var(-1)
+
+    def test_extend_returns_first_new_level(self, bdd):
+        first = bdd.extend(4)
+        assert first == 8
+        assert bdd.num_vars == 12
+        bdd.var(11)  # no raise
+
+
+class TestApply:
+    def test_and_identities(self, bdd):
+        v = bdd.var(0)
+        assert bdd.apply_and(v, bdd.TRUE) == v
+        assert bdd.apply_and(v, bdd.FALSE) == bdd.FALSE
+        assert bdd.apply_and(v, v) == v
+
+    def test_or_identities(self, bdd):
+        v = bdd.var(0)
+        assert bdd.apply_or(v, bdd.FALSE) == v
+        assert bdd.apply_or(v, bdd.TRUE) == bdd.TRUE
+
+    def test_xor_self_is_false(self, bdd):
+        v = bdd.var(1)
+        assert bdd.apply_xor(v, v) == bdd.FALSE
+
+    def test_excluded_middle(self, bdd):
+        v = bdd.var(4)
+        assert bdd.apply_or(v, bdd.negate(v)) == bdd.TRUE
+        assert bdd.apply_and(v, bdd.negate(v)) == bdd.FALSE
+
+    def test_de_morgan(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        lhs = bdd.negate(bdd.apply_and(a, b))
+        rhs = bdd.apply_or(bdd.negate(a), bdd.negate(b))
+        assert lhs == rhs
+
+    def test_diff(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        assert bdd.apply_diff(a, b) == bdd.apply_and(a, bdd.negate(b))
+        assert bdd.apply_diff(a, a) == bdd.FALSE
+
+    def test_imp_biimp(self, bdd):
+        a, b = bdd.var(2), bdd.var(5)
+        assert bdd.apply_imp(a, b) == bdd.apply_or(bdd.negate(a), b)
+        assert bdd.apply_biimp(a, b) == bdd.negate(bdd.apply_xor(a, b))
+
+    def test_canonicity_commutativity(self, bdd):
+        a, b = bdd.var(3), bdd.var(6)
+        assert bdd.apply_and(a, b) == bdd.apply_and(b, a)
+        assert bdd.apply_or(a, b) == bdd.apply_or(b, a)
+
+
+class TestIte:
+    def test_ite_terminal_cases(self, bdd):
+        g, h = bdd.var(1), bdd.var(2)
+        assert bdd.ite(bdd.TRUE, g, h) == g
+        assert bdd.ite(bdd.FALSE, g, h) == h
+
+    def test_ite_equals_boolean_expansion(self, bdd):
+        f, g, h = bdd.var(0), bdd.var(1), bdd.var(2)
+        expanded = bdd.apply_or(
+            bdd.apply_and(f, g), bdd.apply_and(bdd.negate(f), h)
+        )
+        assert bdd.ite(f, g, h) == expanded
+
+    def test_ite_var_shortcut(self, bdd):
+        f = bdd.var(0)
+        assert bdd.ite(f, bdd.TRUE, bdd.FALSE) == f
+
+
+class TestQuantification:
+    def test_exist_drops_variable(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        conj = bdd.apply_and(a, b)
+        assert bdd.exist(conj, [0]) == b
+
+    def test_exist_of_tautology_pair(self, bdd):
+        a = bdd.var(0)
+        assert bdd.exist(bdd.apply_or(a, bdd.negate(a)), [0]) == bdd.TRUE
+
+    def test_forall(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        disj = bdd.apply_or(a, b)
+        # forall a. (a or b) == b
+        assert bdd.forall(disj, [0]) == b
+
+    def test_exist_noop_on_missing_var(self, bdd):
+        b = bdd.var(1)
+        assert bdd.exist(b, [5]) == b
+
+    def test_rel_product_matches_and_then_exist(self, bdd):
+        a, b, c = bdd.var(0), bdd.var(1), bdd.var(2)
+        f = bdd.apply_or(bdd.apply_and(a, b), c)
+        g = bdd.apply_or(b, bdd.negate(c))
+        direct = bdd.rel_product(f, g, [1])
+        explicit = bdd.exist(bdd.apply_and(f, g), [1])
+        assert direct == explicit
+
+
+class TestRename:
+    def test_monotone_rename(self, bdd):
+        f = bdd.apply_and(bdd.var(0), bdd.var(2))
+        renamed = bdd.rename(f, {0: 1, 2: 3})
+        assert renamed == bdd.apply_and(bdd.var(1), bdd.var(3))
+
+    def test_order_swapping_rename(self, bdd):
+        # Swapping levels is non-monotone: exercises the general path.
+        f = bdd.apply_and(bdd.var(0), bdd.negate(bdd.var(1)))
+        renamed = bdd.rename(f, {0: 1, 1: 0})
+        assert renamed == bdd.apply_and(bdd.var(1), bdd.negate(bdd.var(0)))
+
+    def test_rename_identity(self, bdd):
+        f = bdd.var(3)
+        assert bdd.rename(f, {}) == f
+        assert bdd.rename(f, {3: 3}) == f
+
+    def test_rename_irrelevant_variable(self, bdd):
+        f = bdd.var(3)
+        assert bdd.rename(f, {5: 6}) == f
+
+
+class TestRestrict:
+    def test_restrict_to_true(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        f = bdd.apply_and(a, b)
+        assert bdd.restrict(f, {0: True}) == b
+        assert bdd.restrict(f, {0: False}) == bdd.FALSE
+
+    def test_restrict_everything(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert bdd.restrict(f, {0: True, 1: False}) == bdd.TRUE
+        assert bdd.restrict(f, {0: True, 1: True}) == bdd.FALSE
+
+
+class TestInspection:
+    def test_support(self, bdd):
+        f = bdd.apply_or(bdd.var(1), bdd.apply_and(bdd.var(3), bdd.var(6)))
+        assert bdd.support(f) == frozenset({1, 3, 6})
+        assert bdd.support(bdd.TRUE) == frozenset()
+
+    def test_evaluate(self, bdd):
+        f = bdd.apply_xor(bdd.var(0), bdd.var(1))
+        assert bdd.evaluate(f, [True, False] + [False] * 6)
+        assert not bdd.evaluate(f, [True, True] + [False] * 6)
+
+    def test_satcount_simple(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        assert bdd.satcount(bdd.apply_and(a, b), [0, 1]) == 1
+        assert bdd.satcount(bdd.apply_or(a, b), [0, 1]) == 3
+        assert bdd.satcount(bdd.TRUE, [0, 1, 2]) == 8
+        assert bdd.satcount(bdd.FALSE, [0, 1, 2]) == 0
+
+    def test_satcount_with_free_variables(self, bdd):
+        a = bdd.var(0)
+        # One constrained variable, two free ones.
+        assert bdd.satcount(a, [0, 1, 2]) == 4
+
+    def test_satcount_requires_support_coverage(self, bdd):
+        f = bdd.var(5)
+        with pytest.raises(BDDError):
+            bdd.satcount(f, [0, 1])
+
+    def test_sat_iter_matches_satcount(self, bdd):
+        f = bdd.apply_or(
+            bdd.apply_and(bdd.var(0), bdd.var(2)), bdd.negate(bdd.var(1))
+        )
+        levels = [0, 1, 2]
+        assignments = list(bdd.sat_iter(f, levels))
+        assert len(assignments) == bdd.satcount(f, levels)
+        for assignment in assignments:
+            total = [assignment.get(i, False) for i in range(8)]
+            assert bdd.evaluate(f, total)
+
+    def test_cube(self, bdd):
+        cube = bdd.cube({0: True, 2: False})
+        assert bdd.evaluate(cube, [True, False, False] + [False] * 5)
+        assert not bdd.evaluate(cube, [True, False, True] + [False] * 5)
+        assert bdd.satcount(cube, [0, 2]) == 1
+
+    def test_node_count(self, bdd):
+        assert bdd.node_count(bdd.TRUE) == 0
+        assert bdd.node_count(bdd.var(0)) == 1
+
+    def test_clear_caches_preserves_results(self, bdd):
+        a, b = bdd.var(0), bdd.var(1)
+        before = bdd.apply_and(a, b)
+        bdd.clear_caches()
+        assert bdd.apply_and(a, b) == before

@@ -1,0 +1,89 @@
+"""Edge-case coverage for the ROBDD engine."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError
+
+
+class TestRenameEdgeCases:
+    def test_target_collides_with_unmapped_support(self):
+        bdd = BDD(num_vars=4)
+        f = bdd.apply_and(bdd.var(0), bdd.var(1))
+        # Renaming 0 -> 1 while 1 is (unmapped) support is ambiguous.
+        with pytest.raises(BDDError):
+            bdd.rename(f, {0: 1})
+
+    def test_swap_chain_reuses_temp_pool(self):
+        bdd = BDD(num_vars=4)
+        f = bdd.apply_and(bdd.var(0), bdd.negate(bdd.var(1)))
+        before = bdd.num_vars
+        g1 = bdd.rename(f, {0: 1, 1: 0})
+        grew_once = bdd.num_vars
+        g2 = bdd.rename(g1, {0: 1, 1: 0})
+        assert bdd.num_vars == grew_once  # pool reused, no further growth
+        assert g2 == f  # double swap is the identity
+
+    def test_three_cycle_rename(self):
+        bdd = BDD(num_vars=3)
+        f = bdd.conjoin([bdd.var(0), bdd.negate(bdd.var(1)), bdd.var(2)])
+        g = bdd.rename(f, {0: 1, 1: 2, 2: 0})
+        expected = bdd.conjoin(
+            [bdd.var(1), bdd.negate(bdd.var(2)), bdd.var(0)]
+        )
+        assert g == expected
+
+    def test_rename_terminals(self):
+        bdd = BDD(num_vars=2)
+        assert bdd.rename(bdd.TRUE, {0: 1}) == bdd.TRUE
+        assert bdd.rename(bdd.FALSE, {0: 1}) == bdd.FALSE
+
+
+class TestConjoinDisjoin:
+    def test_conjoin_short_circuits_on_false(self):
+        bdd = BDD(num_vars=2)
+        v = bdd.var(0)
+        assert bdd.conjoin([v, bdd.negate(v), bdd.var(1)]) == bdd.FALSE
+
+    def test_disjoin_short_circuits_on_true(self):
+        bdd = BDD(num_vars=2)
+        v = bdd.var(0)
+        assert bdd.disjoin([v, bdd.negate(v), bdd.var(1)]) == bdd.TRUE
+
+    def test_empty_iterables(self):
+        bdd = BDD(num_vars=1)
+        assert bdd.conjoin([]) == bdd.TRUE
+        assert bdd.disjoin([]) == bdd.FALSE
+
+
+class TestQuantificationEdgeCases:
+    def test_quantify_all_variables(self):
+        bdd = BDD(num_vars=3)
+        f = bdd.apply_or(bdd.var(0), bdd.apply_and(bdd.var(1), bdd.var(2)))
+        assert bdd.exist(f, [0, 1, 2]) == bdd.TRUE
+        assert bdd.forall(f, [0, 1, 2]) == bdd.FALSE
+
+    def test_rel_product_empty_levels(self):
+        bdd = BDD(num_vars=2)
+        a, b = bdd.var(0), bdd.var(1)
+        assert bdd.rel_product(a, b, []) == bdd.apply_and(a, b)
+
+    def test_exist_terminals(self):
+        bdd = BDD(num_vars=2)
+        assert bdd.exist(bdd.TRUE, [0]) == bdd.TRUE
+        assert bdd.exist(bdd.FALSE, [0]) == bdd.FALSE
+
+
+class TestGrowth:
+    def test_extend_negative_rejected(self):
+        with pytest.raises(BDDError):
+            BDD(num_vars=1).extend(-1)
+
+    def test_cube_empty(self):
+        bdd = BDD(num_vars=2)
+        assert bdd.cube({}) == bdd.TRUE
+
+    def test_large_conjunction_is_linear(self):
+        bdd = BDD(num_vars=64)
+        node = bdd.conjoin(bdd.var(i) for i in range(64))
+        assert bdd.node_count(node) == 64
+        assert bdd.satcount(node, range(64)) == 1

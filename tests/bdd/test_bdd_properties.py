@@ -1,0 +1,167 @@
+"""Property-based tests: the ROBDD engine vs a brute-force truth table.
+
+Random boolean expressions are built over a small variable set, evaluated
+both through the BDD engine and by direct recursive evaluation on every
+assignment.  Canonicity means two expressions are equivalent iff their BDD
+nodes are identical, which several properties rely on.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDD
+
+NUM_VARS = 4
+
+# --- expression AST for brute-force evaluation ---------------------------
+
+
+def _expr_strategy():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=NUM_VARS - 1).map(lambda i: ("var", i)),
+        st.sampled_from([("const", False), ("const", True)]),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.just("not"), children).map(lambda t: ("not", t[1])),
+            st.tuples(
+                st.sampled_from(["and", "or", "xor"]), children, children
+            ).map(tuple),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def _eval_expr(expr, assignment):
+    tag = expr[0]
+    if tag == "var":
+        return assignment[expr[1]]
+    if tag == "const":
+        return expr[1]
+    if tag == "not":
+        return not _eval_expr(expr[1], assignment)
+    lhs = _eval_expr(expr[1], assignment)
+    rhs = _eval_expr(expr[2], assignment)
+    if tag == "and":
+        return lhs and rhs
+    if tag == "or":
+        return lhs or rhs
+    if tag == "xor":
+        return lhs != rhs
+    raise AssertionError(f"unknown tag {tag}")
+
+
+def _build_bdd(bdd, expr):
+    tag = expr[0]
+    if tag == "var":
+        return bdd.var(expr[1])
+    if tag == "const":
+        return bdd.TRUE if expr[1] else bdd.FALSE
+    if tag == "not":
+        return bdd.negate(_build_bdd(bdd, expr[1]))
+    lhs = _build_bdd(bdd, expr[1])
+    rhs = _build_bdd(bdd, expr[2])
+    if tag == "and":
+        return bdd.apply_and(lhs, rhs)
+    if tag == "or":
+        return bdd.apply_or(lhs, rhs)
+    if tag == "xor":
+        return bdd.apply_xor(lhs, rhs)
+    raise AssertionError(f"unknown tag {tag}")
+
+
+def _all_assignments():
+    return list(itertools.product([False, True], repeat=NUM_VARS))
+
+
+@settings(max_examples=200, deadline=None)
+@given(_expr_strategy())
+def test_bdd_matches_truth_table(expr):
+    bdd = BDD(num_vars=NUM_VARS)
+    node = _build_bdd(bdd, expr)
+    for assignment in _all_assignments():
+        assert bdd.evaluate(node, list(assignment)) == _eval_expr(expr, assignment)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_expr_strategy())
+def test_satcount_matches_truth_table(expr):
+    bdd = BDD(num_vars=NUM_VARS)
+    node = _build_bdd(bdd, expr)
+    expected = sum(
+        1 for assignment in _all_assignments() if _eval_expr(expr, assignment)
+    )
+    assert bdd.satcount(node, range(NUM_VARS)) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy(), _expr_strategy())
+def test_canonicity(lhs, rhs):
+    bdd = BDD(num_vars=NUM_VARS)
+    node_l = _build_bdd(bdd, lhs)
+    node_r = _build_bdd(bdd, rhs)
+    equivalent = all(
+        _eval_expr(lhs, a) == _eval_expr(rhs, a) for a in _all_assignments()
+    )
+    assert (node_l == node_r) == equivalent
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_exist_semantics(expr, var):
+    bdd = BDD(num_vars=NUM_VARS)
+    node = _build_bdd(bdd, expr)
+    quantified = bdd.exist(node, [var])
+    for assignment in _all_assignments():
+        as_list = list(assignment)
+        expected = any(
+            _eval_expr(expr, tuple(as_list[:var] + [v] + as_list[var + 1:]))
+            for v in (False, True)
+        )
+        assert bdd.evaluate(quantified, as_list) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_forall_semantics(expr, var):
+    bdd = BDD(num_vars=NUM_VARS)
+    node = _build_bdd(bdd, expr)
+    quantified = bdd.forall(node, [var])
+    for assignment in _all_assignments():
+        as_list = list(assignment)
+        expected = all(
+            _eval_expr(expr, tuple(as_list[:var] + [v] + as_list[var + 1:]))
+            for v in (False, True)
+        )
+        assert bdd.evaluate(quantified, as_list) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy(), st.permutations(list(range(NUM_VARS))))
+def test_rename_semantics(expr, perm):
+    """Renaming by an arbitrary permutation (possibly non-monotone)."""
+    bdd = BDD(num_vars=NUM_VARS)
+    node = _build_bdd(bdd, expr)
+    mapping = {i: perm[i] for i in range(NUM_VARS)}
+    renamed = bdd.rename(node, mapping)
+    for assignment in _all_assignments():
+        # renamed(y) == node(x) where y[perm[i]] = x[i]
+        permuted = [False] * NUM_VARS
+        for i in range(NUM_VARS):
+            permuted[perm[i]] = assignment[i]
+        assert bdd.evaluate(renamed, permuted) == bdd.evaluate(
+            node, list(assignment)
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(_expr_strategy(), _expr_strategy(), st.integers(min_value=0, max_value=NUM_VARS - 1))
+def test_rel_product_fusion(lhs, rhs, var):
+    bdd = BDD(num_vars=NUM_VARS)
+    node_l = _build_bdd(bdd, lhs)
+    node_r = _build_bdd(bdd, rhs)
+    fused = bdd.rel_product(node_l, node_r, [var])
+    unfused = bdd.exist(bdd.apply_and(node_l, node_r), [var])
+    assert fused == unfused

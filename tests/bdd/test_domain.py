@@ -1,0 +1,155 @@
+"""Tests for finite domains over BDD variable blocks."""
+
+import pytest
+
+from repro.bdd import BDD, BDDError, DomainSpace
+
+
+@pytest.fixture(params=["interleaved", "sequential"])
+def space(request):
+    return DomainSpace(BDD(), ordering=request.param)
+
+
+class TestDeclaration:
+    def test_bits_for_sizes(self, space):
+        assert space.declare("A", 1).bits == 1
+        assert space.declare("B", 2).bits == 1
+        assert space.declare("C", 3).bits == 2
+        assert space.declare("D", 8).bits == 3
+        assert space.declare("E", 9).bits == 4
+
+    def test_duplicate_declaration_raises(self, space):
+        space.declare("A", 4)
+        with pytest.raises(BDDError):
+            space.declare("A", 4)
+
+    def test_invalid_sizes_raise(self, space):
+        with pytest.raises(BDDError):
+            space.declare("Z", 0)
+        with pytest.raises(BDDError):
+            space.declare("Y", 4, instances=0)
+
+    def test_instances_are_distinct_blocks(self, space):
+        space.declare("C", 16, instances=3)
+        levels = set()
+        for i in range(3):
+            inst = space.instance("C", i)
+            assert len(inst.levels) == 4
+            assert not levels & set(inst.levels)
+            levels |= set(inst.levels)
+
+    def test_unknown_instance_raises(self, space):
+        space.declare("C", 4, instances=1)
+        with pytest.raises(BDDError):
+            space.instance("C", 1)
+
+    def test_instances_of(self, space):
+        space.declare("V", 4, instances=2)
+        names = [inst.name for inst in space.instances_of("V")]
+        assert names == ["V0", "V1"]
+
+    def test_bad_ordering_policy(self):
+        with pytest.raises(BDDError):
+            DomainSpace(BDD(), ordering="random")
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self, space):
+        space.declare("H", 10, instances=2)
+        h0 = space.instance("H", 0)
+        for value in range(10):
+            cube = space.encode(h0, value)
+            assignments = list(space.bdd.sat_iter(cube, h0.levels))
+            assert len(assignments) == 1
+            assert space.decode(h0, assignments[0]) == value
+
+    def test_encode_out_of_range(self, space):
+        space.declare("H", 10)
+        with pytest.raises(BDDError):
+            space.encode(space.instance("H"), 10)
+        with pytest.raises(BDDError):
+            space.encode(space.instance("H"), -1)
+
+    def test_encode_tuple(self, space):
+        space.declare("C", 4, instances=2)
+        c0, c1 = space.instance("C", 0), space.instance("C", 1)
+        cube = space.encode_tuple([c0, c1], [2, 3])
+        tuples = list(space.tuples(cube, [c0, c1]))
+        assert tuples == [(2, 3)]
+
+    def test_encode_tuple_arity_mismatch(self, space):
+        space.declare("C", 4, instances=2)
+        c0 = space.instance("C", 0)
+        with pytest.raises(BDDError):
+            space.encode_tuple([c0], [1, 2])
+
+    def test_domain_constraint_excludes_padding(self, space):
+        space.declare("H", 5)  # 3 bits, patterns 5..7 unused
+        h = space.instance("H")
+        constraint = space.domain_constraint(h)
+        assert space.bdd.satcount(constraint, h.levels) == 5
+
+    def test_domain_constraint_exact_power_of_two(self, space):
+        space.declare("H", 8)
+        h = space.instance("H")
+        assert space.domain_constraint(h) == space.bdd.TRUE
+
+
+class TestRelations:
+    def test_equality_relation(self, space):
+        space.declare("R", 6, instances=2)
+        r0, r1 = space.instance("R", 0), space.instance("R", 1)
+        eq = space.equality(r0, r1)
+        matches = set(space.tuples(eq, [r0, r1]))
+        # tuples() skips padding bit-patterns (values 6, 7 of the 3-bit block).
+        assert matches == {(v, v) for v in range(6)}
+
+    def test_equality_type_mismatch(self, space):
+        space.declare("R", 4)
+        space.declare("S", 4)
+        with pytest.raises(BDDError):
+            space.equality(space.instance("R"), space.instance("S"))
+
+    def test_rename_moves_tuples(self, space):
+        space.declare("V", 8, instances=2)
+        v0, v1 = space.instance("V", 0), space.instance("V", 1)
+        rel = space.bdd.disjoin(
+            space.encode(v0, value) for value in (1, 5, 7)
+        )
+        mapping = space.rename_map([v0], [v1])
+        moved = space.bdd.rename(rel, mapping)
+        values = {t[0] for t in space.tuples(moved, [v1])}
+        assert values == {1, 5, 7}
+
+    def test_rename_map_type_mismatch(self, space):
+        space.declare("V", 4)
+        space.declare("W", 4)
+        with pytest.raises(BDDError):
+            space.rename_map([space.instance("V")], [space.instance("W")])
+
+    def test_count_tuples(self, space):
+        space.declare("C", 3, instances=2)
+        c0, c1 = space.instance("C", 0), space.instance("C", 1)
+        rel = space.bdd.disjoin(
+            space.encode_tuple([c0, c1], values)
+            for values in [(0, 1), (1, 2), (2, 0)]
+        )
+        assert space.count_tuples(rel, [c0, c1]) == 3
+        # TRUE over two size-3 domains has 9 real tuples, not 16.
+        assert space.count_tuples(space.bdd.TRUE, [c0, c1]) == 9
+
+    def test_join_via_rel_product(self, space):
+        """edge(V0,V1) join edge(V1,V2) -> path2(V0,V2), the Datalog kernel."""
+        space.declare("V", 4, instances=3)
+        v0, v1, v2 = (space.instance("V", i) for i in range(3))
+        edges = [(0, 1), (1, 2), (2, 3)]
+        edge01 = space.bdd.disjoin(
+            space.encode_tuple([v0, v1], edge) for edge in edges
+        )
+        edge12 = space.bdd.rename(
+            edge01, space.rename_map([v0, v1], [v1, v2])
+        )
+        path = space.bdd.rel_product(
+            edge01, edge12, space.levels_of([v1])
+        )
+        assert set(space.tuples(path, [v0, v2])) == {(0, 2), (1, 3)}

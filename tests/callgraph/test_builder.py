@@ -1,0 +1,295 @@
+"""Tests for call graph construction."""
+
+from repro.callgraph import ImplicitCallRegistry, build_call_graph, default_registry
+from repro.ir import Call, GLOBAL_INIT, lower
+from repro.lang import analyze, parse
+
+
+def graph_for(text, entry="main"):
+    return build_call_graph(lower(analyze(parse(text))), entry=entry)
+
+
+def call_uids(graph, func):
+    return [c.uid for c in graph.module.functions[func].calls()]
+
+
+class TestDirectCalls:
+    def test_simple_direct_call(self):
+        graph = graph_for(
+            """
+            void helper(void) { }
+            int main(void) { helper(); return 0; }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert graph.targets(uid) == {"helper"}
+
+    def test_call_to_prototype(self):
+        graph = graph_for(
+            """
+            int getpid(void);
+            int main(void) { return getpid(); }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert graph.targets(uid) == {"getpid"}
+
+    def test_successor_map(self):
+        graph = graph_for(
+            """
+            void c(void) { }
+            void b(void) { c(); }
+            void a(void) { b(); }
+            int main(void) { a(); return 0; }
+            """
+        )
+        succs = graph.successors()
+        assert succs["main"] == {"a"}
+        assert succs["a"] == {"b"}
+        assert succs["b"] == {"c"}
+
+
+class TestIndirectCalls:
+    def test_function_pointer_variable(self):
+        graph = graph_for(
+            """
+            int work(int x) { return x; }
+            int main(void) {
+                int (*op)(int) = work;
+                return op(1);
+            }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert graph.targets(uid) == {"work"}
+
+    def test_function_pointer_through_branches(self):
+        graph = graph_for(
+            """
+            int inc(int x) { return x + 1; }
+            int dec(int x) { return x - 1; }
+            int main(int argc) {
+                int (*op)(int);
+                if (argc) op = inc; else op = dec;
+                return op(1);
+            }
+            """
+        )
+        indirect = [
+            uid for uid in call_uids(graph, "main")
+            if graph.targets(uid) & {"inc", "dec"}
+        ]
+        assert graph.targets(indirect[0]) == {"inc", "dec"}
+
+    def test_function_pointer_as_parameter(self):
+        """The paper's foo-given-a-callback pattern across call depth."""
+        graph = graph_for(
+            """
+            int work(int x) { return x; }
+            int apply(int (*op)(int), int v) { return op(v); }
+            int wrap(int (*op)(int)) { return apply(op, 2); }
+            int main(void) { return wrap(work); }
+            """
+        )
+        (uid,) = call_uids(graph, "apply")
+        assert graph.targets(uid) == {"work"}
+
+    def test_function_pointer_returned(self):
+        graph = graph_for(
+            """
+            int work(int x) { return x; }
+            int (*pick(void))(int) { return work; }
+            int main(void) {
+                int (*op)(int) = pick();
+                return op(3);
+            }
+            """
+        )
+        uids = call_uids(graph, "main")
+        all_targets = set().union(*(graph.targets(u) for u in uids))
+        assert "work" in all_targets
+
+    def test_escaped_function_pointer_in_struct(self):
+        graph = graph_for(
+            """
+            struct ops { int (*run)(int); };
+            int work(int x) { return x; }
+            int main(void) {
+                struct ops o;
+                o.run = work;
+                return o.run(5);
+            }
+            """
+        )
+        uids = call_uids(graph, "main")
+        all_targets = set().union(*(graph.targets(u) for u in uids))
+        assert "work" in all_targets
+
+    def test_global_function_pointer_table(self):
+        graph = graph_for(
+            """
+            void handler(void) { }
+            void (*entry)(void) = handler;
+            int main(void) { entry(); return 0; }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert "handler" in graph.targets(uid)
+
+
+class TestImplicitCalls:
+    def test_apr_thread_create(self):
+        graph = graph_for(
+            """
+            typedef struct apr_thread_t apr_thread_t;
+            typedef struct apr_threadattr_t apr_threadattr_t;
+            typedef struct apr_pool_t apr_pool_t;
+            int apr_thread_create(apr_thread_t **t, apr_threadattr_t *a,
+                                  void *(*entry)(void *), void *data,
+                                  apr_pool_t *pool);
+            void *worker(void *data) { return data; }
+            int main(void) {
+                apr_thread_t *t;
+                apr_pool_t *pool;
+                apr_thread_create(&t, NULL, worker, NULL, pool);
+                return 0;
+            }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert graph.targets(uid) == {"apr_thread_create", "worker"}
+        assert "worker" in graph.reachable
+
+    def test_cleanup_register_reaches_cleanup(self):
+        graph = graph_for(
+            """
+            typedef struct apr_pool_t apr_pool_t;
+            int apr_pool_cleanup_register(apr_pool_t *p, void *data,
+                                          int (*plain)(void *),
+                                          int (*child)(void *));
+            int cleanup_parser(void *data) { return 0; }
+            int noop(void *data) { return 0; }
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_cleanup_register(pool, NULL, cleanup_parser, noop);
+                return 0;
+            }
+            """
+        )
+        (uid,) = call_uids(graph, "main")
+        assert {"cleanup_parser", "noop"} <= graph.targets(uid)
+
+    def test_custom_registry(self):
+        registry = ImplicitCallRegistry()
+        registry.register_simple("spawn", 0)
+        from repro.ir import lower as lower_ir
+        from repro.lang import analyze as do_analyze, parse as do_parse
+
+        module = lower_ir(do_analyze(do_parse(
+            """
+            void spawn(void (*job)(void));
+            void job_fn(void) { }
+            int main(void) { spawn(job_fn); return 0; }
+            """
+        )))
+        graph = build_call_graph(module, registry=registry)
+        (uid,) = [c.uid for c in graph.module.functions["main"].calls()]
+        assert "job_fn" in graph.targets(uid)
+
+    def test_default_registry_contents(self):
+        registry = default_registry()
+        assert "pthread_create" in registry
+        assert registry.positions("apr_pool_cleanup_register") == (2, 3)
+        merged = registry.merged_with({"my_spawn": [1]})
+        assert merged.positions("my_spawn") == (1,)
+        assert "pthread_create" in merged
+
+
+class TestReachability:
+    def test_unreachable_function_pruned(self):
+        graph = graph_for(
+            """
+            void used(void) { }
+            void dead(void) { }
+            int main(void) { used(); return 0; }
+            """
+        )
+        assert "used" in graph.reachable
+        assert "dead" not in graph.reachable
+
+    def test_global_init_is_root(self):
+        graph = graph_for(
+            """
+            int setup(void) { return 1; }
+            int config = 0;
+            void unused(void) { }
+            int main(void) { return config; }
+            """
+        )
+        assert "main" in graph.reachable
+        assert "unused" not in graph.reachable
+
+    def test_global_initializer_keeps_handler_alive(self):
+        graph = graph_for(
+            """
+            void handler(void) { }
+            void (*table)(void) = handler;
+            int main(void) { table(); return 0; }
+            """
+        )
+        assert GLOBAL_INIT in graph.reachable
+        assert "handler" in graph.reachable
+
+    def test_recursion_terminates(self):
+        graph = graph_for(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main(void) { return fib(10); }
+            """
+        )
+        assert "fib" in graph.reachable
+        succs = graph.successors()
+        assert "fib" in succs["fib"]
+
+    def test_mutual_recursion(self):
+        graph = graph_for(
+            """
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+            int main(void) { return is_even(8); }
+            """
+        )
+        succs = graph.successors()
+        assert "is_odd" in succs["is_even"]
+        assert "is_even" in succs["is_odd"]
+
+    def test_alternate_entry_point(self):
+        graph = graph_for(
+            """
+            void svc(void) { }
+            int main(void) { return 0; }
+            """,
+            entry="svc",
+        )
+        assert "svc" in graph.reachable
+        assert "main" not in graph.reachable
+
+    def test_num_edges(self):
+        graph = graph_for(
+            """
+            void a(void) { }
+            int main(void) { a(); a(); return 0; }
+            """
+        )
+        assert graph.num_edges == 2
+
+    def test_callers_of(self):
+        graph = graph_for(
+            """
+            void a(void) { }
+            void b(void) { a(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        assert len(graph.callers_of("a")) == 2

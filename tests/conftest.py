@@ -1,0 +1,53 @@
+"""Shared pipeline helpers for tests."""
+
+import pytest
+
+from repro.callgraph import build_call_graph
+from repro.interfaces import (
+    APR_HEADER,
+    RC_HEADER,
+    apr_pools_interface,
+    rc_regions_interface,
+)
+from repro.ir import lower
+from repro.lang import analyze, parse
+from repro.pointer import AnalysisOptions, analyze_pointers
+
+
+def compile_module(text, filename="<test>"):
+    """C text -> IR module."""
+    return lower(analyze(parse(text, filename)))
+
+
+def compile_graph(text, entry="main", filename="<test>"):
+    """C text -> pruned call graph."""
+    return build_call_graph(compile_module(text, filename), entry=entry)
+
+
+def run_pointer_analysis(
+    text,
+    interface=None,
+    entry="main",
+    options=None,
+    with_apr_header=False,
+    with_rc_header=False,
+):
+    """C text -> pointer-analysis result (APR interface by default)."""
+    if with_apr_header:
+        text = APR_HEADER + text
+    if with_rc_header:
+        text = RC_HEADER + text
+    if interface is None:
+        interface = apr_pools_interface()
+    graph = compile_graph(text, entry=entry)
+    return analyze_pointers(graph, interface, options)
+
+
+@pytest.fixture
+def apr():
+    return apr_pools_interface()
+
+
+@pytest.fixture
+def rc():
+    return rc_regions_interface()

@@ -1,0 +1,129 @@
+"""Tests for the flow-sensitive abstract variant (Section 4.3).
+
+Property relations, checked on random programs:
+
+* soundness: concrete effects (site-mapped) are contained in the
+  flow-sensitive abstract effects;
+* precision: flow-sensitive effects are a subset of flow-insensitive
+  effects (never less precise), with a concrete strictness witness.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.abstract_flow import run_abstract_flow
+from repro.core.toylang import (
+    Alloc,
+    Copy,
+    Init,
+    LoadField,
+    New,
+    StoreField,
+    TOY_ROOT,
+    ToyError,
+    run_abstract,
+    run_concrete,
+    seq,
+)
+from repro.core.toysyntax import parse_toy
+
+from tests.core.test_toylang_soundness import (
+    _program_strategy,
+    _site_of,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(_program_strategy(allow_loops=True))
+def test_flow_sensitive_is_at_least_as_precise(program):
+    flow = run_abstract_flow(program)
+    insensitive = run_abstract(program)
+    assert flow.pi <= insensitive.pi
+    assert flow.phi <= insensitive.phi
+    assert flow.sigma <= insensitive.sigma
+
+
+@settings(max_examples=120, deadline=None)
+@given(_program_strategy(allow_loops=True), st.integers(0, 2**31))
+def test_flow_sensitive_soundness(program, seed):
+    rng = random.Random(seed)
+    try:
+        state = run_concrete(program, lambda: rng.random() < 0.5, max_steps=500)
+    except ToyError:
+        return
+    result = run_abstract_flow(program)
+    for child, parent in state.pi:
+        if _site_of(child) != _site_of(parent):
+            assert (_site_of(child), _site_of(parent)) in result.pi
+    for region, obj in state.phi:
+        assert (_site_of(region), _site_of(obj)) in result.phi
+    for source, target in state.sigma:
+        assert (_site_of(source), _site_of(target)) in result.sigma
+
+
+class TestStrictPrecision:
+    REBOUND = """
+        r0 = rnew null
+        r1 = rnew null
+        x = ralloc r0
+        x = ralloc r1
+        y = ralloc r1
+        x.f = y
+    """
+
+    def test_rebinding_witness(self):
+        """After `x = ralloc r1`, the store can only hit the second
+        object; the flow-insensitive analysis smears it over both."""
+        program = parse_toy(self.REBOUND)
+        flow = run_abstract_flow(program)
+        insensitive = run_abstract(program)
+        assert len(flow.sigma) == 1
+        assert len(insensitive.sigma) == 2
+        assert flow.sigma < insensitive.sigma
+
+    def test_branch_join_still_merges(self):
+        """Joins are still joins: a branch-dependent binding stays merged
+        even flow-sensitively."""
+        program = parse_toy(
+            """
+            r = rnew null
+            a = ralloc r
+            b = ralloc r
+            if ~ { x = a } else { x = b }
+            y = ralloc r
+            x.f = y
+            """
+        )
+        flow = run_abstract_flow(program)
+        assert len(flow.sigma) == 2  # both a.f and b.f possible
+
+    def test_loop_reaches_fixpoint(self):
+        program = parse_toy(
+            """
+            r = rnew null
+            x = ralloc r
+            while ~ { x.f = x; y = x.f }
+            """
+        )
+        flow = run_abstract_flow(program)
+        assert flow.sigma  # the store inside the loop is seen
+
+    def test_weak_heap_update(self):
+        """Heap updates stay weak even though env updates are strong:
+        an abstract object may stand for many concrete ones."""
+        program = parse_toy(
+            """
+            r = rnew null
+            o = ralloc r
+            a = ralloc r
+            b = ralloc r
+            o.f = a
+            o.f = b
+            z = o.f
+            """
+        )
+        flow = run_abstract_flow(program)
+        z_values = flow.env["z"]
+        sites = {loc for loc in z_values if loc > 0}
+        assert len(sites) == 2  # both a and b survive

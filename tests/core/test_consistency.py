@@ -1,0 +1,276 @@
+"""Tests for region lifetime consistency checking and ranking."""
+
+from tests.conftest import run_pointer_analysis
+
+from repro.core import (
+    check_consistency,
+    rank_warnings,
+    region_lifetime_correlation,
+)
+
+
+def analyze_and_check(text, **kwargs):
+    analysis = run_pointer_analysis(text, with_apr_header=True, **kwargs)
+    return analysis, check_consistency(analysis)
+
+
+FIGURE1_CONSISTENT = """
+struct conn { int fd; };
+struct req { struct conn *connection; };
+int main(void) {
+    apr_pool_t *r;
+    apr_pool_t *subr;
+    apr_pool_create(&r, NULL);
+    struct conn *conn = apr_palloc(r, sizeof(struct conn));
+    apr_pool_create(&subr, r);
+    struct req *req = apr_palloc(subr, sizeof(struct req));
+    req->connection = conn;
+    return 0;
+}
+"""
+
+FIGURE1_BROKEN = """
+struct conn { int fd; };
+struct req { struct conn *connection; };
+int main(void) {
+    apr_pool_t *r;
+    apr_pool_t *subr;
+    apr_pool_create(&r, NULL);
+    struct conn *conn = apr_palloc(r, sizeof(struct conn));
+    apr_pool_create(&subr, NULL);   /* not a subregion of r! */
+    struct req *req = apr_palloc(subr, sizeof(struct req));
+    req->connection = conn;
+    return 0;
+}
+"""
+
+FIGURE1_INVERTED = """
+struct conn { int fd; };
+struct req { struct conn *connection; };
+int main(void) {
+    apr_pool_t *subr;
+    apr_pool_t *r;
+    apr_pool_create(&subr, NULL);
+    apr_pool_create(&r, subr);      /* r is a subregion of subr: inverted */
+    struct conn *conn = apr_palloc(r, sizeof(struct conn));
+    struct req *req = apr_palloc(subr, sizeof(struct req));
+    req->connection = conn;
+    return 0;
+}
+"""
+
+
+class TestFigure2Classification:
+    """The four subregion configurations of Figure 2."""
+
+    def test_case_a_same_region_safe(self):
+        _, result = analyze_and_check(
+            """
+            struct cell { void *f; };
+            int main(void) {
+                apr_pool_t *r;
+                apr_pool_create(&r, NULL);
+                void *o1 = apr_palloc(r, 8);
+                struct cell *o2 = apr_palloc(r, sizeof(struct cell));
+                o2->f = o1;
+                return 0;
+            }
+            """
+        )
+        assert result.is_consistent
+
+    def test_case_b_pointer_from_subregion_safe(self):
+        _, result = analyze_and_check(FIGURE1_CONSISTENT)
+        assert result.is_consistent
+
+    def test_case_c_unrelated_regions_flagged(self):
+        _, result = analyze_and_check(FIGURE1_BROKEN)
+        assert not result.is_consistent
+        (warning,) = result.object_pairs
+        assert warning.never_safe
+
+    def test_case_d_inverted_regions_flagged(self):
+        _, result = analyze_and_check(FIGURE1_INVERTED)
+        assert not result.is_consistent
+        (warning,) = result.object_pairs
+        # The safe direction subr <= r can never hold (only the inverse
+        # does), so the pointer is unconditionally doomed: high signal.
+        assert warning.never_safe
+
+
+class TestFigure3:
+    def test_aliasing_inconsistency_found(self):
+        """Figure 3: r2's parent is ambiguous (r0 or r1); the pointer
+        o2.f = o1 into r1's object must be flagged."""
+        _, result = analyze_and_check(
+            """
+            int P; int Q;
+            struct cell { void *f; };
+            int main(void) {
+                apr_pool_t *r0; apr_pool_t *r1;
+                apr_pool_t *r; apr_pool_t *r2;
+                apr_pool_create(&r0, NULL);
+                apr_pool_create(&r1, NULL);
+                void *o1 = apr_palloc(r1, 8);
+                if (P) r = r0;
+                if (Q) r = r1;
+                apr_pool_create(&r2, r);
+                struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+                o2->f = o1;
+                return 0;
+            }
+            """
+        )
+        assert not result.is_consistent
+        # r2's parent was a join: recorded on the hierarchy.
+        assert len(result.hierarchy.joined) == 1
+
+    def test_unambiguous_alias_stays_consistent(self):
+        """Same shape but both candidate parents are r1: no join needed,
+        pointer is provably safe."""
+        _, result = analyze_and_check(
+            """
+            int P; int Q;
+            struct cell { void *f; };
+            int main(void) {
+                apr_pool_t *r1;
+                apr_pool_t *r; apr_pool_t *r2;
+                apr_pool_create(&r1, NULL);
+                void *o1 = apr_palloc(r1, 8);
+                if (P) r = r1;
+                if (Q) r = r1;
+                apr_pool_create(&r2, r);
+                struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+                o2->f = o1;
+                return 0;
+            }
+            """
+        )
+        assert result.is_consistent
+
+
+class TestStatistics:
+    def test_figure11_style_counts(self):
+        analysis, result = analyze_and_check(FIGURE1_CONSISTENT)
+        assert result.num_regions == 3  # root, r, subr
+        assert result.num_objects == 4  # conn, req + two pool stack slots
+        assert result.subregion_size == 2
+        assert result.ownership_size == 2
+        assert result.heap_size >= 1
+        assert result.region_pair_count == result.hierarchy.count_no_partial_order_pairs()
+
+    def test_o_pair_count(self):
+        _, result = analyze_and_check(FIGURE1_BROKEN)
+        assert result.o_pair_count == 1
+
+
+class TestObjectToRegionPointers:
+    def test_object_holding_region_pointer_flagged(self):
+        """The f= extension: an object in r1 storing a pointer to an
+        unrelated region r2 is an inconsistency."""
+        _, result = analyze_and_check(
+            """
+            struct holder { apr_pool_t *pool; };
+            int main(void) {
+                apr_pool_t *r1; apr_pool_t *r2;
+                apr_pool_create(&r1, NULL);
+                apr_pool_create(&r2, NULL);
+                struct holder *h = apr_palloc(r1, sizeof(struct holder));
+                h->pool = r2;
+                return 0;
+            }
+            """
+        )
+        assert not result.is_consistent
+        (warning,) = result.object_pairs
+        assert warning.target.is_region
+
+    def test_object_holding_own_region_pointer_safe(self):
+        _, result = analyze_and_check(
+            """
+            struct holder { apr_pool_t *pool; };
+            int main(void) {
+                apr_pool_t *r1;
+                apr_pool_create(&r1, NULL);
+                struct holder *h = apr_palloc(r1, sizeof(struct holder));
+                h->pool = r1;
+                return 0;
+            }
+            """
+        )
+        assert result.is_consistent
+
+    def test_pointer_to_parent_region_safe(self):
+        _, result = analyze_and_check(
+            """
+            struct holder { apr_pool_t *pool; };
+            int main(void) {
+                apr_pool_t *parent; apr_pool_t *child;
+                apr_pool_create(&parent, NULL);
+                apr_pool_create(&child, parent);
+                struct holder *h = apr_palloc(child, sizeof(struct holder));
+                h->pool = parent;
+                return 0;
+            }
+            """
+        )
+        assert result.is_consistent
+
+
+class TestRanking:
+    def test_condense_to_ipairs(self):
+        """Many contexts, one I-pair."""
+        analysis, result = analyze_and_check(
+            """
+            struct cell { void *f; };
+            void link(struct cell *o2, void *o1) { o2->f = o1; }
+            void build(apr_pool_t *other) {
+                apr_pool_t *r;
+                apr_pool_create(&r, NULL);
+                void *o1 = apr_palloc(r, 8);
+                struct cell *o2 = apr_palloc(other, sizeof(struct cell));
+                link(o2, o1);
+            }
+            int main(void) {
+                apr_pool_t *a; apr_pool_t *b;
+                apr_pool_create(&a, NULL);
+                apr_pool_create(&b, NULL);
+                build(a);
+                build(b);
+                return 0;
+            }
+            """
+        )
+        assert not result.is_consistent
+        # Multiple context-sensitive object pairs...
+        assert result.o_pair_count >= 2
+        ranked = rank_warnings(result)
+        # ...condense to a single instruction pair.
+        assert ranked.i_pair_count == 1
+        (ipair,) = ranked.ipairs
+        assert ipair.num_contexts == result.o_pair_count
+        assert ipair.high_ranked
+
+    def test_inverted_pair_ranks_high(self):
+        # Figure 2(d): the pointer can never be safe, so it ranks high.
+        _, result = analyze_and_check(FIGURE1_INVERTED)
+        ranked = rank_warnings(result)
+        assert ranked.high_count == 1
+        assert ranked.i_pair_count == 1
+
+    def test_unrelated_pair_ranks_high(self):
+        _, result = analyze_and_check(FIGURE1_BROKEN)
+        ranked = rank_warnings(result)
+        assert ranked.high_count == 1
+        assert ranked.high[0].store_uids
+
+
+class TestCorrelationEquivalence:
+    def test_correlation_view_matches_checker(self):
+        for source in (FIGURE1_CONSISTENT, FIGURE1_BROKEN, FIGURE1_INVERTED):
+            analysis = run_pointer_analysis(
+                "struct conn { int fd; };" * 0 + source, with_apr_header=True
+            )
+            result = check_consistency(analysis)
+            correlation, carrier = region_lifetime_correlation(analysis)
+            assert correlation.is_consistent(carrier) == result.is_consistent

@@ -1,0 +1,72 @@
+"""Tests for the generic conditional correlation framework."""
+
+from repro.core import ConditionalCorrelation, Violation
+
+
+def divides(a, b):
+    return b % a == 0
+
+
+class TestConditionalCorrelation:
+    def test_holds_vacuously_outside_f(self):
+        corr = ConditionalCorrelation(
+            f=lambda x, y: False,
+            phi=lambda x: x,
+            g=lambda u, v: False,
+        )
+        assert corr.holds_for(1, 2)
+        assert corr.is_consistent([1, 2, 3])
+
+    def test_consistent_correlation(self):
+        # f: x < y over ints; phi: doubling; g: u < v.  Order-preserving.
+        corr = ConditionalCorrelation(
+            f=lambda x, y: x < y,
+            phi=lambda x: 2 * x,
+            g=lambda u, v: u < v,
+        )
+        assert corr.is_consistent(range(10))
+
+    def test_inconsistent_correlation(self):
+        # phi negates, which reverses the order.
+        corr = ConditionalCorrelation(
+            f=lambda x, y: x < y,
+            phi=lambda x: -x,
+            g=lambda u, v: u < v,
+        )
+        violations = list(corr.violations(range(3)))
+        assert Violation(0, 1) in violations
+        assert not corr.is_consistent(range(3))
+
+    def test_violations_are_directional(self):
+        corr = ConditionalCorrelation(
+            f=lambda x, y: x == 1 and y == 2,
+            phi=lambda x: x,
+            g=lambda u, v: False,
+        )
+        violations = list(corr.violations([1, 2]))
+        assert violations == [Violation(1, 2)]
+
+    def test_region_shaped_instance(self):
+        """A miniature of Definition 4.1 on hand-built relations."""
+        # Regions a, b with b < a; objects: a owns oa, b owns ob.
+        leq = {("a", "a"), ("b", "b"), ("b", "a")}
+        owned = {"a": frozenset({"a", "oa"}), "b": frozenset({"b", "ob"})}
+        accesses = {("ob", "oa")}  # ob (dies first) points to oa: safe
+
+        corr = ConditionalCorrelation(
+            f=lambda x, y: (x, y) not in leq,
+            phi=lambda x: owned[x],
+            g=lambda s, t: not any((o1, o2) in accesses for o1 in s for o2 in t),
+        )
+        assert corr.is_consistent(["a", "b"])
+
+        # Reverse the pointer: oa -> ob becomes a dangling hazard.
+        accesses2 = {("oa", "ob")}
+        corr2 = ConditionalCorrelation(
+            f=lambda x, y: (x, y) not in leq,
+            phi=lambda x: owned[x],
+            g=lambda s, t: not any((o1, o2) in accesses2 for o1 in s for o2 in t),
+        )
+        assert not corr2.is_consistent(["a", "b"])
+        violations = list(corr2.violations(["a", "b"]))
+        assert Violation("a", "b") in violations

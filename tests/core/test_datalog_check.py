@@ -1,0 +1,50 @@
+"""Cross-check: the Datalog formulation of eq. 4.12 vs the checker.
+
+Runs every figure-corpus program through the pointer analysis, then
+computes objectPair twice -- with the production checker and with the
+four-rule Datalog program -- and requires identical results.
+"""
+
+import pytest
+
+from repro.core import build_hierarchy, check_consistency
+from repro.core.datalog_check import datalog_object_pairs
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.pointer import analyze_pointers
+from repro.workloads import FIGURES
+from tests.conftest import compile_graph
+
+
+def analysis_for(program):
+    interface = (
+        rc_regions_interface()
+        if program.interface == "rc"
+        else apr_pools_interface()
+    )
+    graph = compile_graph(program.full_source, entry=program.entry)
+    return analyze_pointers(graph, interface)
+
+
+@pytest.mark.parametrize("program", FIGURES, ids=lambda p: p.name)
+def test_datalog_matches_checker(program):
+    analysis = analysis_for(program)
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    checker = check_consistency(analysis, hierarchy)
+    expected = {
+        (pair.source, pair.offset, pair.target)
+        for pair in checker.object_pairs
+    }
+    computed = datalog_object_pairs(analysis, hierarchy, backend="set")
+    assert computed == expected, program.name
+
+
+@pytest.mark.parametrize("name", ["fig1", "fig2c", "fig3", "fig9"])
+def test_bdd_backend_agrees(name):
+    from repro.workloads import figure
+
+    program = figure(name)
+    analysis = analysis_for(program)
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    set_pairs = datalog_object_pairs(analysis, hierarchy, backend="set")
+    bdd_pairs = datalog_object_pairs(analysis, hierarchy, backend="bdd")
+    assert set_pairs == bdd_pairs

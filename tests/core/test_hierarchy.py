@@ -1,0 +1,124 @@
+"""Tests for region hierarchy canonicalization (Section 4.3)."""
+
+from repro.core import build_hierarchy
+from repro.pointer import AbstractObject, ROOT_REGION
+
+
+def region(name):
+    return AbstractObject("region", hash(name) % 1000, 0, name)
+
+
+class TestTreeBuilding:
+    def test_single_region_under_root(self):
+        r = region("r")
+        h = build_hierarchy([r], [(r, ROOT_REGION)])
+        assert h.parent[r] == ROOT_REGION
+        assert h.leq(r, ROOT_REGION)
+        assert not h.leq(ROOT_REGION, r)
+
+    def test_orphan_region_becomes_root_child(self):
+        r = region("r")
+        h = build_hierarchy([r], [])
+        assert h.parent[r] == ROOT_REGION
+
+    def test_chain(self):
+        a, b, c = region("a"), region("b"), region("c")
+        h = build_hierarchy(
+            [a, b, c], [(a, ROOT_REGION), (b, a), (c, b)]
+        )
+        assert h.leq(c, a)
+        assert h.leq(c, ROOT_REGION)
+        assert not h.leq(a, c)
+
+    def test_reflexive(self):
+        a = region("a")
+        h = build_hierarchy([a], [(a, ROOT_REGION)])
+        assert h.leq(a, a)
+        assert h.leq(ROOT_REGION, ROOT_REGION)
+
+    def test_siblings_unordered(self):
+        a, b = region("a"), region("b")
+        h = build_hierarchy([a, b], [(a, ROOT_REGION), (b, ROOT_REGION)])
+        assert not h.ordered(a, b)
+        assert h.ordered(a, ROOT_REGION)
+
+
+class TestJoins:
+    def test_multi_parent_joins_to_common_ancestor(self):
+        """Example 4.4: parents {l0, l1}, both under root -> join is root."""
+        l0, l1, l2 = region("l0"), region("l1"), region("l2")
+        h = build_hierarchy(
+            [l0, l1, l2],
+            [(l0, ROOT_REGION), (l1, ROOT_REGION), (l2, l0), (l2, l1)],
+        )
+        assert h.parent[l2] == ROOT_REGION
+        assert l2 in h.joined
+        # The unsound alternative would give l2 <= l1; the join must not.
+        assert not h.leq(l2, l1)
+        assert not h.leq(l2, l0)
+
+    def test_join_of_nested_candidates(self):
+        """Figure 5's benign case: candidates on one chain join to the
+        deeper candidate's ancestor chain meet point."""
+        p, q = region("p"), region("q")
+        r = region("r")
+        h = build_hierarchy(
+            [p, q, r],
+            [(p, ROOT_REGION), (q, p), (r, q), (r, p)],
+        )
+        # Candidates {q, p}: q <= p, so join(q, p) == p.
+        assert h.parent[r] == p
+        assert h.leq(r, p)
+
+    def test_self_edge_dropped(self):
+        a = region("a")
+        h = build_hierarchy([a], [(a, a), (a, ROOT_REGION)])
+        assert h.parent[a] == ROOT_REGION
+
+    def test_cycle_falls_back_to_root(self):
+        a, b = region("a"), region("b")
+        h = build_hierarchy([a, b], [(a, b), (b, a)])
+        # One of them gets re-parented to root to break the cycle.
+        assert h.leq(a, ROOT_REGION)
+        assert h.leq(b, ROOT_REGION)
+        # Ancestor chains are finite.
+        assert len(h.ancestors(a)) <= 3
+
+
+class TestPairCounting:
+    def test_count_matches_enumeration(self):
+        a, b, c = region("a"), region("b"), region("c")
+        h = build_hierarchy(
+            [a, b, c], [(a, ROOT_REGION), (b, a), (c, ROOT_REGION)]
+        )
+        enumerated = list(h.no_partial_order_pairs())
+        assert len(enumerated) == h.count_no_partial_order_pairs()
+
+    def test_figure3_pair_count(self):
+        """Section 2: the conservative estimate for Figure 3 yields six
+        region pairs to verify (ri vs rj, i != j, over three regions)."""
+        r0, r1, r2 = region("r0"), region("r1"), region("r2")
+        h = build_hierarchy(
+            [r0, r1, r2],
+            [(r0, ROOT_REGION), (r1, ROOT_REGION), (r2, r0), (r2, r1)],
+        )
+        pairs = {
+            (x, y)
+            for x, y in h.no_partial_order_pairs()
+            if x != ROOT_REGION and y != ROOT_REGION
+        }
+        assert len(pairs) == 6
+
+    def test_root_ordering(self):
+        h = build_hierarchy([], [])
+        assert h.count_no_partial_order_pairs() == 0
+
+    def test_join_helper(self):
+        a, b = region("a"), region("b")
+        c = region("c")
+        h = build_hierarchy(
+            [a, b, c], [(a, ROOT_REGION), (b, a), (c, a)]
+        )
+        assert h.join([b, c]) == a
+        assert h.join([b]) == b
+        assert h.join([]) == ROOT_REGION

@@ -1,0 +1,109 @@
+"""Property tests: hierarchy canonicalization invariants.
+
+Random raw subregion edge sets (including multi-parent ambiguity, cycles,
+self loops) must always canonicalize to a genuine tree rooted at the root
+region, and the canonical order must refine the raw may-order wherever the
+raw relation was unambiguous.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_hierarchy
+from repro.pointer import AbstractObject, ROOT_REGION
+
+NUM_REGIONS = 6
+
+
+def region(index):
+    return AbstractObject("region", 100 + index, 0, f"r{index}")
+
+
+REGIONS = [region(i) for i in range(NUM_REGIONS)]
+
+edges_strategy = st.sets(
+    st.tuples(
+        st.integers(0, NUM_REGIONS - 1),
+        st.integers(0, NUM_REGIONS - 1),
+    ),
+    max_size=12,
+)
+
+
+def build(edges):
+    subregion = [(REGIONS[a], REGIONS[b]) for a, b in edges]
+    return build_hierarchy(REGIONS, subregion)
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_result_is_a_tree(edges):
+    hierarchy = build(edges)
+    # Every region except the root has exactly one parent...
+    for node in hierarchy.regions:
+        if node == ROOT_REGION:
+            assert hierarchy.parent[node] is None
+        else:
+            assert hierarchy.parent[node] is not None
+    # ...and every parent chain terminates at the root (no cycles).
+    for node in hierarchy.regions:
+        seen = set()
+        current = node
+        while current is not None:
+            assert current not in seen, "cycle in canonical tree"
+            seen.add(current)
+            current = hierarchy.parent.get(current)
+        assert ROOT_REGION in seen
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_leq_is_a_partial_order(edges):
+    hierarchy = build(edges)
+    nodes = list(hierarchy.regions)
+    for x in nodes:
+        assert hierarchy.leq(x, x)  # reflexive
+        assert hierarchy.leq(x, ROOT_REGION)  # root is top
+        for y in nodes:
+            if hierarchy.leq(x, y) and hierarchy.leq(y, x):
+                assert x == y  # antisymmetric
+            for z in nodes:
+                if hierarchy.leq(x, y) and hierarchy.leq(y, z):
+                    assert hierarchy.leq(x, z)  # transitive
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_unambiguous_edges_preserved(edges):
+    """A region with exactly one (acyclic) raw parent keeps it."""
+    hierarchy = build(edges)
+    raw = {}
+    for a, b in edges:
+        if a != b:
+            raw.setdefault(a, set()).add(b)
+    for a, parents in raw.items():
+        if len(parents) == 1:
+            (b,) = parents
+            # Unless that unique edge lay on a raw cycle (broken to root).
+            if hierarchy.parent[REGIONS[a]] == REGIONS[b]:
+                assert hierarchy.leq(REGIONS[a], REGIONS[b])
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_canonical_leq_within_may_closure(edges):
+    """Everything the canonical order asserts below a *raw-parented*
+    region is reachable in the may-closure (joins only ever move regions
+    toward the root, never sideways)."""
+    hierarchy = build(edges)
+    for x in hierarchy.regions:
+        for y in hierarchy.ancestors(x):
+            assert hierarchy.may_leq(x, y) or y == ROOT_REGION
+
+
+@settings(max_examples=150, deadline=None)
+@given(edges_strategy)
+def test_pair_count_consistency(edges):
+    hierarchy = build(edges)
+    assert hierarchy.count_no_partial_order_pairs() == len(
+        list(hierarchy.no_partial_order_pairs())
+    )

@@ -1,0 +1,76 @@
+"""Tests for the lockset instantiation of conditional correlation."""
+
+from repro.core.lockcorr import LockAccess, find_races, lockset_correlation
+
+
+class TestLocksetDiscipline:
+    def test_consistent_locking(self):
+        accesses = [
+            LockAccess.write("t1", "counter", "m"),
+            LockAccess.write("t2", "counter", "m"),
+            LockAccess.read("t1", "counter", "m"),
+        ]
+        assert lockset_correlation().is_consistent(accesses)
+        assert find_races(accesses) == []
+
+    def test_unprotected_write_write_race(self):
+        accesses = [
+            LockAccess.write("t1", "counter"),
+            LockAccess.write("t2", "counter"),
+        ]
+        races = find_races(accesses)
+        assert len(races) == 1
+
+    def test_read_read_is_not_a_race(self):
+        accesses = [
+            LockAccess.read("t1", "config"),
+            LockAccess.read("t2", "config"),
+        ]
+        assert find_races(accesses) == []
+
+    def test_write_read_race(self):
+        accesses = [
+            LockAccess.write("t1", "state", "a"),
+            LockAccess.read("t2", "state", "b"),  # disjoint locksets
+        ]
+        assert len(find_races(accesses)) == 1
+
+    def test_same_thread_never_races(self):
+        accesses = [
+            LockAccess.write("t1", "x"),
+            LockAccess.write("t1", "x"),
+        ]
+        assert find_races(accesses) == []
+
+    def test_different_locations_never_race(self):
+        accesses = [
+            LockAccess.write("t1", "x"),
+            LockAccess.write("t2", "y"),
+        ]
+        assert find_races(accesses) == []
+
+    def test_common_lock_among_many(self):
+        accesses = [
+            LockAccess.write("t1", "x", "a", "shared"),
+            LockAccess.write("t2", "x", "b", "shared"),
+        ]
+        assert find_races(accesses) == []
+
+    def test_races_reported_once_per_pair(self):
+        a = LockAccess.write("t1", "x")
+        b = LockAccess.write("t2", "x")
+        races = find_races([a, b])
+        assert len(races) == 1  # not (a,b) and (b,a)
+
+    def test_mixed_program(self):
+        accesses = [
+            LockAccess.write("t1", "queue", "q_lock"),
+            LockAccess.write("t2", "queue", "q_lock"),
+            LockAccess.write("t1", "stats"),          # forgot the lock
+            LockAccess.write("t2", "stats", "s_lock"),
+            LockAccess.read("t3", "queue", "q_lock"),
+        ]
+        races = find_races(accesses)
+        assert len(races) == 1
+        (x, y) = races[0]
+        assert {x.location, y.location} == {"stats"}

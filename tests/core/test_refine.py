@@ -1,0 +1,116 @@
+"""Tests for the def-use (IPSSA-style) warning refinement."""
+
+from repro.interfaces import APR_HEADER, apr_pools_interface
+from repro.tool import run_regionwiz
+from repro.workloads import figure
+
+
+def run(source, refine):
+    return run_regionwiz(source, name="refine-test", refine=refine)
+
+
+class TestFigure5Refinement:
+    def test_fig5_false_positive_eliminated(self):
+        """The exact case Section 4.3 says the refinement should fix."""
+        program = figure("fig5")
+        unrefined = run(program.full_source, refine=False)
+        refined = run(program.full_source, refine=True)
+        assert unrefined.warnings          # the known false positive...
+        assert refined.is_consistent       # ...gone with def-use info
+
+    def test_fig3_real_bug_survives(self):
+        """Figure 3 is a real inconsistency: r2's parent variable is `r`
+        while o1 was allocated from `r1`, so the refinement must not
+        suppress it."""
+        program = figure("fig3")
+        refined = run(program.full_source, refine=True)
+        assert not refined.is_consistent
+
+    def test_fig9_real_bug_survives(self):
+        program = figure("fig9")
+        refined = run_regionwiz(
+            program.full_source,
+            interface=apr_pools_interface(),
+            name="fig9",
+            refine=True,
+        )
+        assert not refined.is_consistent
+        assert refined.high_warnings
+
+
+class TestSameVariableSuppression:
+    SAME_VAR = APR_HEADER + """
+    struct cell { void *f; };
+    int cond;
+    int main(void) {
+        apr_pool_t *p;
+        if (cond) apr_pool_create(&p, NULL);
+        else apr_pool_create(&p, NULL);
+        struct cell *o2 = apr_palloc(p, sizeof(struct cell));
+        void *o1 = apr_palloc(p, 8);
+        o2->f = o1;   /* both from p: same region whatever p is */
+        return 0;
+    }
+    """
+
+    def test_same_variable_allocations_suppressed(self):
+        unrefined = run(self.SAME_VAR, refine=False)
+        refined = run(self.SAME_VAR, refine=True)
+        assert unrefined.warnings
+        assert refined.is_consistent
+
+    DIFFERENT_VARS = APR_HEADER + """
+    struct cell { void *f; };
+    int main(void) {
+        apr_pool_t *a; apr_pool_t *b;
+        apr_pool_create(&a, NULL);
+        apr_pool_create(&b, NULL);
+        struct cell *o2 = apr_palloc(a, sizeof(struct cell));
+        void *o1 = apr_palloc(b, 8);
+        o2->f = o1;   /* genuinely different regions */
+        return 0;
+    }
+    """
+
+    def test_different_variables_not_suppressed(self):
+        refined = run(self.DIFFERENT_VARS, refine=True)
+        assert not refined.is_consistent
+
+    def test_refinement_does_not_cross_functions(self):
+        """Same *name* in different functions is not the same variable."""
+        source = APR_HEADER + """
+        struct cell { void *f; };
+        void *make(apr_pool_t *pool) { return apr_palloc(pool, 8); }
+        int main(void) {
+            apr_pool_t *pool; apr_pool_t *other;
+            apr_pool_create(&pool, NULL);
+            apr_pool_create(&other, NULL);
+            struct cell *o2 = apr_palloc(pool, sizeof(struct cell));
+            o2->f = make(other);
+            return 0;
+        }
+        """
+        refined = run(source, refine=True)
+        assert not refined.is_consistent
+
+
+class TestCorpusUnderRefinement:
+    def test_all_true_bugs_survive_refinement(self):
+        """Refinement only removes warnings; every figure expected to be
+        inconsistent for a *real* reason must still warn."""
+        from repro.interfaces import rc_regions_interface
+
+        for name in ("fig2c", "fig2d", "fig3", "fig9", "fig12b"):
+            program = figure(name)
+            interface = (
+                rc_regions_interface()
+                if program.interface == "rc"
+                else apr_pools_interface()
+            )
+            refined = run_regionwiz(
+                program.full_source,
+                interface=interface,
+                name=name,
+                refine=True,
+            )
+            assert not refined.is_consistent, name

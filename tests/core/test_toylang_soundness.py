@@ -1,0 +1,195 @@
+"""Property-based soundness tests: abstract semantics vs Figure 4 runs.
+
+Random toy programs are executed concretely under random decision oracles
+and analyzed abstractly.  Two properties:
+
+1. **Effect containment** (the alpha direction of Definition 3.3): every
+   concrete pi/phi/sigma tuple, mapped to allocation sites, appears in the
+   abstract Pi/Phi/Sigma.  Holds for arbitrary programs, loops included.
+
+2. **No false negatives**: a concrete violation implies an abstract
+   warning.  This is checked for *loop-free* programs only: with loops, a
+   single allocation site names many concrete instances (two sibling
+   regions from one site merge into one abstract region), which is the
+   known residual unsoundness of site-based abstraction that the paper's
+   heap cloning narrows but cannot eliminate.  ``test_loop_merging_gap``
+   pins down a concrete witness of that gap so the limitation stays
+   documented-by-test.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.toylang import (
+    Alloc,
+    Branch,
+    Copy,
+    Init,
+    LoadField,
+    Loop,
+    New,
+    StoreField,
+    TOY_ROOT,
+    ToyError,
+    abstract_violations,
+    concrete_violations,
+    run_abstract,
+    run_concrete,
+    seq,
+)
+
+REGION_VARS = ["r0", "r1", "r2"]
+OBJECT_VARS = ["o0", "o1", "o2"]
+FIELDS = ["f", "g"]
+
+_site_counter = [100]
+
+
+def _fresh_site():
+    _site_counter[0] += 1
+    return _site_counter[0]
+
+
+def _simple_stmt():
+    region = st.sampled_from(REGION_VARS)
+    region_or_null = st.one_of(region, st.none())
+    obj = st.sampled_from(OBJECT_VARS)
+    return st.one_of(
+        st.tuples(st.just("init_r"), region),
+        st.tuples(st.just("init_o"), obj),
+        st.tuples(st.just("new"), region, region_or_null),
+        st.tuples(st.just("alloc"), obj, region_or_null),
+        st.tuples(st.just("copy_r"), region, region),
+        st.tuples(st.just("copy_o"), obj, obj),
+        st.tuples(st.just("load"), obj, obj, st.sampled_from(FIELDS)),
+        st.tuples(st.just("store"), obj, st.sampled_from(FIELDS), obj),
+    )
+
+
+def _build(spec):
+    tag = spec[0]
+    site = _fresh_site()
+    if tag == "init_r" or tag == "init_o":
+        return Init(spec[1], site=site)
+    if tag == "new":
+        return New(spec[1], spec[2], site=site)
+    if tag == "alloc":
+        return Alloc(spec[1], spec[2], site=site)
+    if tag in ("copy_r", "copy_o"):
+        return Copy(spec[1], spec[2], site=site)
+    if tag == "load":
+        return LoadField(spec[1], spec[2], spec[3], site=site)
+    if tag == "store":
+        return StoreField(spec[1], spec[2], spec[3], site=site)
+    raise AssertionError(tag)
+
+
+def _program_strategy(allow_loops):
+    simple = _simple_stmt().map(_build)
+
+    def extend(children):
+        options = [
+            st.tuples(children, children).map(lambda p: seq(*p)),
+            st.tuples(children, children).map(lambda p: Branch(p[0], p[1])),
+        ]
+        if allow_loops:
+            options.append(children.map(Loop))
+        return st.one_of(*options)
+
+    body = st.recursive(simple, extend, max_leaves=15)
+    # Every variable is explicitly initialized to null first, as C locals
+    # would be declared: this makes the null possibility visible to the
+    # flow-insensitive abstract env (otherwise a use-before-assignment
+    # path would be an invisible root-region parent).
+    prologue = [
+        Init(var, site=_fresh_site()) for var in REGION_VARS + OBJECT_VARS
+    ]
+    return body.map(lambda stmt: seq(*prologue, stmt))
+
+
+def _site_of(value):
+    return value.site if value != TOY_ROOT else 0
+
+
+def _run_with_seed(program, seed):
+    rng = random.Random(seed)
+    return run_concrete(program, lambda: rng.random() < 0.5, max_steps=500)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_program_strategy(allow_loops=True), st.integers(0, 2**31))
+def test_effect_containment(program, seed):
+    """Concrete effects, site-mapped, are contained in abstract effects."""
+    try:
+        state = _run_with_seed(program, seed)
+    except ToyError:
+        return  # ill-typed path: the abstract side has nothing to match
+    result = run_abstract(program)
+    for child, parent in state.pi:
+        assert (_site_of(child), _site_of(parent)) in result.pi or _site_of(
+            child
+        ) == _site_of(parent)
+    for region, obj in state.phi:
+        assert (_site_of(region), _site_of(obj)) in result.phi
+    for source, target in state.sigma:
+        assert (_site_of(source), _site_of(target)) in result.sigma
+
+
+@settings(max_examples=150, deadline=None)
+@given(_program_strategy(allow_loops=False), st.integers(0, 2**31))
+def test_no_false_negatives_loop_free(program, seed):
+    """Loop-free: every concrete violation has an abstract counterpart."""
+    try:
+        state = _run_with_seed(program, seed)
+    except ToyError:
+        return
+    concrete = concrete_violations(state)
+    if not concrete:
+        return
+    abstract = set(abstract_violations(run_abstract(program)))
+    for source, target in concrete:
+        assert (_site_of(source), _site_of(target)) in abstract
+
+
+@settings(max_examples=150, deadline=None)
+@given(_program_strategy(allow_loops=False), st.integers(0, 2**31))
+def test_abstract_env_contains_concrete_env(program, seed):
+    """G over-approximates rho under the site mapping."""
+    try:
+        state = _run_with_seed(program, seed)
+    except ToyError:
+        return
+    result = run_abstract(program)
+    for var, value in state.env.items():
+        if value is None or value == TOY_ROOT:
+            continue
+        assert value.site in result.env.get(var, frozenset())
+
+
+def test_loop_merging_gap():
+    """Documented residual unsoundness: two sibling regions allocated at
+    one site in a loop merge abstractly, so a cross-iteration pointer is
+    missed.  (Heap cloning distinguishes call *paths*, not iterations.)"""
+    program = seq(
+        Init("keep", site=1),
+        Loop(
+            seq(
+                New("r", None, site=2),
+                Alloc("o", "r", site=3),
+                Branch(Copy("keep", "o", site=4), Init("_", site=5)),
+            )
+        ),
+        # keep may hold iteration 1's object; o holds iteration 2's.
+        StoreField("o", "f", "keep", site=6),
+    )
+    state = run_concrete(
+        program,
+        iter([True, True, True, False, False]).__next__,  # 2 iterations
+    )
+    # Concretely: o (region of iter 2) points to keep (object of iter 1):
+    # sibling regions, a real violation.
+    assert concrete_violations(state)
+    # Abstractly both iterations share site 2, so the access looks
+    # intra-region and is NOT flagged -- the documented gap.
+    assert abstract_violations(run_abstract(program)) == []

@@ -1,0 +1,127 @@
+"""Tests for the toy-language concrete syntax."""
+
+import pytest
+
+from repro.core.toylang import (
+    Alloc,
+    Branch,
+    Copy,
+    Init,
+    LoadField,
+    Loop,
+    New,
+    Seq,
+    StoreField,
+    abstract_violations,
+    run_abstract,
+    run_concrete,
+)
+from repro.core.toysyntax import ToyParseError, parse_toy
+
+
+def flatten(stmt):
+    if isinstance(stmt, Seq):
+        return flatten(stmt.first) + flatten(stmt.second)
+    return [stmt]
+
+
+class TestParsing:
+    def test_init(self):
+        (stmt,) = flatten(parse_toy("x = null"))
+        assert isinstance(stmt, Init)
+        assert stmt.x == "x"
+
+    def test_rnew_with_parent(self):
+        (stmt,) = flatten(parse_toy("sub = rnew r"))
+        assert isinstance(stmt, New)
+        assert stmt.y == "r"
+
+    def test_rnew_null(self):
+        (stmt,) = flatten(parse_toy("r = rnew null"))
+        assert stmt.y is None
+
+    def test_ralloc(self):
+        (stmt,) = flatten(parse_toy("o = ralloc r"))
+        assert isinstance(stmt, Alloc)
+
+    def test_copy_load_store(self):
+        stmts = flatten(parse_toy("a = b; c = a.f; a.g = c"))
+        assert isinstance(stmts[0], Copy)
+        assert isinstance(stmts[1], LoadField)
+        assert stmts[1].f == "f"
+        assert isinstance(stmts[2], StoreField)
+        assert stmts[2].f == "g"
+
+    def test_if_else(self):
+        stmt = parse_toy("if ~ { x = null } else { y = null }")
+        assert isinstance(stmt, Branch)
+        assert isinstance(stmt.then, Init)
+        assert isinstance(stmt.other, Init)
+
+    def test_while(self):
+        stmt = parse_toy("while ~ { o = ralloc r }")
+        assert isinstance(stmt, Loop)
+        assert isinstance(stmt.body, Alloc)
+
+    def test_nested_blocks(self):
+        stmt = parse_toy(
+            "while ~ { if ~ { a = b } else { b = a }; a.f = b }"
+        )
+        assert isinstance(stmt, Loop)
+        assert isinstance(stmt.body, Seq)
+
+    def test_statement_separators(self):
+        newline = parse_toy("a = null\nb = null")
+        semicolon = parse_toy("a = null; b = null;")
+        assert len(flatten(newline)) == len(flatten(semicolon)) == 2
+
+    def test_sites_are_unique(self):
+        stmts = flatten(parse_toy("a = ralloc null; b = ralloc null"))
+        assert stmts[0].site != stmts[1].site
+
+
+class TestParseErrors:
+    def test_empty(self):
+        with pytest.raises(ToyParseError):
+            parse_toy("")
+
+    def test_bad_character(self):
+        with pytest.raises(ToyParseError):
+            parse_toy("a = b + c")
+
+    def test_missing_else(self):
+        with pytest.raises(ToyParseError):
+            parse_toy("if ~ { a = null }")
+
+    def test_unclosed_block(self):
+        with pytest.raises(ToyParseError):
+            parse_toy("while ~ { a = null")
+
+    def test_rnew_of_keyword(self):
+        with pytest.raises(ToyParseError):
+            parse_toy("r = rnew while")
+
+
+class TestEndToEnd:
+    FIGURE3 = """
+        r0 = rnew null;  r1 = rnew null
+        o1 = ralloc r1
+        r  = null
+        if ~ { r = r0 } else { s = null }
+        if ~ { r = r1 } else { t = null }
+        r2 = rnew r
+        o2 = ralloc r2
+        o2.f = o1
+    """
+
+    def test_figure3_from_concrete_syntax(self):
+        program = parse_toy(self.FIGURE3)
+        result = run_abstract(program)
+        assert abstract_violations(result)
+
+    def test_concrete_run_from_syntax(self):
+        program = parse_toy(
+            "r = rnew null; o = ralloc r; p = ralloc r; o.f = p"
+        )
+        state = run_concrete(program, lambda: False)
+        assert len(state.sigma) == 1

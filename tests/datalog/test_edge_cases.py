@@ -1,0 +1,122 @@
+"""Edge-case coverage for the Datalog solver."""
+
+import pytest
+
+from repro.datalog import DatalogError, Program
+
+
+@pytest.fixture(params=["set", "bdd"])
+def backend(request):
+    return request.param
+
+
+class TestNullaryAndSingleton:
+    def test_nullary_relation_as_flag(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 2)
+        program.relation("edge", ["V", "V"])
+        program.relation("nonempty", [])
+        program.rules("nonempty() :- edge(x, y).")
+        solution = program.solve()
+        assert solution.count("nonempty") == 0
+        program2 = Program(backend=backend)
+        program2.domain("V", 2)
+        program2.relation("edge", ["V", "V"])
+        program2.relation("nonempty", [])
+        program2.rules("nonempty() :- edge(x, y).")
+        program2.fact("edge", 0, 1)
+        assert program2.solve().count("nonempty") == 1
+
+    def test_domain_of_size_one(self, backend):
+        program = Program(backend=backend)
+        program.domain("U", 1)
+        program.relation("a", ["U"])
+        program.relation("b", ["U"])
+        program.rules("b(x) :- a(x).")
+        program.fact("a", 0)
+        assert program.solve().tuples("b") == {(0,)}
+
+
+class TestMultipleNegation:
+    def test_two_negated_atoms(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 4)
+        for name in ("node", "red", "blue", "plain"):
+            program.relation(name, ["V"])
+        program.rules("plain(x) :- node(x), !red(x), !blue(x).")
+        for value in range(4):
+            program.fact("node", value)
+        program.fact("red", 0)
+        program.fact("blue", 1)
+        program.fact("red", 2)
+        program.fact("blue", 2)
+        assert program.solve().tuples("plain") == {(3,)}
+
+    def test_negation_chain_across_strata(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 3)
+        for name in ("base", "a", "b", "c"):
+            program.relation(name, ["V"])
+        program.rules(
+            """
+            a(x) :- base(x).
+            b(x) :- base(x), !a(x).
+            c(x) :- base(x), !b(x).
+            """
+        )
+        for value in range(3):
+            program.fact("base", value)
+        solution = program.solve()
+        assert solution.count("b") == 0
+        assert solution.count("c") == 3
+
+
+class TestWideRelations:
+    def test_five_column_relation(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 3)
+        program.relation("wide", ["V"] * 5)
+        program.relation("diag", ["V"])
+        program.rules("diag(x) :- wide(x, x, x, x, x).")
+        program.fact("wide", 1, 1, 1, 1, 1)
+        program.fact("wide", 1, 1, 2, 1, 1)
+        assert program.solve().tuples("diag") == {(1,)}
+
+    def test_many_variables_one_rule(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 3)
+        program.relation("e", ["V", "V"])
+        program.relation("p4", ["V", "V"])
+        program.rules("p4(a, e) :- e(a, b), e(b, c), e(c, d), e(d, e).")
+        for i in range(2):
+            program.fact("e", i, i + 1)
+        program.fact("e", 2, 0)
+        solution = program.solve()
+        assert (0, 1) in solution.tuples("p4")  # 0->1->2->0->1
+
+
+class TestResolveIdempotence:
+    def test_solve_twice_same_result(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 4)
+        program.relation("edge", ["V", "V"])
+        program.relation("path", ["V", "V"])
+        program.rules(
+            "path(x, y) :- edge(x, y). path(x, z) :- path(x, y), edge(y, z)."
+        )
+        program.fact("edge", 0, 1)
+        program.fact("edge", 1, 2)
+        first = program.solve().tuples("path")
+        second = program.solve().tuples("path")
+        assert first == second == {(0, 1), (0, 2), (1, 2)}
+
+    def test_facts_after_solve_affect_next_solve(self, backend):
+        program = Program(backend=backend)
+        program.domain("V", 4)
+        program.relation("edge", ["V", "V"])
+        program.relation("path", ["V", "V"])
+        program.rules("path(x, y) :- edge(x, y).")
+        program.fact("edge", 0, 1)
+        assert program.solve().count("path") == 1
+        program.fact("edge", 1, 2)
+        assert program.solve().count("path") == 2

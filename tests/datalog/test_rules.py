@@ -1,0 +1,116 @@
+"""Tests for the Datalog rule AST and parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Const,
+    DatalogSyntaxError,
+    NotEqual,
+    Rule,
+    Var,
+    parse_rule,
+    parse_rules,
+)
+
+
+class TestParser:
+    def test_simple_rule(self):
+        rule = parse_rule("path(x, y) :- edge(x, y).")
+        assert rule.head == Atom("path", (Var("x"), Var("y")))
+        assert rule.body == (Atom("edge", (Var("x"), Var("y"))),)
+
+    def test_transitive_rule(self):
+        rule = parse_rule("path(x, z) :- path(x, y), edge(y, z).")
+        assert len(rule.body) == 2
+        assert rule.head.variables == (Var("x"), Var("z"))
+
+    def test_fact(self):
+        rule = parse_rule("edge(0, 3).")
+        assert rule.is_fact
+        assert rule.head.terms == (Const(0), Const(3))
+
+    def test_constant_in_body(self):
+        rule = parse_rule("reach(x) :- edge(0, x).")
+        assert rule.body[0].terms[0] == Const(0)
+
+    def test_negation(self):
+        rule = parse_rule("only(x) :- all(x), !bad(x).")
+        negatives = list(rule.negative_atoms())
+        assert len(negatives) == 1
+        assert negatives[0].relation == "bad"
+
+    def test_disequality(self):
+        rule = parse_rule("pair(x, y) :- node(x), node(y), x != y.")
+        constraints = list(rule.constraints())
+        assert constraints == [NotEqual(Var("x"), Var("y"))]
+
+    def test_multiple_rules_and_comments(self):
+        rules = parse_rules(
+            """
+            # transitive closure
+            path(x, y) :- edge(x, y).
+            path(x, z) :- path(x, y), edge(y, z).  # recursion
+            """
+        )
+        assert len(rules) == 2
+
+    def test_nullary_atom(self):
+        rule = parse_rule("flag() :- edge(x, y).")
+        assert rule.head.terms == ()
+
+    def test_roundtrip_str(self):
+        text = "pair(x, y) :- node(x), node(y), !bad(x, y), x != y."
+        assert str(parse_rule(text)) == text
+
+
+class TestParserErrors:
+    def test_missing_dot(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rules("path(x, y) :- edge(x, y)")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rules("path(x, y) :- edge(x; y).")
+
+    def test_unsafe_head_variable(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("path(x, z) :- edge(x, y).")
+
+    def test_unsafe_negated_variable(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(x) :- q(x), !r(y).")
+
+    def test_unsafe_constraint_variable(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(x) :- q(x), x != y.")
+
+    def test_fact_with_variable(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("edge(x, 0).")
+
+    def test_neq_with_constant(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("p(x) :- q(x), x != 3.")
+
+    def test_expected_one_rule(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_rule("a(0). b(1).")
+
+
+class TestRuleHelpers:
+    def test_is_fact(self):
+        assert parse_rule("a(1).").is_fact
+        assert not parse_rule("a(x) :- b(x).").is_fact
+
+    def test_positive_atoms_excludes_negated(self):
+        rule = parse_rule("p(x) :- q(x), !r(x), s(x).")
+        assert [a.relation for a in rule.positive_atoms()] == ["q", "s"]
+
+    def test_validate_rejects_negated_head(self):
+        rule = Rule(
+            Atom("p", (Var("x"),), negated=True),
+            (Atom("q", (Var("x"),)),),
+        )
+        with pytest.raises(DatalogSyntaxError):
+            rule.validate()

@@ -1,0 +1,105 @@
+"""Tests for region interface specifications."""
+
+import pytest
+
+from repro.interfaces import (
+    CleanupRegister,
+    RegionAlloc,
+    RegionCreate,
+    RegionDelete,
+    RegionInterface,
+    apr_pools_interface,
+    rc_regions_interface,
+)
+
+
+class TestSpecConstruction:
+    def test_add_and_query(self):
+        interface = RegionInterface("custom")
+        interface.add(
+            RegionCreate("arena_push", parent_arg=0),
+            RegionAlloc("arena_alloc", region_arg=0),
+            RegionDelete("arena_pop", region_arg=0),
+        )
+        assert interface.is_interface_function("arena_push")
+        assert interface.is_interface_function("arena_alloc")
+        assert not interface.is_interface_function("malloc")
+        assert set(interface.function_names()) == {
+            "arena_push", "arena_alloc", "arena_pop",
+        }
+
+    def test_add_returns_self_for_chaining(self):
+        interface = RegionInterface("c")
+        assert interface.add(RegionAlloc("a")) is interface
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TypeError):
+            RegionInterface("c").add(object())
+
+    def test_create_defaults(self):
+        spec = RegionCreate("newregion")
+        assert spec.parent_arg is None
+        assert spec.out_arg is None
+
+    def test_cleanup_defaults(self):
+        spec = CleanupRegister("reg")
+        assert spec.fn_args == (2,)
+        assert spec.data_arg == 1
+
+
+class TestAprInterface:
+    def test_create_through_out_param(self):
+        interface = apr_pools_interface()
+        spec = interface.creates["apr_pool_create"]
+        assert spec.out_arg == 0
+        assert spec.parent_arg == 1
+
+    def test_svn_wrapper_returns_directly(self):
+        spec = apr_pools_interface().creates["svn_pool_create"]
+        assert spec.out_arg is None
+        assert spec.parent_arg == 0
+
+    def test_alloc_functions(self):
+        interface = apr_pools_interface()
+        for name in ("apr_palloc", "apr_pcalloc", "apr_pstrdup"):
+            assert name in interface.allocs
+            assert interface.allocs[name].region_arg == 0
+
+    def test_clear_vs_destroy(self):
+        interface = apr_pools_interface()
+        assert interface.deletes["apr_pool_clear"].clears_only
+        assert not interface.deletes["apr_pool_destroy"].clears_only
+
+    def test_cleanup_register(self):
+        spec = apr_pools_interface().cleanups["apr_pool_cleanup_register"]
+        assert spec.fn_args == (2, 3)
+
+
+class TestRcInterface:
+    def test_primitives(self):
+        interface = rc_regions_interface()
+        assert interface.creates["newregion"].parent_arg is None
+        assert interface.creates["newsubregion"].parent_arg == 0
+        assert "ralloc" in interface.allocs
+        assert "rstrdup" in interface.allocs
+        assert "deleteregion" in interface.deletes
+
+    def test_headers_parse(self):
+        from repro.interfaces import APR_HEADER, RC_HEADER
+        from repro.lang import analyze, parse
+
+        for header in (APR_HEADER, RC_HEADER):
+            analyze(parse(header))
+
+    def test_header_covers_interface_functions(self):
+        """Every core spec function has a prototype in its header, so
+        corpora can call it without redeclaring."""
+        from repro.interfaces import APR_HEADER
+        from repro.lang import analyze, parse
+
+        sema = analyze(parse(APR_HEADER))
+        for name in (
+            "apr_pool_create", "apr_palloc", "apr_pool_destroy",
+            "apr_pool_cleanup_register", "svn_pool_create",
+        ):
+            assert sema.function_type(name) is not None

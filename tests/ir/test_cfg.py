@@ -1,0 +1,129 @@
+"""Tests for CFG construction and the IR verifier."""
+
+import pytest
+
+from repro.ir import lower
+from repro.ir.cfg import IRVerifyError, build_cfg, verify_function, verify_module
+from repro.lang import analyze, parse
+from repro.workloads import FIGURES
+
+
+def cfg_of(text, name="f"):
+    module = lower(analyze(parse(text)))
+    return build_cfg(module.functions[name])
+
+
+class TestBasicBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of("void f(void) { int a = 1; int b = a; }")
+        assert len(cfg.blocks) == 1
+        assert cfg.entry.successors == []
+
+    def test_if_produces_diamond(self):
+        cfg = cfg_of(
+            "void f(int c) { int x; if (c) x = 1; else x = 2; x = 3; }"
+        )
+        assert len(cfg.entry.successors) == 2
+        reachable = cfg.reachable_blocks()
+        assert len(reachable) >= 4
+
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("void f(int c) { while (c) c = c - 1; }")
+        has_back_edge = any(
+            succ <= block.index
+            for block in cfg.blocks
+            for succ in block.successors
+        )
+        assert has_back_edge
+
+    def test_return_ends_block(self):
+        cfg = cfg_of("int f(int c) { if (c) return 1; return 0; }")
+        returns = [
+            b for b in cfg.blocks
+            if b.terminator is not None
+            and type(b.terminator).__name__ == "Return"
+        ]
+        assert len(returns) == 2
+        for block in returns:
+            assert block.successors == []
+
+    def test_predecessors_are_inverse_of_successors(self):
+        cfg = cfg_of(
+            "void f(int c) { for (int i = 0; i < c; i++) if (i) c = 0; }"
+        )
+        for block in cfg.blocks:
+            for succ in block.successors:
+                assert block.index in cfg.blocks[succ].predecessors
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = cfg_of("void f(int c) { if (c) c = 1; else c = 2; c = 3; }")
+        dom = cfg.dominators()
+        for block, dominators in dom.items():
+            assert 0 in dominators
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = cfg_of("void f(int c) { if (c) c = 1; else c = 2; c = 3; }")
+        dom = cfg.dominators()
+        join = max(cfg.reachable_blocks())
+        arms = cfg.entry.successors
+        for arm in arms:
+            assert arm not in dom[join]
+
+    def test_self_domination(self):
+        cfg = cfg_of("void f(void) { int a = 1; }")
+        dom = cfg.dominators()
+        assert dom[0] == {0}
+
+
+class TestVerifier:
+    def test_lowered_corpus_verifies(self):
+        for program in FIGURES:
+            module = lower(analyze(parse(program.full_source)))
+            cfgs = verify_module(module)
+            assert set(cfgs) == set(module.functions)
+
+    def test_detects_dangling_jump(self):
+        module = lower(analyze(parse("void f(int c) { while (c) c = 0; }")))
+        function = module.functions["f"]
+        from repro.ir import Jump
+        from repro.lang.errors import SourceLocation
+
+        bogus = Jump(SourceLocation.UNKNOWN, 999)
+        bogus.uid = 10_000
+        function.instrs.append(bogus)
+        with pytest.raises(IRVerifyError):
+            verify_function(function)
+
+    def test_detects_duplicate_label(self):
+        module = lower(analyze(parse("void f(int c) { if (c) c = 1; }")))
+        function = module.functions["f"]
+        from repro.ir import Label
+        from repro.lang.errors import SourceLocation
+
+        dup = Label(SourceLocation.UNKNOWN, 1)
+        dup.uid = 10_001
+        function.instrs.append(dup)
+        with pytest.raises(IRVerifyError):
+            verify_function(function)
+
+    def test_detects_missing_uid(self):
+        module = lower(analyze(parse("void f(void) { }")))
+        function = module.functions["f"]
+        from repro.ir import Return
+        from repro.lang.errors import SourceLocation
+
+        function.instrs.append(Return(SourceLocation.UNKNOWN, None))
+        with pytest.raises(IRVerifyError):
+            verify_function(function)
+
+    def test_detects_duplicate_uid(self):
+        module = lower(analyze(parse(
+            "void f(void) { int a = 1; }\nvoid g(void) { int b = 2; }"
+        )))
+        module.functions["g"].instrs[0].uid = (
+            module.functions["f"].instrs[0].uid
+        )
+        with pytest.raises(IRVerifyError):
+            verify_module(module)

@@ -1,0 +1,131 @@
+"""Tests for the C-subset lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.EOF
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo _bar baz42")
+        assert tokens[0].kind == TokenKind.KEYWORD
+        assert [t.kind for t in tokens[1:4]] == [TokenKind.IDENT] * 3
+        assert values("int foo _bar baz42") == ["int", "foo", "_bar", "baz42"]
+
+    def test_all_keywords_recognized(self):
+        for keyword in ("struct", "typedef", "while", "sizeof", "return"):
+            assert tokenize(keyword)[0].kind == TokenKind.KEYWORD
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].loc.line, tokens[0].loc.column) == (1, 1)
+        assert (tokens[1].loc.line, tokens[1].loc.column) == (2, 3)
+
+    def test_filename_in_location(self):
+        token = tokenize("x", filename="pool.c")[0]
+        assert token.loc.filename == "pool.c"
+        assert str(token.loc) == "pool.c:1:1"
+
+
+class TestNumbers:
+    def test_decimal(self):
+        assert values("42 0") == ["42", "0"]
+
+    def test_hex(self):
+        assert values("0x10 0xff") == ["16", "255"]
+
+    def test_octal(self):
+        assert values("010") == ["8"]
+
+    def test_suffixes_swallowed(self):
+        assert values("42u 42UL 7L") == ["42", "42", "7"]
+
+    def test_char_literal_becomes_int(self):
+        tokens = tokenize("'a' '\\n' '\\0'")
+        assert [t.value for t in tokens[:-1]] == ["97", "10", "0"]
+        assert all(t.kind == TokenKind.INT for t in tokens[:-1])
+
+    def test_malformed_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'ab'")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        token = tokenize('"hello"')[0]
+        assert token.kind == TokenKind.STRING
+        assert token.value == "hello"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\nb\tc\"d"')[0].value == 'a\nb\tc"d'
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestCommentsAndDirectives:
+    def test_line_comment(self):
+        assert values("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* oops")
+
+    def test_preprocessor_lines_skipped(self):
+        text = '#include "apr_pools.h"\n#define X 1\nint x;'
+        assert values(text) == ["int", "x", ";"]
+
+    def test_continued_directive(self):
+        assert values("#define M \\\n  body\nint x;") == ["int", "x", ";"]
+
+
+class TestPunctuation:
+    def test_multichar_operators(self):
+        assert values("-> ++ -- << >> <= >= == != && || ...") == [
+            "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "...",
+        ]
+
+    def test_compound_assignment(self):
+        assert values("+= -= *= /= <<=") == ["+=", "-=", "*=", "/=", "<<="]
+
+    def test_longest_match(self):
+        # '->' must not lex as '-' '>'.
+        assert values("a->b") == ["a", "->", "b"]
+        assert values("a- >b") == ["a", "-", ">", "b"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_apr_prototype_round_trip(self):
+        text = "apr_status_t apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);"
+        assert values(text) == [
+            "apr_status_t", "apr_pool_create", "(", "apr_pool_t", "*", "*",
+            "newp", ",", "apr_pool_t", "*", "parent", ")", ";",
+        ]

@@ -1,0 +1,147 @@
+"""Tests for the C pretty-printer, including parse/print round-trips."""
+
+import pytest
+
+from repro.lang import analyze, parse
+from repro.lang.printer import print_expr, print_type, print_unit
+from repro.lang.types import (
+    ArrayType,
+    CHAR,
+    FunctionType,
+    INT,
+    PointerType,
+    StructType,
+    VOID,
+)
+from repro.workloads import FIGURES
+
+
+class TestTypePrinting:
+    def test_scalars(self):
+        assert print_type(INT, "x") == "int x"
+        assert print_type(VOID, "") == "void"
+
+    def test_pointers(self):
+        assert print_type(PointerType(INT), "p") == "int *p"
+        assert print_type(PointerType(PointerType(CHAR)), "pp") == "char **pp"
+
+    def test_array(self):
+        assert print_type(ArrayType(INT, 8), "buf") == "int buf[8]"
+
+    def test_pointer_to_array(self):
+        ctype = PointerType(ArrayType(INT, 4))
+        assert print_type(ctype, "p") == "int (*p)[4]"
+
+    def test_function_pointer(self):
+        ctype = PointerType(FunctionType(INT, (INT,)))
+        assert print_type(ctype, "op") == "int (*op)(int)"
+
+    def test_function_returning_pointer(self):
+        ctype = FunctionType(PointerType(VOID), (PointerType(CHAR),))
+        assert print_type(ctype, "f") == "void *f(char *)"
+
+    def test_struct(self):
+        struct = StructType("node")
+        assert print_type(PointerType(struct), "n") == "struct node *n"
+
+    def test_varargs(self):
+        ctype = FunctionType(INT, (PointerType(CHAR),), varargs=True)
+        assert print_type(ctype, "printf") == "int printf(char *, ...)"
+
+
+def roundtrip(source):
+    """parse -> print -> parse -> print must reach a fixpoint."""
+    unit1 = parse(source)
+    text1 = print_unit(unit1)
+    unit2 = parse(text1)
+    text2 = print_unit(unit2)
+    assert text1 == text2, f"print not stable:\n{text1}\n---\n{text2}"
+    # And the reprinted program must still analyze cleanly.
+    analyze(unit2)
+    return text1
+
+
+class TestRoundTrip:
+    def test_simple_function(self):
+        roundtrip("int add(int a, int b) { return a + b; }")
+
+    def test_control_flow(self):
+        roundtrip(
+            """
+            int f(int n) {
+                int total = 0;
+                for (int i = 0; i < n; i++) {
+                    if (i % 2) continue;
+                    total += i;
+                }
+                while (total > 100) total = total - 1;
+                do total++; while (total < 10);
+                return total;
+            }
+            """
+        )
+
+    def test_expressions(self):
+        roundtrip(
+            """
+            int g;
+            void f(int a, int b, char *p) {
+                g = a * (b + 2) - a / b;
+                g = a && b || !a;
+                g = a < b ? a : b;
+                g = sizeof(int) + sizeof a;
+                p = p + 1;
+                *p = 'x';
+                p[2] = 0;
+            }
+            """
+        )
+
+    def test_structs_and_pointers(self):
+        roundtrip(
+            """
+            struct conn { int fd; };
+            struct req { struct conn *connection; int id; };
+            void f(struct req *r, struct conn *c) {
+                r->connection = c;
+                r->id = c->fd;
+                (*r).id = 1;
+            }
+            """
+        )
+
+    def test_function_pointers(self):
+        roundtrip(
+            """
+            typedef int (*op_t)(int);
+            int inc(int x) { return x + 1; }
+            int apply(int (*op)(int), int v) { return op(v); }
+            int main(void) { return apply(inc, 1); }
+            """
+        )
+
+    def test_strings_and_escapes(self):
+        roundtrip(
+             'char *f(void) { return "line\\n\\ttab \\"quoted\\""; }'
+        )
+
+    @pytest.mark.parametrize(
+        "program", FIGURES, ids=lambda p: p.name
+    )
+    def test_figure_corpus_roundtrips(self, program):
+        roundtrip(program.full_source)
+
+
+class TestPrecedenceParenthesization:
+    def test_nested_binary(self):
+        unit = parse("int g;\nvoid f(int a, int b) { g = (a + b) * a; }")
+        analyze(unit)
+        body = unit.decls[-1].body
+        text = print_expr(body.stmts[0].expr)
+        assert text == "g = (a + b) * a"
+
+    def test_no_spurious_parens(self):
+        unit = parse("int g;\nvoid f(int a, int b) { g = a + b * a; }")
+        analyze(unit)
+        body = unit.decls[-1].body
+        assert print_expr(body.stmts[0].expr) == "g = a + b * a"

@@ -1,0 +1,204 @@
+"""Tests for semantic analysis (name resolution and type annotation)."""
+
+import pytest
+
+from repro.lang import analyze, nodes, parse
+from repro.lang.errors import SemaError
+from repro.lang.types import INT, PointerType, StructType
+
+
+def analyze_text(text):
+    return analyze(parse(text))
+
+
+def body_of(result, name):
+    return result.functions[name].decl.body
+
+
+class TestResolution:
+    def test_param_resolution(self):
+        result = analyze_text("int f(int x) { return x; }")
+        ret = body_of(result, "f").stmts[0]
+        assert ret.value.symbol.kind == "param"
+        assert ret.value.ctype is INT
+
+    def test_local_resolution(self):
+        result = analyze_text("void f(void) { int x = 1; x = 2; }")
+        stmt = body_of(result, "f").stmts[1]
+        assert stmt.expr.target.symbol.kind == "local"
+
+    def test_global_resolution(self):
+        result = analyze_text("int g;\nvoid f(void) { g = 1; }")
+        stmt = body_of(result, "f").stmts[0]
+        assert stmt.expr.target.symbol.kind == "global"
+
+    def test_function_symbol(self):
+        result = analyze_text(
+            "int add(int a, int b);\nint g;\nvoid f(void) { g = add(1, 2); }"
+        )
+        call = body_of(result, "f").stmts[0].expr.value
+        assert call.func.symbol.kind == "func"
+
+    def test_shadowing_gets_distinct_uids(self):
+        result = analyze_text(
+            """
+            void f(void) {
+                int x = 1;
+                { int x = 2; x = 3; }
+                x = 4;
+            }
+            """
+        )
+        outer_block = body_of(result, "f")
+        inner_assign = outer_block.stmts[1].stmts[1].expr
+        outer_assign = outer_block.stmts[2].expr
+        assert inner_assign.target.symbol.uid != outer_assign.target.symbol.uid
+        names = [s.ir_name for s in result.functions["f"].locals]
+        assert len(set(names)) == 2
+
+    def test_undeclared_identifier(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(void) { mystery = 1; }")
+
+    def test_forward_function_reference(self):
+        result = analyze_text(
+            """
+            void caller(void) { callee(); }
+            void callee(void) { }
+            """
+        )
+        assert "caller" in result.functions
+
+    def test_redefined_function(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(void) {}\nvoid f(void) {}")
+
+    def test_function_type_lookup(self):
+        result = analyze_text("int f(int a, char *b);")
+        ftype = result.function_type("f")
+        assert ftype is not None
+        assert len(ftype.params) == 2
+        assert result.function_type("missing") is None
+
+
+class TestTypeAnnotation:
+    def test_member_types(self):
+        result = analyze_text(
+            """
+            struct conn { int fd; };
+            struct req { struct conn *connection; };
+            void f(struct req *r) { r->connection->fd = 1; }
+            """
+        )
+        assign = body_of(result, "f").stmts[0].expr
+        assert assign.target.ctype is INT
+        inner = assign.target.base
+        assert isinstance(inner.ctype, PointerType)
+        assert isinstance(inner.ctype.target, StructType)
+
+    def test_deref_type(self):
+        result = analyze_text("void f(int **pp) { **pp = 1; }")
+        target = body_of(result, "f").stmts[0].expr.target
+        assert target.ctype is INT
+
+    def test_address_of_type(self):
+        result = analyze_text("void f(int x, int *p) { p = &x; }")
+        value = body_of(result, "f").stmts[0].expr.value
+        assert isinstance(value.ctype, PointerType)
+
+    def test_call_return_type(self):
+        result = analyze_text(
+            """
+            typedef struct pool pool;
+            void *palloc(pool *p, unsigned long n);
+            void f(pool *p) { void *v = palloc(p, 8); }
+            """
+        )
+        decl = body_of(result, "f").stmts[0].decl
+        assert isinstance(decl.init.ctype, PointerType)
+
+    def test_function_pointer_call(self):
+        result = analyze_text(
+            """
+            int g;
+            void f(int (*op)(int)) { g = op(3); }
+            """
+        )
+        call = body_of(result, "f").stmts[0].expr.value
+        assert call.ctype is INT
+
+    def test_ternary_type(self):
+        result = analyze_text(
+            "void f(char *a, char *b, char *c, int k) { c = k ? a : b; }"
+        )
+        value = body_of(result, "f").stmts[0].expr.value
+        assert isinstance(value.ctype, PointerType)
+
+    def test_cast_type(self):
+        result = analyze_text(
+            """
+            typedef struct s s;
+            void f(void *p) { s *q = (s *)p; }
+            """
+        )
+        decl = body_of(result, "f").stmts[0].decl
+        assert isinstance(decl.init.ctype, PointerType)
+
+    def test_pointer_arithmetic_keeps_pointer(self):
+        result = analyze_text("void f(char *p) { char *q = p + 4; }")
+        decl = body_of(result, "f").stmts[0].decl
+        assert isinstance(decl.init.ctype, PointerType)
+
+    def test_string_literal_type(self):
+        result = analyze_text('void f(void) { char *s = "hi"; }')
+        decl = body_of(result, "f").stmts[0].decl
+        assert isinstance(decl.init.ctype, PointerType)
+
+
+class TestErrors:
+    def test_deref_non_pointer(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(int x) { *x = 1; }")
+
+    def test_unknown_field(self):
+        with pytest.raises(SemaError):
+            analyze_text(
+                "struct s { int a; };\nvoid f(struct s *p) { p->b = 1; }"
+            )
+
+    def test_arrow_on_non_pointer(self):
+        with pytest.raises(SemaError):
+            analyze_text(
+                "struct s { int a; };\nvoid f(struct s v) { v->a = 1; }"
+            )
+
+    def test_dot_on_pointer(self):
+        with pytest.raises(SemaError):
+            analyze_text(
+                "struct s { int a; };\nvoid f(struct s *p) { p.a = 1; }"
+            )
+
+    def test_call_non_function(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(int x) { x(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(SemaError):
+            analyze_text("int add(int a, int b);\nvoid f(void) { add(1); }")
+
+    def test_varargs_allows_extra(self):
+        analyze_text(
+            "int printf(char *fmt, ...);\nvoid f(void) { printf(\"x\", 1, 2); }"
+        )
+
+    def test_assign_to_rvalue(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(int a, int b) { (a + b) = 1; }")
+
+    def test_incomplete_local(self):
+        with pytest.raises(SemaError):
+            analyze_text("struct fwd;\nvoid f(void) { struct fwd v; }")
+
+    def test_unnamed_param_in_definition(self):
+        with pytest.raises(SemaError):
+            analyze_text("void f(int) { }")

@@ -1,0 +1,140 @@
+"""Tests for the C type model and LP64 struct layout."""
+
+import pytest
+
+from repro.lang.errors import SemaError
+from repro.lang.types import (
+    ArrayType,
+    CHAR,
+    FunctionType,
+    INT,
+    LONG,
+    PointerType,
+    SHORT,
+    StructType,
+    VOID,
+    VOID_PTR,
+)
+
+
+class TestScalars:
+    def test_sizes(self):
+        assert CHAR.size() == 1
+        assert SHORT.size() == 2
+        assert INT.size() == 4
+        assert LONG.size() == 8
+
+    def test_pointer_is_eight_bytes(self):
+        assert PointerType(INT).size() == 8
+        assert PointerType(PointerType(VOID)).size() == 8
+
+    def test_pointee(self):
+        assert PointerType(INT).pointee() is INT
+        with pytest.raises(SemaError):
+            INT.pointee()
+
+    def test_predicates(self):
+        assert VOID_PTR.is_pointer
+        assert not INT.is_pointer
+        assert INT.is_integral
+        assert VOID.is_void
+
+    def test_array(self):
+        arr = ArrayType(INT, 10)
+        assert arr.size() == 40
+        assert arr.align() == 4
+        assert arr.pointee() is INT
+        assert arr.is_pointerlike
+
+
+class TestStructLayout:
+    def test_simple_layout(self):
+        s = StructType("point")
+        s.define([("x", INT), ("y", INT)])
+        assert s.field("x").offset == 0
+        assert s.field("y").offset == 4
+        assert s.size() == 8
+
+    def test_padding_for_alignment(self):
+        s = StructType("mixed")
+        s.define([("c", CHAR), ("p", PointerType(VOID))])
+        assert s.field("c").offset == 0
+        assert s.field("p").offset == 8  # 7 bytes of padding
+        assert s.size() == 16
+
+    def test_tail_padding(self):
+        s = StructType("tail")
+        s.define([("p", PointerType(VOID)), ("c", CHAR)])
+        assert s.size() == 16  # rounded up to pointer alignment
+
+    def test_struct_tm_wday_offset(self):
+        """The paper's example: tm_wday ends up at offset 24."""
+        tm = StructType("tm")
+        tm.define(
+            [
+                ("tm_sec", INT), ("tm_min", INT), ("tm_hour", INT),
+                ("tm_mday", INT), ("tm_mon", INT), ("tm_year", INT),
+                ("tm_wday", INT), ("tm_yday", INT), ("tm_isdst", INT),
+            ]
+        )
+        assert tm.field("tm_wday").offset == 24
+
+    def test_nested_struct(self):
+        inner = StructType("inner")
+        inner.define([("a", CHAR), ("b", LONG)])
+        outer = StructType("outer")
+        outer.define([("c", CHAR), ("i", inner)])
+        assert inner.size() == 16
+        assert outer.field("i").offset == 8
+        assert outer.size() == 24
+
+    def test_unknown_field(self):
+        s = StructType("s")
+        s.define([("x", INT)])
+        with pytest.raises(SemaError):
+            s.field("y")
+        assert s.has_field("x")
+        assert not s.has_field("y")
+
+    def test_duplicate_field(self):
+        s = StructType("s")
+        with pytest.raises(SemaError):
+            s.define([("x", INT), ("x", INT)])
+
+    def test_incomplete_struct(self):
+        s = StructType("fwd")
+        assert not s.is_complete
+        with pytest.raises(SemaError):
+            s.size()
+        with pytest.raises(SemaError):
+            s.field("x")
+
+    def test_redefinition(self):
+        s = StructType("s")
+        s.define([("x", INT)])
+        with pytest.raises(SemaError):
+            s.define([("y", INT)])
+
+    def test_empty_struct_has_nonzero_size(self):
+        s = StructType("empty")
+        s.define([])
+        assert s.size() == 1
+
+    def test_pointer_to_incomplete_struct_is_fine(self):
+        s = StructType("opaque")
+        p = PointerType(s)
+        assert p.size() == 8  # the APR pool pattern: only pointers used
+
+
+class TestFunctionType:
+    def test_str(self):
+        f = FunctionType(VOID_PTR, (PointerType(StructType("apr_pool_t")), INT))
+        assert str(f) == "void*(struct apr_pool_t*, int)"
+
+    def test_varargs_str(self):
+        f = FunctionType(VOID, (INT,), varargs=True)
+        assert str(f) == "void(int, ...)"
+
+    def test_no_size(self):
+        with pytest.raises(SemaError):
+            FunctionType(VOID, ()).size()

@@ -1,0 +1,171 @@
+"""Tests for Whaley-Lam context numbering."""
+
+from tests.conftest import compile_graph
+
+from repro.pointer import number_contexts
+
+
+class TestPathNumbering:
+    def test_entry_has_one_context(self):
+        graph = compile_graph("int main(void) { return 0; }")
+        numbering = number_contexts(graph)
+        assert numbering.contexts_of("main") == 1
+
+    def test_two_call_paths_two_contexts(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            void a(void) { leaf(); }
+            void b(void) { leaf(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        assert numbering.contexts_of("a") == 1
+        assert numbering.contexts_of("b") == 1
+        assert numbering.contexts_of("leaf") == 2
+
+    def test_two_sites_in_same_caller(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            int main(void) { leaf(); leaf(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        assert numbering.contexts_of("leaf") == 2
+
+    def test_contexts_multiply_along_paths(self):
+        graph = compile_graph(
+            """
+            void d(void) { }
+            void c(void) { d(); d(); }
+            void b(void) { c(); }
+            void a(void) { c(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        assert numbering.contexts_of("c") == 2
+        assert numbering.contexts_of("d") == 4
+
+    def test_distinct_callee_contexts_per_path(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            void a(void) { leaf(); }
+            void b(void) { leaf(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        call_a = next(graph.module.functions["a"].calls())
+        call_b = next(graph.module.functions["b"].calls())
+        ctx_via_a = numbering.callee_context(0, call_a.uid, "leaf")
+        ctx_via_b = numbering.callee_context(0, call_b.uid, "leaf")
+        assert ctx_via_a != ctx_via_b
+        assert {ctx_via_a, ctx_via_b} == {0, 1}
+
+    def test_recursion_collapses_to_component(self):
+        graph = compile_graph(
+            """
+            int odd(int n);
+            int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+            int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+            int main(void) { return even(4) + odd(3); }
+            """
+        )
+        numbering = number_contexts(graph)
+        # Two incoming edges from main; intra-SCC calls don't multiply.
+        assert numbering.contexts_of("even") == numbering.contexts_of("odd") == 2
+        # Intra-SCC edges are identity on contexts.
+        call = next(graph.module.functions["even"].calls())
+        assert numbering.callee_context(1, call.uid, "odd") == 1
+
+    def test_self_recursion(self):
+        graph = compile_graph(
+            """
+            int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+            int main(void) { return fact(5); }
+            """
+        )
+        numbering = number_contexts(graph)
+        assert numbering.contexts_of("fact") == 1
+        call = next(graph.module.functions["fact"].calls())
+        assert numbering.callee_context(0, call.uid, "fact") == 0
+
+    def test_context_insensitive_mode(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            void a(void) { leaf(); }
+            void b(void) { leaf(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph, context_sensitive=False)
+        assert numbering.contexts_of("leaf") == 1
+        call_a = next(graph.module.functions["a"].calls())
+        assert numbering.callee_context(0, call_a.uid, "leaf") == 0
+
+    def test_max_contexts_clamp(self):
+        # 2^6 = 64 paths through a chain of doubling fan-out.
+        lines = ["void f6(void) { }"]
+        for i in range(5, -1, -1):
+            lines.append(f"void f{i}(void) {{ f{i+1}(); f{i+1}(); }}")
+        lines.append("int main(void) { f0(); return 0; }")
+        graph = compile_graph("\n".join(lines))
+        numbering = number_contexts(graph, max_contexts=16)
+        assert numbering.contexts_of("f6") == 16
+        assert "f6" in numbering.clamped
+        # Edges still map into the clamped range.
+        call = next(graph.module.functions["f5"].calls())
+        ctx = numbering.callee_context(7, call.uid, "f6")
+        assert ctx is not None and 0 <= ctx < 16
+
+    def test_total_contexts(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            int main(void) { leaf(); leaf(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        assert numbering.total_contexts == 1 + 2
+
+
+class TestCCRelation:
+    def test_cc_tuples(self):
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            void a(void) { leaf(); }
+            int main(void) { a(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        tuples = list(numbering.cc_tuples(graph))
+        # Two edges (main->a, a->leaf), one caller context each.
+        assert len(tuples) == 2
+        callees = {t[3] for t in tuples}
+        assert callees == {"a", "leaf"}
+
+    def test_cc_relation_in_bdd(self):
+        """The paper stores cc in BDD finite domains; round-trip it."""
+        graph = compile_graph(
+            """
+            void leaf(void) { }
+            void a(void) { leaf(); }
+            void b(void) { leaf(); }
+            int main(void) { a(); b(); return 0; }
+            """
+        )
+        numbering = number_contexts(graph)
+        space, instances, node = numbering.cc_relation(graph)
+        stored = set(space.tuples(node, instances))
+        assert len(stored) == len(list(numbering.cc_tuples(graph)))
+        # Each callee context appears exactly once for leaf.
+        leaf_contexts = sorted(
+            t[2] for t in numbering.cc_tuples(graph) if t[3] == "leaf"
+        )
+        assert leaf_contexts == [0, 1]

@@ -1,0 +1,59 @@
+"""Cross-check: the Datalog points-to formulation vs the native engine.
+
+Both are run context-insensitively on the figure corpus; the subregion,
+ownership, and access effects must agree (compared by object labels,
+which are context-free in this configuration).
+"""
+
+import pytest
+
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.pointer import AnalysisOptions, analyze_pointers
+from repro.pointer.datalog_pta import run_datalog_pta
+from repro.workloads import FIGURES, figure
+from tests.conftest import compile_graph
+
+
+def native_effects(graph, interface):
+    result = analyze_pointers(
+        graph,
+        interface,
+        AnalysisOptions(context_sensitive=False, heap_cloning=False),
+    )
+    subregion = {
+        (str(a), str(b)) for a, b in result.subregion if a != b
+    }
+    ownership = {(str(a), str(b)) for a, b in result.ownership}
+    access = {
+        (str(a), offset, str(b)) for a, offset, b in result.accesses
+        if offset is not None
+    }
+    return subregion, ownership, access
+
+
+@pytest.mark.parametrize("program", FIGURES, ids=lambda p: p.name)
+def test_datalog_pta_matches_native(program):
+    interface = (
+        rc_regions_interface()
+        if program.interface == "rc"
+        else apr_pools_interface()
+    )
+    graph = compile_graph(program.full_source, entry=program.entry)
+    subregion, ownership, access = native_effects(graph, interface)
+
+    pta = run_datalog_pta(graph, interface)
+    assert pta.subregion_labels() == subregion, program.name
+    assert pta.ownership_labels() == ownership, program.name
+    assert pta.access_labels() == access, program.name
+
+
+@pytest.mark.parametrize("name", ["fig1", "fig2c", "fig9"])
+def test_bdd_backend_matches_set(name):
+    program = figure(name)
+    interface = apr_pools_interface()
+    graph = compile_graph(program.full_source)
+    set_pta = run_datalog_pta(graph, interface, backend="set")
+    bdd_pta = run_datalog_pta(graph, interface, backend="bdd")
+    assert set_pta.subregion_labels() == bdd_pta.subregion_labels()
+    assert set_pta.ownership_labels() == bdd_pta.ownership_labels()
+    assert set_pta.access_labels() == bdd_pta.access_labels()

@@ -1,0 +1,293 @@
+"""Tests for the C-subset interpreter over the region runtime."""
+
+import pytest
+
+from repro.interfaces import (
+    APR_HEADER,
+    RC_HEADER,
+    apr_pools_interface,
+    rc_regions_interface,
+)
+from repro.lang import analyze, parse
+from repro.runtime import InterpError, run_program
+
+
+def execute(text, interface=None, header=APR_HEADER, **kwargs):
+    sema = analyze(parse(header + text))
+    return run_program(sema, interface or apr_pools_interface(), **kwargs)
+
+
+class TestScalarExecution:
+    def test_return_value(self):
+        result = execute("int main(void) { return 41 + 1; }")
+        assert result.return_value == 42
+
+    def test_arithmetic_and_comparisons(self):
+        result = execute(
+            """
+            int main(void) {
+                int a = 7; int b = 3;
+                return (a / b) * 100 + (a % b) * 10 + (a > b);
+            }
+            """
+        )
+        assert result.return_value == 211
+
+    def test_loops(self):
+        result = execute(
+            """
+            int main(void) {
+                int total = 0;
+                for (int i = 1; i <= 10; i++) total += i;
+                return total;
+            }
+            """
+        )
+        assert result.return_value == 55
+
+    def test_while_with_break_continue(self):
+        result = execute(
+            """
+            int main(void) {
+                int i = 0; int total = 0;
+                while (1) {
+                    i++;
+                    if (i > 10) break;
+                    if (i % 2) continue;
+                    total += i;
+                }
+                return total;
+            }
+            """
+        )
+        assert result.return_value == 30
+
+    def test_recursion(self):
+        result = execute(
+            """
+            int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+            int main(void) { return fib(10); }
+            """
+        )
+        assert result.return_value == 55
+
+    def test_short_circuit(self):
+        result = execute(
+            """
+            int boom(void) { return 1 / 0; }
+            int main(void) { return 0 && boom(); }
+            """
+        )
+        assert result.return_value == 0
+
+    def test_ternary(self):
+        result = execute("int main(void) { return 1 ? 10 : 20; }")
+        assert result.return_value == 10
+
+    def test_globals_and_overrides(self):
+        result = execute(
+            "int flag = 3;\nint main(void) { return flag; }",
+        )
+        assert result.return_value == 3
+        result = execute(
+            "int flag = 3;\nint main(void) { return flag; }",
+            globals_init={"flag": 9},
+        )
+        assert result.return_value == 9
+
+    def test_pointers_to_locals(self):
+        result = execute(
+            """
+            void set(int *p, int v) { *p = v; }
+            int main(void) { int x = 0; set(&x, 5); return x; }
+            """
+        )
+        assert result.return_value == 5
+
+    def test_struct_fields(self):
+        result = execute(
+            """
+            struct point { int x; int y; };
+            int main(void) {
+                struct point p;
+                p.x = 3; p.y = 4;
+                return p.x * p.x + p.y * p.y;
+            }
+            """
+        )
+        assert result.return_value == 25
+
+    def test_function_pointers(self):
+        result = execute(
+            """
+            int inc(int x) { return x + 1; }
+            int twice(int x) { return x * 2; }
+            int main(int argc) {
+                int (*op)(int) = argc ? inc : twice;
+                return op(10);
+            }
+            """,
+            args=(0,),
+        )
+        assert result.return_value == 20
+
+    def test_budget_exhaustion(self):
+        with pytest.raises(InterpError):
+            execute("int main(void) { while (1) { } return 0; }", max_steps=500)
+
+    def test_external_calls_logged(self):
+        result = execute(
+            "int getpid(void);\nint main(void) { return getpid(); }"
+        )
+        assert result.external_calls == ["getpid"]
+        assert result.return_value == 0
+
+
+class TestRegionExecution:
+    def test_pool_create_and_alloc(self):
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_create(&pool, NULL);
+                void *p = apr_palloc(pool, 100);
+                apr_pool_destroy(pool);
+                return 0;
+            }
+            """
+        )
+        assert result.runtime.total_allocated >= 100
+        assert result.fault_kinds() == set()
+
+    def test_figure1_consistent_run(self):
+        result = execute(
+            """
+            struct conn { int fd; };
+            struct req { struct conn *connection; };
+            int main(void) {
+                apr_pool_t *r; apr_pool_t *subr;
+                apr_pool_create(&r, NULL);
+                struct conn *conn = apr_palloc(r, sizeof(struct conn));
+                apr_pool_create(&subr, r);
+                struct req *req = apr_palloc(subr, sizeof(struct req));
+                req->connection = conn;
+                apr_pool_destroy(subr);
+                apr_pool_destroy(r);
+                return 0;
+            }
+            """
+        )
+        assert result.fault_kinds() == set()
+
+    def test_figure1_broken_run_faults(self):
+        result = execute(
+            """
+            struct conn { int fd; };
+            struct req { struct conn *connection; };
+            int main(void) {
+                apr_pool_t *r; apr_pool_t *subr;
+                apr_pool_create(&r, NULL);
+                apr_pool_create(&subr, NULL);   /* sibling, not subregion */
+                struct conn *conn = apr_palloc(r, sizeof(struct conn));
+                struct req *req = apr_palloc(subr, sizeof(struct req));
+                req->connection = conn;
+                apr_pool_destroy(r);            /* conn dies first */
+                struct conn *use = req->connection;
+                apr_pool_destroy(subr);
+                return 0;
+            }
+            """
+        )
+        kinds = result.fault_kinds()
+        assert "dangling-created" in kinds
+        assert "dangling-deref" in kinds
+        assert "rc-violation" in kinds  # the RC baseline catches it too
+
+    def test_rc_interface_run(self):
+        result = execute(
+            """
+            int main(void) {
+                region r = newregion();
+                region sub = newsubregion(r);
+                char *s = rstralloc(sub, 32);
+                deleteregion(r);
+                return 0;
+            }
+            """,
+            interface=rc_regions_interface(),
+            header=RC_HEADER,
+        )
+        assert result.fault_kinds() == set()
+
+    def test_cleanup_callback_executes(self):
+        result = execute(
+            """
+            int closed = 0;
+            apr_status_t cleanup_fd(void *data) { closed = closed + 1; return 0; }
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_create(&pool, NULL);
+                apr_pool_cleanup_register(pool, NULL, cleanup_fd, cleanup_fd);
+                apr_pool_destroy(pool);
+                return closed;
+            }
+            """
+        )
+        assert result.return_value == 2  # both plain and child cleanups ran
+
+    def test_pool_clear_reuses_region(self):
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_create(&pool, NULL);
+                for (int i = 0; i < 3; i++) {
+                    void *scratch = apr_palloc(pool, 1000);
+                    apr_pool_clear(pool);
+                }
+                apr_pool_destroy(pool);
+                return 0;
+            }
+            """
+        )
+        assert result.runtime.total_allocated >= 3000
+        assert result.runtime.bytes_live == 0
+
+    def test_leak_candidates_from_longer_lifetime(self):
+        """The paper's 'leak': an object whose region outlives all its
+        users keeps consuming memory."""
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *longlived;
+                apr_pool_create(&longlived, NULL);
+                void *scratch = apr_palloc(longlived, 4096);
+                scratch = NULL;  /* dropped, but region keeps it alive */
+                return 0;
+            }
+            """
+        )
+        assert len(result.runtime.leak_candidates()) == 1
+
+    def test_dynamic_detection_misses_unexecuted_path(self):
+        """The motivating limitation of dynamic tools: the buggy path is
+        behind a condition that this run never takes."""
+        source = """
+        struct cell { void *f; };
+        int hit_bug = 0;
+        int main(void) {
+            apr_pool_t *a; apr_pool_t *b;
+            apr_pool_create(&a, NULL);
+            apr_pool_create(&b, NULL);
+            struct cell *holder = apr_palloc(a, sizeof(struct cell));
+            void *target = apr_palloc(b, 8);
+            if (hit_bug) holder->f = target;   /* inconsistent pointer */
+            apr_pool_destroy(b);
+            apr_pool_destroy(a);
+            return 0;
+        }
+        """
+        clean = execute(source)
+        assert clean.fault_kinds() == set()      # dynamic: silent
+        buggy = execute(source, globals_init={"hit_bug": 1})
+        assert "dangling-created" in buggy.fault_kinds()

@@ -1,0 +1,217 @@
+"""Additional interpreter coverage: weak typing, strings, call depth."""
+
+import pytest
+
+from repro.interfaces import APR_HEADER, apr_pools_interface
+from repro.lang import analyze, parse
+from repro.runtime import InterpError, run_program
+
+
+def execute(text, **kwargs):
+    sema = analyze(parse(APR_HEADER + text))
+    return run_program(sema, apr_pools_interface(), **kwargs)
+
+
+class TestWeakTyping:
+    def test_pointer_null_comparison(self):
+        result = execute(
+            """
+            int main(void) {
+                char *p = NULL;
+                if (p == NULL) return 1;
+                return 0;
+            }
+            """
+        )
+        assert result.return_value == 1
+
+    def test_pointer_equality(self):
+        result = execute(
+            """
+            int main(void) {
+                void *a = apr_palloc(NULL, 8);
+                void *b = a;
+                void *c = apr_palloc(NULL, 8);
+                return (a == b) * 10 + (a == c);
+            }
+            """
+        )
+        assert result.return_value == 10
+
+    def test_null_is_falsy_nonnull_truthy(self):
+        result = execute(
+            """
+            int main(void) {
+                void *p = NULL;
+                void *q = apr_palloc(NULL, 8);
+                return (!p) * 10 + (q ? 1 : 0);
+            }
+            """
+        )
+        assert result.return_value == 11
+
+    def test_cast_is_transparent(self):
+        result = execute(
+            """
+            struct wrap { int v; };
+            int main(void) {
+                void *raw = apr_palloc(NULL, sizeof(struct wrap));
+                struct wrap *w = (struct wrap *)raw;
+                w->v = 7;
+                return ((struct wrap *)raw)->v;
+            }
+            """
+        )
+        assert result.return_value == 7
+
+    def test_null_deref_is_an_error(self):
+        with pytest.raises(InterpError):
+            execute("int main(void) { int *p = NULL; return *p; }")
+
+
+class TestStrings:
+    def test_string_characters_readable(self):
+        result = execute(
+            """
+            int main(void) {
+                char *s = "AB";
+                return s[0] * 1000 + s[1] + s[2];
+            }
+            """
+        )
+        assert result.return_value == 65 * 1000 + 66 + 0
+
+    def test_string_identity_per_literal(self):
+        result = execute(
+            """
+            int main(void) {
+                char *a = "x";
+                char *b = a;
+                return a == b;
+            }
+            """
+        )
+        assert result.return_value == 1
+
+
+class TestCallsAndScoping:
+    def test_deep_call_chain(self):
+        result = execute(
+            """
+            int depth(int n) {
+                if (n == 0) return 0;
+                return 1 + depth(n - 1);
+            }
+            int main(void) { return depth(50); }
+            """
+        )
+        assert result.return_value == 50
+
+    def test_stack_frames_are_reclaimed(self):
+        result = execute(
+            """
+            int leafy(int n) { int local = n * 2; return local; }
+            int main(void) {
+                int total = 0;
+                for (int i = 0; i < 20; i++) total += leafy(i);
+                return total;
+            }
+            """
+        )
+        # All stack regions destroyed: only main's frame and globals live.
+        live = result.runtime.live_objects()
+        assert all(
+            obj.region.internal or obj.region is result.runtime.root
+            for obj in live
+        )
+
+    def test_shadowing(self):
+        result = execute(
+            """
+            int main(void) {
+                int x = 1;
+                { int x = 2; x = x + 1; }
+                return x;
+            }
+            """
+        )
+        assert result.return_value == 1
+
+    def test_argument_evaluation_order_effects(self):
+        result = execute(
+            """
+            int g = 0;
+            int bump(void) { g = g + 1; return g; }
+            int pair(int a, int b) { return a * 10 + b; }
+            int main(void) { return pair(bump(), bump()); }
+            """
+        )
+        assert result.return_value == 12
+
+    def test_void_function_returns_none(self):
+        result = execute(
+            """
+            void noop(void) { return; }
+            int main(void) { noop(); return 3; }
+            """
+        )
+        assert result.return_value == 3
+
+
+class TestRegionEdgeCases:
+    def test_palloc_null_pool_goes_to_root(self):
+        result = execute(
+            """
+            int main(void) {
+                void *p = apr_palloc(NULL, 16);
+                return p != NULL;
+            }
+            """
+        )
+        assert result.return_value == 1
+        assert result.fault_kinds() == set()
+
+    def test_double_destroy_is_noop(self):
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_create(&pool, NULL);
+                apr_pool_destroy(pool);
+                apr_pool_destroy(pool);
+                return 0;
+            }
+            """
+        )
+        # _reclaim guards on liveness: the second destroy does nothing.
+        assert "rc-violation" not in result.fault_kinds()
+
+    def test_nested_destroy_order_parent_first(self):
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *parent; apr_pool_t *child;
+                apr_pool_create(&parent, NULL);
+                apr_pool_create(&child, parent);
+                void *obj = apr_palloc(child, 8);
+                apr_pool_destroy(parent);  /* reclaims child too */
+                return 0;
+            }
+            """
+        )
+        assert result.runtime.bytes_live == 0
+        assert result.fault_kinds() == set()
+
+    def test_pstrdup_allocates(self):
+        result = execute(
+            """
+            int main(void) {
+                apr_pool_t *pool;
+                apr_pool_create(&pool, NULL);
+                char *copy = apr_pstrdup(pool, "hello");
+                apr_pool_destroy(pool);
+                return copy != NULL;
+            }
+            """
+        )
+        assert result.return_value == 1

@@ -1,0 +1,233 @@
+"""Tests for the region runtime (hierarchy, deletion, cleanups, RC)."""
+
+import pytest
+
+from repro.runtime import RegionRuntime, RuntimeError_
+
+
+@pytest.fixture
+def rt():
+    return RegionRuntime()
+
+
+class TestHierarchy:
+    def test_root_exists(self, rt):
+        assert rt.root.live
+        assert rt.root.parent is None
+
+    def test_create_subregion(self, rt):
+        a = rt.create_region()
+        b = rt.create_region(a)
+        assert a.parent is rt.root
+        assert b.parent is a
+        assert b in a.children
+
+    def test_is_ancestor_of(self, rt):
+        a = rt.create_region()
+        b = rt.create_region(a)
+        assert rt.root.is_ancestor_of(b)
+        assert a.is_ancestor_of(b)
+        assert not b.is_ancestor_of(a)
+        assert a.is_ancestor_of(a)
+
+    def test_cannot_destroy_root(self, rt):
+        with pytest.raises(RuntimeError_):
+            rt.destroy_region(rt.root)
+
+    def test_cannot_create_in_dead_region(self, rt):
+        a = rt.create_region()
+        rt.destroy_region(a)
+        with pytest.raises(RuntimeError_):
+            rt.create_region(a)
+
+
+class TestRecursiveDeletion:
+    def test_children_deleted_recursively(self, rt):
+        a = rt.create_region()
+        b = rt.create_region(a)
+        c = rt.create_region(b)
+        rt.destroy_region(a)
+        assert not a.live and not b.live and not c.live
+
+    def test_objects_reclaimed(self, rt):
+        a = rt.create_region()
+        obj = rt.alloc(a, 64)
+        assert rt.bytes_live == 64
+        rt.destroy_region(a)
+        assert not obj.live
+        assert rt.bytes_live == 0
+
+    def test_clear_keeps_region_alive(self, rt):
+        a = rt.create_region()
+        b = rt.create_region(a)
+        obj = rt.alloc(a, 16)
+        rt.clear_region(a)
+        assert a.live
+        assert not b.live
+        assert not obj.live
+        # The cleared region is reusable.
+        rt.alloc(a, 8)
+
+    def test_alloc_in_dead_region_raises(self, rt):
+        a = rt.create_region()
+        rt.destroy_region(a)
+        with pytest.raises(RuntimeError_):
+            rt.alloc(a, 8)
+
+    def test_peak_accounting(self, rt):
+        a = rt.create_region()
+        rt.alloc(a, 100)
+        rt.alloc(a, 50)
+        rt.destroy_region(a)
+        assert rt.peak_bytes == 150
+        assert rt.total_allocated == 150
+        assert rt.bytes_live == 0
+
+
+class TestCleanups:
+    def test_cleanup_runs_on_destroy(self, rt):
+        a = rt.create_region()
+        ran = []
+        rt.register_cleanup(a, "data", lambda d: ran.append(d))
+        rt.destroy_region(a)
+        assert ran == ["data"]
+
+    def test_cleanups_run_lifo(self, rt):
+        a = rt.create_region()
+        order = []
+        rt.register_cleanup(a, 1, order.append)
+        rt.register_cleanup(a, 2, order.append)
+        rt.destroy_region(a)
+        assert order == [2, 1]
+
+    def test_cleanup_runs_on_clear(self, rt):
+        a = rt.create_region()
+        ran = []
+        rt.register_cleanup(a, None, lambda d: ran.append("x"))
+        rt.clear_region(a)
+        assert ran == ["x"]
+        # Cleared cleanups do not run twice.
+        rt.destroy_region(a)
+        assert ran == ["x"]
+
+    def test_child_cleanups_run_when_parent_dies(self, rt):
+        a = rt.create_region()
+        b = rt.create_region(a)
+        ran = []
+        rt.register_cleanup(b, None, lambda d: ran.append("child"))
+        rt.destroy_region(a)
+        assert ran == ["child"]
+
+    def test_cleanup_on_dead_region_raises(self, rt):
+        a = rt.create_region()
+        rt.destroy_region(a)
+        with pytest.raises(RuntimeError_):
+            rt.register_cleanup(a, None, lambda d: None)
+
+
+class TestDanglingDetection:
+    def test_dangling_created_on_deletion(self, rt):
+        long_lived = rt.create_region()
+        short_lived = rt.create_region()  # sibling: unordered lifetimes
+        holder = rt.alloc(long_lived, 16)
+        target = rt.alloc(short_lived, 16)
+        rt.store(holder, 0, target)
+        rt.destroy_region(short_lived)
+        assert "dangling-created" in rt.fault_kinds()
+
+    def test_safe_direction_no_dangling(self, rt):
+        parent = rt.create_region()
+        child = rt.create_region(parent)
+        conn = rt.alloc(parent, 16)
+        req = rt.alloc(child, 16)
+        rt.store(req, 0, conn)   # subregion object points up: safe
+        rt.destroy_region(child)
+        assert rt.fault_kinds() == set() or rt.fault_kinds() == {"rc-violation"} and False
+
+    def test_dangling_deref_on_load(self, rt):
+        a = rt.create_region()
+        obj = rt.alloc(a, 16)
+        rt.destroy_region(a)
+        rt.load(obj, 0)
+        assert "dangling-deref" in rt.fault_kinds()
+
+    def test_load_of_dangling_pointer_value(self, rt):
+        keep = rt.create_region()
+        doomed = rt.create_region()
+        holder = rt.alloc(keep, 16)
+        target = rt.alloc(doomed, 16)
+        rt.store(holder, 0, target)
+        rt.destroy_region(doomed)
+        rt.load(holder, 0)
+        kinds = rt.fault_kinds()
+        assert "dangling-deref" in kinds
+
+    def test_intra_region_pointers_never_fault(self, rt):
+        a = rt.create_region()
+        x = rt.alloc(a, 8)
+        y = rt.alloc(a, 8)
+        rt.store(x, 0, y)
+        rt.store(y, 0, x)
+        rt.destroy_region(a)
+        assert rt.fault_kinds() == set()
+
+
+class TestRCBaseline:
+    def test_rc_violation_on_externally_referenced_region(self, rt):
+        """RC semantics: deleting a region with external references traps."""
+        keep = rt.create_region()
+        doomed = rt.create_region()
+        holder = rt.alloc(keep, 8)
+        target = rt.alloc(doomed, 8)
+        rt.store(holder, 0, target)
+        assert doomed.external_refs == 1
+        rt.destroy_region(doomed)
+        assert "rc-violation" in rt.fault_kinds()
+
+    def test_rc_released_on_overwrite(self, rt):
+        keep = rt.create_region()
+        doomed = rt.create_region()
+        holder = rt.alloc(keep, 8)
+        target = rt.alloc(doomed, 8)
+        rt.store(holder, 0, target)
+        rt.store(holder, 0, None)
+        assert doomed.external_refs == 0
+        rt.destroy_region(doomed)
+        assert "rc-violation" not in rt.fault_kinds()
+
+    def test_pointer_to_ancestor_not_counted(self, rt):
+        parent = rt.create_region()
+        child = rt.create_region(parent)
+        up = rt.alloc(parent, 8)
+        low = rt.alloc(child, 8)
+        rt.store(low, 0, up)  # pointer up the tree: safe, not counted
+        assert parent.external_refs == 0
+
+    def test_rc_released_when_holder_dies(self, rt):
+        holders = rt.create_region()
+        target_region = rt.create_region()
+        holder = rt.alloc(holders, 8)
+        target = rt.alloc(target_region, 8)
+        rt.store(holder, 0, target)
+        assert target_region.external_refs == 1
+        rt.destroy_region(holders)
+        assert target_region.external_refs == 0
+
+
+class TestLeaks:
+    def test_unreferenced_live_object_is_leak_candidate(self, rt):
+        a = rt.create_region()
+        rt.alloc(a, 128)
+        assert len(rt.leak_candidates()) == 1
+
+    def test_referenced_object_not_a_leak(self, rt):
+        a = rt.create_region()
+        x = rt.alloc(a, 8)
+        y = rt.alloc(a, 8)
+        rt.store(x, 0, y)
+        candidates = rt.leak_candidates()
+        assert y not in candidates
+
+    def test_root_allocations_not_counted(self, rt):
+        rt.alloc(rt.root, 64)
+        assert rt.leak_candidates() == []

@@ -1,0 +1,129 @@
+"""Tests for shared graph utilities."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util import (
+    GraphCycleError,
+    condensation,
+    strongly_connected_components,
+    topological_order,
+)
+
+
+class TestSCC:
+    def test_empty(self):
+        assert strongly_connected_components({}) == []
+
+    def test_single_node(self):
+        assert strongly_connected_components({"a": []}) == [["a"]]
+
+    def test_simple_cycle(self):
+        sccs = strongly_connected_components({"a": ["b"], "b": ["a"]})
+        assert len(sccs) == 1
+        assert set(sccs[0]) == {"a", "b"}
+
+    def test_chain_emits_dependencies_first(self):
+        sccs = strongly_connected_components({"a": ["b"], "b": ["c"], "c": []})
+        assert sccs == [["c"], ["b"], ["a"]]
+
+    def test_implicit_nodes_from_successors(self):
+        sccs = strongly_connected_components({"a": ["b"]})
+        flattened = {node for scc in sccs for node in scc}
+        assert flattened == {"a", "b"}
+
+    def test_two_cycles_bridge(self):
+        graph = {
+            "a": ["b"], "b": ["a", "c"],
+            "c": ["d"], "d": ["c"],
+        }
+        sccs = strongly_connected_components(graph)
+        as_sets = [set(s) for s in sccs]
+        assert {"c", "d"} in as_sets and {"a", "b"} in as_sets
+        # {c,d} is the dependency of {a,b}: must come first.
+        assert as_sets.index({"c", "d"}) < as_sets.index({"a", "b"})
+
+    def test_deep_chain_no_recursion_error(self):
+        n = 50_000
+        graph = {i: [i + 1] for i in range(n)}
+        sccs = strongly_connected_components(graph)
+        assert len(sccs) == n + 1
+
+
+class TestCondensation:
+    def test_component_dag(self):
+        graph = {"a": ["b"], "b": ["a", "c"], "c": []}
+        components, component_of, dag = condensation(graph)
+        ab = component_of["a"]
+        assert component_of["b"] == ab
+        c = component_of["c"]
+        assert dag[ab] == {c}
+        assert dag[c] == set()
+
+
+class TestTopologicalOrder:
+    def test_diamond(self):
+        graph = {"a": ["b", "c"], "b": ["d"], "c": ["d"], "d": []}
+        order = topological_order(graph)
+        position = {node: i for i, node in enumerate(order)}
+        assert position["a"] < position["b"] < position["d"]
+        assert position["a"] < position["c"] < position["d"]
+
+    def test_cycle_raises(self):
+        with pytest.raises(GraphCycleError):
+            topological_order({"a": ["b"], "b": ["a"]})
+
+    def test_self_loop_raises(self):
+        with pytest.raises(GraphCycleError):
+            topological_order({"a": ["a"]})
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(0, 9),
+        st.lists(st.integers(0, 9), max_size=4),
+        max_size=10,
+    )
+)
+def test_sccs_partition_nodes(graph):
+    sccs = strongly_connected_components(graph)
+    nodes = set(graph) | {t for targets in graph.values() for t in targets}
+    flattened = [node for scc in sccs for node in scc]
+    assert sorted(flattened) == sorted(nodes)
+    assert len(flattened) == len(set(flattened))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(0, 9),
+        st.lists(st.integers(0, 9), max_size=4),
+        max_size=10,
+    )
+)
+def test_mutual_reachability_defines_components(graph):
+    def reachable(start):
+        seen = set()
+        frontier = list(graph.get(start, ()))
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(graph.get(node, ()))
+        return seen
+
+    sccs = strongly_connected_components(graph)
+    component_of = {}
+    for i, scc in enumerate(sccs):
+        for node in scc:
+            component_of[node] = i
+    nodes = set(graph) | {t for targets in graph.values() for t in targets}
+    for a in nodes:
+        for b in nodes:
+            if a == b:
+                continue
+            same = b in reachable(a) and a in reachable(b)
+            assert (component_of[a] == component_of[b]) == same

@@ -1,0 +1,99 @@
+"""Tests for the regionwiz command-line interface."""
+
+import pytest
+
+from repro.tool.cli import main
+from repro.workloads import figure
+
+
+def write_source(tmp_path, program):
+    path = tmp_path / f"{program.name}.c"
+    path.write_text(program.full_source)
+    return str(path)
+
+
+class TestCli:
+    def test_consistent_program_exit_zero(self, tmp_path, capsys):
+        path = write_source(tmp_path, figure("fig1"))
+        assert main([path]) == 0
+        out = capsys.readouterr().out
+        assert "region lifetime is consistent" in out
+
+    def test_inconsistent_program_exit_one(self, tmp_path, capsys):
+        path = write_source(tmp_path, figure("fig2c"))
+        assert main([path]) == 1
+        out = capsys.readouterr().out
+        assert "HIGH" in out
+
+    def test_low_ranked_hidden_by_default(self, tmp_path, capsys):
+        path = write_source(tmp_path, figure("fig5"))
+        assert main([path]) == 0  # only a low-ranked warning
+        assert main([path, "--all"]) == 1
+        out = capsys.readouterr().out
+        assert "low" in out
+
+    def test_rc_interface_flag(self, tmp_path, capsys):
+        path = write_source(tmp_path, figure("rcc_string"))
+        assert main([path, "--interface", "rc"]) == 1
+
+    def test_verbose_shows_store_locations(self, tmp_path, capsys):
+        path = write_source(tmp_path, figure("fig2c"))
+        main([path, "-v"])
+        out = capsys.readouterr().out
+        assert "pointer stored at" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.c")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( {")
+        assert main([str(path)]) == 2
+        assert "bad.c" in capsys.readouterr().err
+
+    def test_ablation_flags(self, tmp_path):
+        path = write_source(tmp_path, figure("fig9"))
+        assert main([
+            path,
+            "--context-insensitive",
+            "--no-heap-cloning",
+            "--field-insensitive",
+            "--sound-offsets",
+            "--max-contexts", "64",
+        ]) == 1
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        path = write_source(tmp_path, figure("fig2c"))
+        assert main([path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["consistent"] is False
+        assert payload["statistics"]["high_ranked"] == 1
+
+    def test_refine_flag_suppresses_fig5(self, tmp_path):
+        path = write_source(tmp_path, figure("fig5"))
+        assert main([path, "--all"]) == 1
+        assert main([path, "--all", "--refine"]) == 0
+
+    def test_open_mode(self, tmp_path, capsys):
+        from repro.interfaces import APR_HEADER
+
+        path = tmp_path / "lib.c"
+        path.write_text(APR_HEADER + """
+        struct node { void *other; };
+        void link_objects(struct node *a, struct node *b) { a->other = b; }
+        """)
+        assert main([str(path), "--open"]) == 1
+        out = capsys.readouterr().out
+        assert "HIGH" in out
+
+    def test_multiple_files_concatenate(self, tmp_path):
+        from repro.interfaces import APR_HEADER
+
+        header = tmp_path / "apr.h.c"
+        header.write_text(APR_HEADER)
+        body = tmp_path / "main.c"
+        body.write_text(figure("fig1").source)
+        assert main([str(header), str(body)]) == 0

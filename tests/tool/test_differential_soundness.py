@@ -1,0 +1,150 @@
+"""Differential soundness: random C region programs, runtime vs static.
+
+A composite Hypothesis strategy builds random but *runtime-valid*
+straight-line APR programs (pool creation with random parents, allocation
+from live pools, inter-object pointer stores, pool destruction in random
+order).  Each program is executed on the region runtime (ground truth)
+and analyzed with RegionWiz.  The soundness property:
+
+    a run that creates an object-to-object dangling pointer
+    (``dangling-created``) implies at least one static warning.
+
+The restriction to straight-line single-procedure programs removes the
+documented abstraction gaps (loop-site merging, clamped contexts), so the
+property must hold unconditionally here.  Faults *through stack cells*
+(``dangling-deref`` on locals) are outside the paper's object model and
+excluded on purpose.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.interfaces import APR_HEADER, apr_pools_interface
+from repro.lang import analyze, parse
+from repro.runtime import run_program
+from repro.tool import run_regionwiz
+
+PRELUDE = APR_HEADER + """
+struct payload { struct payload *link; int tag; };
+"""
+
+
+@st.composite
+def region_programs(draw):
+    """A valid op sequence rendered to C, with liveness tracked so the
+    program never allocates from or re-destroys a dead pool."""
+    ops = []
+    pools = []          # pool index -> parent index (None = root)
+    alive = []          # pool index -> bool
+    objects = []        # object index -> pool index
+    num_ops = draw(st.integers(min_value=4, max_value=22))
+
+    def live_pools():
+        return [i for i, is_alive in enumerate(alive) if is_alive]
+
+    def kill(pool):
+        alive[pool] = False
+        for child, parent in enumerate(pools):
+            if parent == pool and alive[child]:
+                kill(child)
+
+    for _ in range(num_ops):
+        candidates = ["create"]
+        if live_pools():
+            candidates += ["alloc", "destroy"]
+        if len(objects) >= 2:
+            candidates += ["store", "store", "copy"]  # stores weighted up
+        op = draw(st.sampled_from(candidates))
+        if op == "create":
+            parent_options = [None] + live_pools()
+            parent = draw(st.sampled_from(parent_options))
+            pools.append(parent)
+            alive.append(True)
+            ops.append(("create", len(pools) - 1, parent))
+        elif op == "alloc":
+            pool = draw(st.sampled_from(live_pools()))
+            objects.append(pool)
+            ops.append(("alloc", len(objects) - 1, pool))
+        elif op == "destroy":
+            pool = draw(st.sampled_from(live_pools()))
+            kill(pool)
+            ops.append(("destroy", pool))
+        elif op == "store":
+            source = draw(st.integers(0, len(objects) - 1))
+            target = draw(st.integers(0, len(objects) - 1))
+            ops.append(("store", source, target))
+        elif op == "copy":
+            source = draw(st.integers(0, len(objects) - 1))
+            target = draw(st.integers(0, len(objects) - 1))
+            ops.append(("copy", source, target))
+    return render(ops, len(pools), len(objects))
+
+
+def render(ops, num_pools, num_objects):
+    lines = ["int main(void) {"]
+    for index in range(num_pools):
+        lines.append(f"    apr_pool_t *p{index};")
+    for index in range(num_objects):
+        lines.append(f"    struct payload *o{index} = NULL;")
+    for op in ops:
+        if op[0] == "create":
+            _, pool, parent = op
+            parent_text = "NULL" if parent is None else f"p{parent}"
+            lines.append(f"    apr_pool_create(&p{pool}, {parent_text});")
+        elif op[0] == "alloc":
+            _, obj, pool = op
+            lines.append(
+                f"    o{obj} = apr_palloc(p{pool}, sizeof(struct payload));"
+            )
+        elif op[0] == "destroy":
+            lines.append(f"    apr_pool_destroy(p{op[1]});")
+        elif op[0] == "store":
+            _, source, target = op
+            lines.append(f"    if (o{source}) o{source}->link = o{target};")
+        elif op[0] == "copy":
+            _, source, target = op
+            lines.append(f"    o{target} = o{source};")
+    lines.append("    return 0;")
+    lines.append("}")
+    return PRELUDE + "\n".join(lines)
+
+
+@settings(max_examples=60, deadline=None)
+@given(region_programs())
+def test_runtime_dangling_implies_static_warning(source):
+    sema = analyze(parse(source))
+    execution = run_program(sema, apr_pools_interface())
+    created = [
+        fault for fault in execution.faults if fault.kind == "dangling-created"
+    ]
+    if not created:
+        return
+    report = run_regionwiz(source, name="differential")
+    assert report.warnings, (
+        "runtime dangling pointer without a static warning:\n"
+        + source
+        + "\nfaults:\n"
+        + "\n".join(str(fault) for fault in created)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(region_programs())
+def test_static_clean_implies_no_object_dangling(source):
+    """The converse direction on this restricted program class: with
+    whole-program knowledge, straight-line code, and exact (singleton)
+    parent resolution, a consistent verdict means the concrete run cannot
+    create object-to-object dangling pointers."""
+    report = run_regionwiz(source, name="differential")
+    if not report.is_consistent:
+        return
+    sema = analyze(parse(source))
+    execution = run_program(sema, apr_pools_interface())
+    created = [
+        fault for fault in execution.faults if fault.kind == "dangling-created"
+    ]
+    assert not created, (
+        "statically consistent program faulted at runtime:\n"
+        + source
+        + "\nfaults:\n"
+        + "\n".join(str(fault) for fault in created)
+    )

@@ -1,0 +1,122 @@
+"""Tests for open-program (library) analysis."""
+
+import pytest
+
+from repro.interfaces import (
+    APR_HEADER,
+    RC_HEADER,
+    apr_pools_interface,
+    rc_regions_interface,
+)
+from repro.tool.open_analysis import (
+    HARNESS_ENTRY,
+    analyze_open_program,
+    build_harness,
+)
+
+SAFE_LIBRARY = APR_HEADER + """
+struct entry { struct entry *next; int value; };
+
+struct entry *push(apr_pool_t *pool, struct entry *head, int value) {
+    struct entry *e = apr_palloc(pool, sizeof(struct entry));
+    e->value = value;
+    e->next = NULL;
+    return e;
+}
+"""
+
+LEAKY_LIBRARY = APR_HEADER + """
+struct parser { void *xp; apr_pool_t *pool; };
+struct runner { struct parser *parser; };
+
+struct parser *make_parser(apr_pool_t *pool) {
+    apr_pool_t *subpool = svn_pool_create(pool);
+    struct parser *p = apr_palloc(subpool, sizeof(struct parser));
+    p->pool = subpool;
+    return p;
+}
+
+void attach(apr_pool_t *pool, struct runner *r) {
+    r->parser = make_parser(pool);
+}
+"""
+
+CROSS_PARAM_LIBRARY = APR_HEADER + """
+struct node { void *other; };
+
+void link_objects(struct node *a, struct node *b) {
+    a->other = b;   /* caller may own a and b in unrelated regions */
+}
+"""
+
+
+class TestHarnessConstruction:
+    def test_harness_calls_exported_functions(self):
+        harness = build_harness(SAFE_LIBRARY, apr_pools_interface())
+        assert HARNESS_ENTRY in harness
+        assert "push(" in harness
+
+    def test_harness_skips_interface_functions(self):
+        # Interface functions are building blocks for arguments, never
+        # harnessed exports themselves: `push` is the only exported call.
+        harness = build_harness(SAFE_LIBRARY, apr_pools_interface())
+        body = harness.split(HARNESS_ENTRY)[1]
+        export_calls = [
+            line.strip()
+            for line in body.splitlines()
+            if line.strip().endswith(");")
+            and "=" not in line
+            and "apr_pool_create" not in line
+        ]
+        assert export_calls and all(
+            call.startswith("push(") for call in export_calls
+        )
+
+    def test_exports_filter(self):
+        harness = build_harness(
+            LEAKY_LIBRARY, apr_pools_interface(), exports=["attach"]
+        )
+        body = harness.split(HARNESS_ENTRY)[1]
+        assert "attach(" in body
+        assert "make_parser(" not in body
+
+    def test_no_exports_raises(self):
+        with pytest.raises(ValueError):
+            build_harness(APR_HEADER, apr_pools_interface())
+
+    def test_rc_harness(self):
+        source = RC_HEADER + """
+        struct item { int x; };
+        struct item *make(region r) { return ralloc(r, sizeof(struct item)); }
+        """
+        harness = build_harness(source, rc_regions_interface())
+        assert "newregion()" in harness
+
+
+class TestOpenVerdicts:
+    def test_safe_library_is_consistent(self):
+        report = analyze_open_program(SAFE_LIBRARY, apr_pools_interface())
+        assert report.is_consistent
+
+    def test_parser_library_flagged(self):
+        """The Figure 12(b) shape as a library, no main required."""
+        report = analyze_open_program(LEAKY_LIBRARY, apr_pools_interface())
+        assert not report.is_consistent
+        assert report.high_warnings
+
+    def test_cross_parameter_pointer_flagged(self):
+        """Two object parameters may live in unrelated regions; linking
+        them is exactly the interprocedural hazard of Section 1 (callers
+        'may be unaware of the implicit constraint')."""
+        report = analyze_open_program(
+            CROSS_PARAM_LIBRARY, apr_pools_interface()
+        )
+        assert not report.is_consistent
+
+    def test_closed_analysis_would_miss_it(self):
+        """Without the harness there is no entry, hence no finding --
+        the motivation for the open extension."""
+        from repro.tool import run_regionwiz
+
+        report = run_regionwiz(CROSS_PARAM_LIBRARY, name="closed")
+        assert report.is_consistent  # nothing reachable from main

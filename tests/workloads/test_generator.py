@@ -1,0 +1,125 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.tool import run_regionwiz
+from repro.workloads.generator import (
+    BUG_KINDS,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+def analyze_spec(spec):
+    workload = generate_workload(spec)
+    interface = (
+        rc_regions_interface() if spec.interface == "rc" else apr_pools_interface()
+    )
+    return run_regionwiz(workload.source, interface=interface, name=spec.name)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = WorkloadSpec(name="w", stages=3, bugs={"cross_sibling": 1})
+        assert generate_workload(spec).source == generate_workload(spec).source
+
+    def test_unknown_bug_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(WorkloadSpec(name="w", bugs={"heisenbug": 1}))
+
+    def test_source_parses_for_both_interfaces(self):
+        from repro.lang import analyze, parse
+
+        for interface in ("apr", "rc"):
+            spec = WorkloadSpec(
+                name="w",
+                interface=interface,
+                stages=2,
+                bugs={kind: 1 for kind in BUG_KINDS},
+            )
+            analyze(parse(generate_workload(spec).source))
+
+    def test_kloc_metric(self):
+        workload = generate_workload(WorkloadSpec(name="w", stages=2))
+        assert workload.kloc > 0
+        assert workload.name == "w"
+
+    def test_generated_ir_verifies(self):
+        from repro.ir import lower, verify_module
+        from repro.lang import analyze, parse
+
+        spec = WorkloadSpec(
+            name="w", stages=3, fanout=2,
+            bugs={kind: 1 for kind in BUG_KINDS},
+        )
+        module = lower(analyze(parse(generate_workload(spec).source)))
+        cfgs = verify_module(module)
+        assert set(cfgs) == set(module.functions)
+
+
+class TestCleanWorkloads:
+    def test_bug_free_workload_is_consistent(self):
+        report = analyze_spec(
+            WorkloadSpec(name="clean", stages=4, fanout=2, helpers_per_stage=2)
+        )
+        assert report.is_consistent
+
+    def test_bug_free_rc_workload_is_consistent(self):
+        report = analyze_spec(
+            WorkloadSpec(name="clean_rc", interface="rc", stages=3)
+        )
+        assert report.is_consistent
+
+    def test_region_count_scales_with_fanout(self):
+        small = analyze_spec(WorkloadSpec(name="s", stages=4, fanout=1))
+        large = analyze_spec(WorkloadSpec(name="l", stages=4, fanout=2))
+        assert (
+            large.consistency.num_regions > small.consistency.num_regions
+        )
+
+    def test_object_count_scales_with_objects_per_stage(self):
+        small = analyze_spec(WorkloadSpec(name="s", objects_per_stage=1))
+        large = analyze_spec(WorkloadSpec(name="l", objects_per_stage=6))
+        assert large.consistency.num_objects > small.consistency.num_objects
+
+
+@pytest.mark.parametrize("kind", sorted(BUG_KINDS))
+class TestSeededBugs:
+    def test_detection_and_rank(self, kind):
+        truly_bad, high = BUG_KINDS[kind]
+        spec = WorkloadSpec(name=f"bug_{kind}", stages=1, bugs={kind: 1})
+        report = analyze_spec(spec)
+        assert not report.is_consistent, kind
+        assert len(report.high_warnings) == (1 if high else 0), (
+            kind,
+            [str(w) for w in report.warnings],
+        )
+
+    def test_counts_add_up(self, kind):
+        spec = WorkloadSpec(name=f"two_{kind}", stages=1, bugs={kind: 2})
+        report = analyze_spec(spec)
+        expected_high = spec.expected_high()
+        assert len(report.high_warnings) == expected_high
+        assert len(report.warnings) >= 2
+
+
+class TestMixedBugs:
+    def test_full_mix(self):
+        spec = WorkloadSpec(
+            name="mix",
+            stages=3,
+            bugs={kind: 1 for kind in BUG_KINDS},
+        )
+        report = analyze_spec(spec)
+        assert len(report.high_warnings) == spec.expected_high()
+        assert len(report.warnings) >= len(BUG_KINDS)
+
+    def test_expected_helpers(self):
+        spec = WorkloadSpec(
+            name="w",
+            bugs={"cross_sibling": 2, "intra_fp": 1, "ambiguous_parent": 1},
+        )
+        assert spec.expected_high() == 2
+        assert spec.expected_true_bugs() == 3
+        assert spec.expected_low_minimum() == 2

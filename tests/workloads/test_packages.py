@@ -1,0 +1,116 @@
+"""Tests for the six-package evaluation models (Figures 7/8/11 shape)."""
+
+import pytest
+
+from repro.interfaces import apr_pools_interface, rc_regions_interface
+from repro.tool import run_regionwiz
+from repro.workloads.packages import PACKAGES, generate_package, package
+
+
+def interface_of(model):
+    return (
+        rc_regions_interface() if model.interface == "rc" else apr_pools_interface()
+    )
+
+
+class TestFigure7Shape:
+    def test_six_packages(self):
+        assert len(PACKAGES) == 6
+        assert [p.name for p in PACKAGES] == [
+            "rcc", "apache", "freeswitch", "jxta-c", "lklftpd", "subversion",
+        ]
+
+    def test_executable_counts_match_figure7(self):
+        by_name = {p.name: len(p.executables) for p in PACKAGES}
+        assert by_name == {
+            "rcc": 1, "apache": 9, "freeswitch": 1,
+            "jxta-c": 1, "lklftpd": 1, "subversion": 9,
+        }
+
+    def test_kloc_matches_figure7(self):
+        assert package("rcc").kloc == 37
+        assert package("apache").kloc == 42
+        assert package("subversion").kloc == 240
+
+    def test_only_rcc_uses_rc_regions(self):
+        assert package("rcc").interface == "rc"
+        for model in PACKAGES:
+            if model.name != "rcc":
+                assert model.interface == "apr"
+
+    def test_unknown_package(self):
+        with pytest.raises(KeyError):
+            package("openssl")
+
+
+class TestFigure8Shape:
+    """Expected high-ranked counts follow the paper's per-package pattern."""
+
+    def test_clean_packages(self):
+        assert package("jxta-c").expected_high() == 0
+        assert package("freeswitch").expected_high() == 0
+
+    def test_apache_high_is_false_positive(self):
+        apache = package("apache")
+        assert apache.expected_high() == 1
+        assert apache.expected_true_bugs() == 0  # paper: 1 high, 0 real
+
+    def test_rcc_and_lklftpd(self):
+        assert package("rcc").expected_high() == 1
+        assert package("lklftpd").expected_high() == 2
+        assert package("lklftpd").expected_true_bugs() == 2
+
+    def test_subversion_dominates(self):
+        svn = package("subversion")
+        others = sum(
+            p.expected_high() for p in PACKAGES if p.name != "subversion"
+        )
+        assert svn.expected_high() > others
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["rcc", "lklftpd", "apache", "freeswitch", "jxta-c"]
+    )
+    def test_small_packages_match_expectations(self, name):
+        model = package(name)
+        interface = interface_of(model)
+        total_high = 0
+        for exe, workload in zip(model.executables, generate_package(model)):
+            report = run_regionwiz(
+                workload.source, interface=interface, name=workload.name
+            )
+            assert len(report.high_warnings) == exe.spec.expected_high(), (
+                exe.name,
+                [str(w) for w in report.warnings],
+            )
+            total_high += len(report.high_warnings)
+        assert total_high == model.expected_high()
+
+    def test_subversion_diff_family_identical_shape(self):
+        """diff/diff3/diff4 are near-identical in Figure 11; our models
+        reproduce that."""
+        model = package("subversion")
+        interface = interface_of(model)
+        rows = []
+        for exe, workload in zip(model.executables[:3], generate_package(model)[:3]):
+            report = run_regionwiz(
+                workload.source, interface=interface, name=workload.name
+            )
+            rows.append(report.fig11_row())
+        assert rows[0].regions == rows[1].regions == rows[2].regions
+        assert rows[0].high == rows[1].high == rows[2].high == 1
+
+    def test_svn_is_largest_executable(self):
+        """svn tops every size column in Figure 11; ours must too."""
+        model = package("subversion")
+        interface = interface_of(model)
+        rows = {}
+        for exe, workload in zip(model.executables, generate_package(model)):
+            if exe.name in ("diff", "svn", "svnserve"):
+                report = run_regionwiz(
+                    workload.source, interface=interface, name=workload.name
+                )
+                rows[exe.name] = report.fig11_row()
+        assert rows["svn"].regions > rows["svnserve"].regions > rows["diff"].regions
+        assert rows["svn"].r_pairs > rows["svnserve"].r_pairs > rows["diff"].r_pairs
