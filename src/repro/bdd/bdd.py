@@ -70,6 +70,10 @@ class BDD:
         self._apply_cache: Dict[Tuple[int, int, int], int] = {}
         self._quant_cache: Dict[Tuple[int, int, frozenset, int], int] = {}
         self._rename_cache: Dict[Tuple[int, Tuple[Tuple[int, int], ...]], int] = {}
+        # Operation-cache telemetry: lookups/hits across all memoized
+        # recursions (ite, apply, quantification, relprod, rename).
+        self.op_lookups = 0
+        self.op_hits = 0
         self._num_vars = 0
         self._temp_pool: List[int] = []
         if num_vars:
@@ -145,8 +149,10 @@ class BDD:
         if g == self.TRUE and h == self.FALSE:
             return f
         key = (f, g, h)
+        self.op_lookups += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
         level = min(self._level[f], self._level[g], self._level[h])
         f0, f1 = self._cofactors(f, level)
@@ -201,8 +207,10 @@ class BDD:
         if op in (_OP_AND, _OP_OR, _OP_XOR, _OP_BIIMP) and a > b:
             a, b = b, a
         key = (op, a, b)
+        self.op_lookups += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
         level = min(self._level[a], self._level[b])
         a0, a1 = self._cofactors(a, level)
@@ -278,8 +286,10 @@ class BDD:
         if level > max_level:
             return node
         key = (op, node, levels, 0)
+        self.op_lookups += 1
         cached = self._quant_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
         low = self._quant_rec(self._low[node], levels, max_level, op)
         high = self._quant_rec(self._high[node], levels, max_level, op)
@@ -312,8 +322,10 @@ class BDD:
         if min(self._level[a], self._level[b]) > max_level:
             return self.apply_and(a, b)
         key = (a, b, levels, 1)
+        self.op_lookups += 1
         cached = self._quant_cache.get(key)
         if cached is not None:
+            self.op_hits += 1
             return cached
         level = min(self._level[a], self._level[b])
         a0, a1 = self._cofactors(a, level)
@@ -360,8 +372,10 @@ class BDD:
             self._check_level(new)
         if self._rename_is_monotone(support, relevant):
             key = (node, tuple(sorted(relevant.items())))
+            self.op_lookups += 1
             cached = self._rename_cache.get(key)
             if cached is not None:
+                self.op_hits += 1
                 return cached
             result = self._rename_walk(node, relevant, {})
             self._rename_cache[key] = result

@@ -39,7 +39,17 @@ class DomainType:
 
     @property
     def bits(self) -> int:
-        """Bits needed to encode values ``0..size-1`` (at least one)."""
+        """Bits needed to encode values ``0..size-1`` (at least one).
+
+        A size-1 domain deliberately gets one bit rather than zero: a
+        0-bit block would make ``encode`` return TRUE (no literals to
+        constrain), and TRUE-cube corner cases would then leak into every
+        quantification and rename over the block.  The cost is one unused
+        bit-pattern, which ``domain_constraint``/``tuples``/``count_tuples``
+        already exclude as padding -- the same mechanism non-power-of-two
+        sizes rely on.  Edge-case tests for sizes 1 and 2 live in
+        ``tests/bdd/test_domain.py`` and ``tests/datalog/test_edge_cases.py``.
+        """
         if self.size <= 1:
             return 1
         return (self.size - 1).bit_length()

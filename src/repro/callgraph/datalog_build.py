@@ -188,8 +188,14 @@ def build_call_graph_datalog(
     entry: str = "main",
     registry: Optional[ImplicitCallRegistry] = None,
     backend: str = "set",
+    stats_out: Optional[List] = None,
 ) -> CallGraph:
-    """Solve the Section 5.1 rules and package the result as a CallGraph."""
+    """Solve the Section 5.1 rules and package the result as a CallGraph.
+
+    When ``stats_out`` is given, the solve's
+    :class:`~repro.datalog.SolverStats` is appended to it (the returned
+    ``CallGraph`` is a plain dataclass with no slot for telemetry).
+    """
     if registry is None:
         registry = default_registry()
     (functions, f_index, variables, calls, i_index, facts, max_arity) = (
@@ -230,6 +236,8 @@ def build_call_graph_datalog(
             program.fact("entry", f_index[root])
 
     solution = program.solve()
+    if stats_out is not None:
+        stats_out.append(solution.stats)
 
     uid_of_site = {i: instr.uid for (_, instr), i in zip(calls, i_index.values())}
     # (i_index preserves enumeration order, but be explicit:)

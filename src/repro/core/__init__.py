@@ -12,7 +12,7 @@ from repro.core.correlation import (
     check_abstraction,
 )
 from repro.core.abstract_flow import run_abstract_flow
-from repro.core.datalog_check import datalog_object_pairs
+from repro.core.datalog_check import datalog_object_pairs, solve_object_pairs
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
 from repro.core.lockcorr import LockAccess, find_races, lockset_correlation
 from repro.core.ranking import IPair, RankedWarnings, rank_warnings
@@ -46,4 +46,5 @@ __all__ = [
     "rank_warnings",
     "region_lifetime_correlation",
     "run_abstract_flow",
+    "solve_object_pairs",
 ]

@@ -14,10 +14,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
-from repro.datalog import Program
+from repro.datalog import Program, SolverStats
 from repro.pointer import AbstractObject, PointerAnalysisResult
 
-__all__ = ["datalog_object_pairs"]
+__all__ = ["datalog_object_pairs", "solve_object_pairs"]
 
 RULES = """
 # Reflexive transitive closure of the canonical subregion tree.
@@ -45,6 +45,18 @@ def datalog_object_pairs(
     backend: str = "set",
 ) -> Set[Tuple[AbstractObject, Optional[int], AbstractObject]]:
     """Solve eq. 4.12 as Datalog; returns {(source, offset, target)}."""
+    pairs, _ = solve_object_pairs(analysis, hierarchy, backend)
+    return pairs
+
+
+def solve_object_pairs(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    backend: str = "set",
+) -> Tuple[
+    Set[Tuple[AbstractObject, Optional[int], AbstractObject]], SolverStats
+]:
+    """Like :func:`datalog_object_pairs` but also returns solver stats."""
     if hierarchy is None:
         hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
 
@@ -93,7 +105,8 @@ def datalog_object_pairs(
             )
 
     solution = program.solve()
-    return {
+    pairs = {
         (entities[source], offsets[offset], entities[target])
         for source, offset, target in solution.tuples("objectPair")
     }
+    return pairs, solution.stats

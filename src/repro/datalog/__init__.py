@@ -1,7 +1,19 @@
 """A bddbddb-style Datalog engine with set and BDD backends."""
 
-from repro.datalog.program import DatalogError, Program, Solution
-from repro.datalog.relation import BddRelation, Relation, RelationError, SetRelation
+from repro.datalog.program import (
+    DatalogError,
+    Program,
+    Solution,
+    SolverStats,
+    StratumStats,
+)
+from repro.datalog.relation import (
+    BddRelation,
+    LegacySetRelation,
+    Relation,
+    RelationError,
+    SetRelation,
+)
 from repro.datalog.rules import (
     Atom,
     Const,
@@ -19,6 +31,7 @@ __all__ = [
     "Const",
     "DatalogError",
     "DatalogSyntaxError",
+    "LegacySetRelation",
     "NotEqual",
     "Program",
     "Relation",
@@ -26,6 +39,8 @@ __all__ = [
     "Rule",
     "SetRelation",
     "Solution",
+    "SolverStats",
+    "StratumStats",
     "Var",
     "parse_rule",
     "parse_rules",

@@ -15,18 +15,21 @@ that.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.bdd import BDD, DomainInstance, DomainSpace
 from repro.datalog.relation import (
     BddRelation,
+    LegacySetRelation,
     Relation,
     RelationError,
     SetRelation,
 )
 from repro.datalog.rules import (
     Atom,
+    BodyItem,
     Const,
     DatalogSyntaxError,
     NotEqual,
@@ -36,11 +39,114 @@ from repro.datalog.rules import (
 )
 from repro.util.graph import strongly_connected_components
 
-__all__ = ["Program", "Solution", "DatalogError"]
+__all__ = [
+    "Program",
+    "Solution",
+    "DatalogError",
+    "SolverStats",
+    "StratumStats",
+]
 
 
 class DatalogError(Exception):
     """Semantic errors: unknown relations, domain mismatches, bad strata."""
+
+
+# ---------------------------------------------------------------------------
+# Solver statistics
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StratumStats:
+    """Observability counters for one stratum of the fixpoint."""
+
+    relations: Tuple[str, ...]
+    rounds: int = 0
+    derived: int = 0
+    seconds: float = 0.0
+
+
+@dataclass
+class SolverStats:
+    """Where :meth:`Program.solve` spent its time, exposed on ``Solution``.
+
+    ``index_builds``/``index_hits`` cover the set backend's hash indexes
+    (including the per-round delta relations); ``bdd_cache_lookups``/
+    ``bdd_cache_hits`` cover the BDD manager's operation caches.  The
+    invariant ``facts_loaded + tuples_derived == sum of final relation
+    sizes`` holds on both backends and is property-tested.
+    """
+
+    backend: str
+    engine: str = "indexed"
+    facts_loaded: int = 0
+    tuples_derived: int = 0
+    rounds: int = 0
+    rule_evals: int = 0
+    rule_eval_seconds: float = 0.0
+    index_builds: int = 0
+    index_hits: int = 0
+    bdd_cache_lookups: int = 0
+    bdd_cache_hits: int = 0
+    solve_seconds: float = 0.0
+    strata: List[StratumStats] = field(default_factory=list)
+    rule_seconds: Dict[str, float] = field(default_factory=dict)
+    rule_derived: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def index_hit_rate(self) -> float:
+        probes = self.index_builds + self.index_hits
+        return self.index_hits / probes if probes else 0.0
+
+    @property
+    def bdd_cache_hit_rate(self) -> float:
+        if not self.bdd_cache_lookups:
+            return 0.0
+        return self.bdd_cache_hits / self.bdd_cache_lookups
+
+    def slowest_rules(self, limit: int = 3) -> List[Tuple[str, float]]:
+        ranked = sorted(
+            self.rule_seconds.items(), key=lambda item: -item[1]
+        )
+        return ranked[:limit]
+
+    def summary(self) -> str:
+        """Human-readable multi-line account of the solve."""
+        lines = [
+            f"datalog solve: backend={self.backend} engine={self.engine}"
+            f" {self.solve_seconds * 1000:.1f}ms",
+            f"  facts loaded: {self.facts_loaded};"
+            f" tuples derived: {self.tuples_derived};"
+            f" {self.rounds} round(s) across {len(self.strata)} strat(a)",
+            f"  rule evaluations: {self.rule_evals}"
+            f" ({self.rule_eval_seconds * 1000:.1f}ms)",
+        ]
+        if self.backend == "set":
+            lines.append(
+                f"  index builds: {self.index_builds},"
+                f" hits: {self.index_hits}"
+                f" ({self.index_hit_rate * 100:.1f}% hit rate)"
+            )
+        else:
+            lines.append(
+                f"  BDD op-cache: {self.bdd_cache_hits}/"
+                f"{self.bdd_cache_lookups} hits"
+                f" ({self.bdd_cache_hit_rate * 100:.1f}% hit rate)"
+            )
+        for i, stratum in enumerate(self.strata):
+            names = ", ".join(stratum.relations)
+            lines.append(
+                f"  stratum {i} [{names}]: {stratum.rounds} round(s),"
+                f" {stratum.derived} tuple(s),"
+                f" {stratum.seconds * 1000:.1f}ms"
+            )
+        slowest = self.slowest_rules()
+        if slowest:
+            lines.append("  slowest rules:")
+            for text, seconds in slowest:
+                lines.append(f"    {seconds * 1000:8.1f}ms  {text}")
+        return "\n".join(lines)
 
 
 @dataclass
@@ -54,12 +160,20 @@ class Program:
     """Declarative Datalog program over finite domains."""
 
     def __init__(
-        self, backend: str = "set", ordering: str = "interleaved"
+        self,
+        backend: str = "set",
+        ordering: str = "interleaved",
+        engine: str = "indexed",
     ) -> None:
         if backend not in ("set", "bdd"):
             raise DatalogError(f"unknown backend {backend!r}")
+        if engine not in ("indexed", "legacy"):
+            raise DatalogError(f"unknown set engine {engine!r}")
+        if backend == "bdd" and engine != "indexed":
+            raise DatalogError("the bdd backend has no legacy engine")
         self.backend = backend
         self.ordering = ordering
+        self.engine = engine
         self._domains: Dict[str, int] = {}
         self._relations: Dict[str, _RelationDecl] = {}
         self._rules: List[Rule] = []
@@ -97,6 +211,11 @@ class Program:
     def rule(self, rule: Rule) -> None:
         self._check_rule(rule)
         if rule.is_fact:
+            for term in rule.head.terms:
+                if isinstance(term, Var):
+                    raise DatalogError(
+                        f"fact with unbound variable {term}: {rule}"
+                    )
             values = tuple(
                 term.value  # type: ignore[union-attr]
                 for term in rule.head.terms
@@ -203,15 +322,21 @@ class Program:
 
     def solve(self) -> "Solution":
         """Evaluate to fixpoint and return the resulting relation store."""
+        started = time.perf_counter()
         strata = self._stratify()
         if self.backend == "set":
-            store = _SetStore(self)
+            if self.engine == "legacy":
+                store: _Store = _LegacySetStore(self)
+            else:
+                store = _SetStore(self)
         else:
             store = _BddStore(self)
         for name, facts in self._facts.items():
             store.load_facts(name, facts)
         for stratum in strata:
             store.run_stratum(stratum)
+        store.finalize_stats()
+        store.stats.solve_seconds = time.perf_counter() - started
         return Solution(self, store)
 
 
@@ -236,6 +361,11 @@ class Solution:
         return tuple(values) in self._store.relation(name)
 
     @property
+    def stats(self) -> SolverStats:
+        """Observability counters gathered while solving."""
+        return self._store.stats
+
+    @property
     def bdd(self) -> Optional[BDD]:
         """The underlying BDD manager (None for the set backend)."""
         return getattr(self._store, "bdd", None)
@@ -254,44 +384,446 @@ class Solution:
 
 
 class _Store:
+    stats: SolverStats
+
     def relation(self, name: str) -> Relation:
         raise NotImplementedError
 
     def load_facts(self, name: str, facts: Iterable[Tuple[int, ...]]) -> None:
-        self.relation(name).add_all(facts)
+        relation = self.relation(name)
+        before = len(relation)
+        relation.add_all(facts)
+        self.stats.facts_loaded += len(relation) - before
 
     def run_stratum(self, rules: List[Rule]) -> None:
         raise NotImplementedError
 
+    def finalize_stats(self) -> None:
+        """Fold backend-owned counters into :attr:`stats` after solving."""
+
+
+@dataclass
+class _JoinStep:
+    """One positive atom of a rule body, compiled for the join loop.
+
+    Variables are compiled to integer slots in a flat environment list,
+    so the innermost loop never hashes :class:`Var` objects.
+
+    ``key_positions``/``key_template`` describe the bound columns probed
+    through the relation index (constants are pre-filled in the template,
+    variable slots are copied in via ``key_slots`` right before the
+    probe).  ``bind_positions`` maps columns binding fresh variables to
+    their env slots; ``same_positions`` pairs columns that must agree
+    because the atom repeats a fresh variable.  ``checks`` are compiled
+    negated atoms / disequalities whose variables are all bound once this
+    step has matched -- evaluated here, not at the end, so failing
+    branches are pruned as early as possible.  Each check is a tuple
+    ``(neg_tuples, neg_template, neg_fill, slot_a, slot_b)``: when
+    ``neg_tuples`` is None the check is ``env[slot_a] != env[slot_b]``,
+    otherwise fill ``neg_template`` via ``neg_fill`` and require the
+    tuple to be absent from ``neg_tuples``.
+    """
+
+    body_index: int
+    relation_name: str
+    key_positions: Tuple[int, ...]
+    key_template: List[Optional[int]]
+    key_slots: List[Tuple[int, int]]
+    bind_positions: List[Tuple[int, int]]
+    same_positions: List[Tuple[int, int]]
+    checks: List[tuple]
+
 
 class _SetStore(_Store):
-    """Semi-naive evaluation over explicit tuple sets."""
+    """Semi-naive evaluation over explicit tuple sets.
+
+    Three things distinguish it from the textbook evaluator (preserved in
+    :class:`_LegacySetStore` for benchmarking):
+
+    * relations keep their hash indexes incrementally up to date across
+      the insert/lookup interleaving of semi-naive rounds;
+    * the per-round delta is itself an indexed :class:`SetRelation`, so
+      joins against the delta use hash probes instead of linear scans;
+    * a join planner orders each rule's positive atoms by estimated
+      selectivity (most bound columns first, smallest relation next,
+      delta atom always first) and evaluates negation/disequality checks
+      at the earliest point their variables are bound.
+    """
 
     def __init__(self, program: Program) -> None:
         self._relations: Dict[str, SetRelation] = {
             name: SetRelation(name, decl.domains)
             for name, decl in program._relations.items()
         }
+        self.stats = SolverStats(backend="set", engine="indexed")
 
     def relation(self, name: str) -> SetRelation:
         return self._relations[name]
 
+    def finalize_stats(self) -> None:
+        for relation in self._relations.values():
+            self._retire_counters(relation)
+
+    def _retire_counters(self, relation: SetRelation) -> None:
+        self.stats.index_builds += relation.index_builds
+        self.stats.index_hits += relation.index_hits
+        relation.index_builds = 0
+        relation.index_hits = 0
+
+    def _fresh_delta(
+        self, name: str, tuples: Iterable[Tuple[int, ...]]
+    ) -> SetRelation:
+        source = self._relations[name]
+        delta = SetRelation(source.name, source.domains)
+        delta.add_all(tuples)
+        return delta
+
     def run_stratum(self, rules: List[Rule]) -> None:
+        started = time.perf_counter()
         heads = {rule.head.relation for rule in rules}
+        stratum = StratumStats(relations=tuple(sorted(heads)))
+        self.stats.strata.append(stratum)
         # Delta = everything currently in the stratum's head relations
-        # (facts and contributions from earlier strata).
-        delta: Dict[str, Set[Tuple[int, ...]]] = {
-            name: set(self._relations[name]) for name in heads
+        # (facts and contributions from earlier strata), stored as an
+        # indexed relation so delta joins are hash probes.
+        delta: Dict[str, SetRelation] = {
+            name: self._fresh_delta(name, self._relations[name])
+            for name in heads
         }
         # First round must also run rules whose body has no atom in this
         # stratum (e.g. copies from lower strata).
+        stratum.rounds = 1
         for rule in rules:
             fresh = self._eval_rule(rule, delta_atom=None, delta=None)
             head = self._relations[rule.head.relation]
+            added = 0
+            for values in fresh:
+                if head.insert_new(values):
+                    delta[rule.head.relation].insert_new(values)
+                    added += 1
+            self._count_derived(rule, added, stratum)
+        while any(not rel.is_empty() for rel in delta.values()):
+            stratum.rounds += 1
+            new_delta: Dict[str, SetRelation] = {
+                name: self._fresh_delta(name, ()) for name in heads
+            }
+            for rule in rules:
+                positions = [
+                    i
+                    for i, item in enumerate(rule.body)
+                    if isinstance(item, Atom)
+                    and not item.negated
+                    and item.relation in heads
+                ]
+                for position in positions:
+                    atom = rule.body[position]
+                    assert isinstance(atom, Atom)
+                    if delta[atom.relation].is_empty():
+                        continue
+                    fresh = self._eval_rule(
+                        rule, delta_atom=position, delta=delta[atom.relation]
+                    )
+                    head = self._relations[rule.head.relation]
+                    added = 0
+                    for values in fresh:
+                        if head.insert_new(values):
+                            new_delta[rule.head.relation].insert_new(values)
+                            added += 1
+                    self._count_derived(rule, added, stratum)
+            for retired in delta.values():
+                self._retire_counters(retired)
+            delta = new_delta
+        for retired in delta.values():
+            self._retire_counters(retired)
+        self.stats.rounds += stratum.rounds
+        stratum.seconds = time.perf_counter() - started
+
+    def _count_derived(
+        self, rule: Rule, added: int, stratum: StratumStats
+    ) -> None:
+        if not added:
+            return
+        stratum.derived += added
+        self.stats.tuples_derived += added
+        key = str(rule)
+        self.stats.rule_derived[key] = (
+            self.stats.rule_derived.get(key, 0) + added
+        )
+
+    # -- join planning -----------------------------------------------------
+
+    def _plan_joins(
+        self,
+        positive: List[Tuple[int, Atom]],
+        delta_atom: Optional[int],
+        delta: Optional[SetRelation],
+    ) -> List[Tuple[int, Atom]]:
+        """Order positive atoms by estimated selectivity.
+
+        The delta atom stays first (every semi-naive derivation must use a
+        new tuple); the rest are chosen greedily, preferring atoms with
+        the most bound columns and, among those, the smallest relation.
+        The textual index breaks remaining ties, keeping plans
+        deterministic.
+        """
+        ordered: List[Tuple[int, Atom]] = []
+        remaining = list(positive)
+        bound: Set[Var] = set()
+        if delta_atom is not None:
+            for pair in remaining:
+                if pair[0] == delta_atom:
+                    ordered.append(pair)
+                    remaining.remove(pair)
+                    bound.update(pair[1].variables)
+                    break
+        while remaining:
+            best: Optional[Tuple[int, Atom]] = None
+            best_key: Optional[Tuple[int, int, int]] = None
+            for pair in remaining:
+                index, atom = pair
+                bound_columns = sum(
+                    1
+                    for term in atom.terms
+                    if isinstance(term, Const) or term in bound
+                )
+                size = len(self._relations[atom.relation])
+                key = (-bound_columns, size, index)
+                if best_key is None or key < best_key:
+                    best, best_key = pair, key
+            assert best is not None
+            ordered.append(best)
+            remaining.remove(best)
+            bound.update(best[1].variables)
+        return ordered
+
+    def _compile_checks(
+        self,
+        items: List[BodyItem],
+        slots: Dict[Var, int],
+    ) -> List[tuple]:
+        """Compile tail items into ``_JoinStep.checks`` tuples."""
+        checks: List[tuple] = []
+        for item in items:
+            if isinstance(item, NotEqual):
+                checks.append(
+                    (None, None, None, slots[item.left], slots[item.right])
+                )
+            else:
+                template: List[Optional[int]] = []
+                fill: List[Tuple[int, int]] = []
+                for i, term in enumerate(item.terms):
+                    if isinstance(term, Const):
+                        template.append(term.value)
+                    else:
+                        template.append(None)
+                        fill.append((i, slots[term]))
+                checks.append(
+                    (self._relations[item.relation]._tuples, template, fill, 0, 0)
+                )
+        return checks
+
+    def _compile_steps(
+        self,
+        rule: Rule,
+        ordered: List[Tuple[int, Atom]],
+    ) -> Tuple[List[_JoinStep], List[tuple], List[Optional[int]],
+               List[Tuple[int, int]], int]:
+        """Compile a join plan: steps, final checks, and the head layout.
+
+        Returns ``(steps, final_checks, head_template, head_fill, nslots)``
+        where the head tuple is emitted by writing ``env[slot]`` values
+        into ``head_template`` at the ``head_fill`` positions.
+        """
+        tail: List[BodyItem] = [
+            item
+            for item in rule.body
+            if isinstance(item, NotEqual)
+            or (isinstance(item, Atom) and item.negated)
+        ]
+
+        def item_vars(item: BodyItem) -> Set[Var]:
+            if isinstance(item, NotEqual):
+                return {item.left, item.right}
+            return set(item.variables)
+
+        slots: Dict[Var, int] = {}
+
+        def slot_of(var: Var) -> int:
+            slot = slots.get(var)
+            if slot is None:
+                slot = slots[var] = len(slots)
+            return slot
+
+        steps: List[_JoinStep] = []
+        bound: Set[Var] = set()
+        pending = list(tail)
+        for body_index, atom in ordered:
+            key_positions: List[int] = []
+            key_template: List[Optional[int]] = []
+            key_slots: List[Tuple[int, int]] = []
+            bind_positions: List[Tuple[int, int]] = []
+            same_positions: List[Tuple[int, int]] = []
+            fresh_at: Dict[Var, int] = {}
+            for i, term in enumerate(atom.terms):
+                if isinstance(term, Const):
+                    key_template.append(term.value)
+                    key_positions.append(i)
+                elif term in bound:
+                    key_template.append(None)
+                    key_slots.append((len(key_template) - 1, slot_of(term)))
+                    key_positions.append(i)
+                elif term in fresh_at:
+                    same_positions.append((i, fresh_at[term]))
+                else:
+                    fresh_at[term] = i
+                    bind_positions.append((i, slot_of(term)))
+            bound.update(atom.variables)
+            ready = [item for item in pending if item_vars(item) <= bound]
+            for item in ready:
+                pending.remove(item)
+            steps.append(
+                _JoinStep(
+                    body_index=body_index,
+                    relation_name=atom.relation,
+                    key_positions=tuple(key_positions),
+                    key_template=key_template,
+                    key_slots=key_slots,
+                    bind_positions=bind_positions,
+                    same_positions=same_positions,
+                    checks=self._compile_checks(ready, slots),
+                )
+            )
+        final_checks = self._compile_checks(pending, slots)
+        head_template: List[Optional[int]] = []
+        head_fill: List[Tuple[int, int]] = []
+        for i, term in enumerate(rule.head.terms):
+            if isinstance(term, Const):
+                head_template.append(term.value)
+            else:
+                head_template.append(None)
+                head_fill.append((i, slots[term]))
+        return steps, final_checks, head_template, head_fill, len(slots)
+
+    def _eval_rule(
+        self,
+        rule: Rule,
+        delta_atom: Optional[int],
+        delta: Optional[SetRelation],
+    ) -> List[Tuple[int, ...]]:
+        started = time.perf_counter()
+        positive = [
+            (i, item)
+            for i, item in enumerate(rule.body)
+            if isinstance(item, Atom) and not item.negated
+        ]
+        ordered = self._plan_joins(positive, delta_atom, delta)
+        steps, final_checks, head_template, head_fill, nslots = (
+            self._compile_steps(rule, ordered)
+        )
+        results: List[Tuple[int, ...]] = []
+        env: List[Optional[int]] = [None] * nslots
+        nsteps = len(steps)
+
+        def passes(check: tuple) -> bool:
+            neg_tuples, template, fill, slot_a, slot_b = check
+            if neg_tuples is None:
+                return env[slot_a] != env[slot_b]
+            for i, slot in fill:
+                template[i] = env[slot]
+            return tuple(template) not in neg_tuples
+
+        def join(position: int) -> None:
+            if position == nsteps:
+                for check in final_checks:
+                    if not passes(check):
+                        return
+                for i, slot in head_fill:
+                    head_template[i] = env[slot]
+                results.append(tuple(head_template))
+                return
+            step = steps[position]
+            if step.body_index == delta_atom and delta is not None:
+                relation: SetRelation = delta
+            else:
+                relation = self._relations[step.relation_name]
+            key_template = step.key_template
+            for i, slot in step.key_slots:
+                key_template[i] = env[slot]
+            candidates = relation.lookup(
+                step.key_positions, tuple(key_template)
+            )
+            bind_positions = step.bind_positions
+            same_positions = step.same_positions
+            checks = step.checks
+            next_position = position + 1
+            for values in candidates:
+                if same_positions:
+                    consistent = True
+                    for i, j in same_positions:
+                        if values[i] != values[j]:
+                            consistent = False
+                            break
+                    if not consistent:
+                        continue
+                for i, slot in bind_positions:
+                    env[slot] = values[i]
+                for check in checks:
+                    if not passes(check):
+                        break
+                else:
+                    join(next_position)
+            # Slots are overwritten before their next read (the plan only
+            # reads a slot after the step that binds it), so no unbinding.
+
+        join(0)
+        self.stats.rule_evals += 1
+        elapsed = time.perf_counter() - started
+        self.stats.rule_eval_seconds += elapsed
+        key = str(rule)
+        self.stats.rule_seconds[key] = (
+            self.stats.rule_seconds.get(key, 0.0) + elapsed
+        )
+        return results
+
+
+class _LegacySetStore(_SetStore):
+    """The pre-optimization evaluator, kept as the benchmark baseline.
+
+    Wholesale index invalidation on every insert, per-round deltas as
+    plain Python sets scanned linearly, atoms joined in textual order,
+    and negation/disequality checked only after the full join.  Selected
+    with ``Program(backend="set", engine="legacy")`` so
+    ``benchmarks/bench_datalog_joins`` can quantify the incremental
+    engine against it; results are identical (property-tested).
+    """
+
+    def __init__(self, program: Program) -> None:
+        self._relations = {
+            name: LegacySetRelation(name, decl.domains)
+            for name, decl in program._relations.items()
+        }
+        self.stats = SolverStats(backend="set", engine="legacy")
+
+    def run_stratum(self, rules: List[Rule]) -> None:
+        started = time.perf_counter()
+        heads = {rule.head.relation for rule in rules}
+        stratum = StratumStats(relations=tuple(sorted(heads)))
+        self.stats.strata.append(stratum)
+        delta: Dict[str, Set[Tuple[int, ...]]] = {
+            name: set(self._relations[name]) for name in heads
+        }
+        stratum.rounds = 1
+        for rule in rules:
+            fresh = self._legacy_eval(rule, delta_atom=None, delta=None)
+            head = self._relations[rule.head.relation]
+            added = 0
             for values in fresh:
                 if head.add(values):
                     delta[rule.head.relation].add(values)
+                    added += 1
+            self._count_derived(rule, added, stratum)
         while any(delta.values()):
+            stratum.rounds += 1
             new_delta: Dict[str, Set[Tuple[int, ...]]] = {
                 name: set() for name in heads
             }
@@ -308,21 +840,27 @@ class _SetStore(_Store):
                     assert isinstance(atom, Atom)
                     if not delta[atom.relation]:
                         continue
-                    fresh = self._eval_rule(
+                    fresh = self._legacy_eval(
                         rule, delta_atom=position, delta=delta[atom.relation]
                     )
                     head = self._relations[rule.head.relation]
+                    added = 0
                     for values in fresh:
                         if head.add(values):
                             new_delta[rule.head.relation].add(values)
+                            added += 1
+                    self._count_derived(rule, added, stratum)
             delta = new_delta
+        self.stats.rounds += stratum.rounds
+        stratum.seconds = time.perf_counter() - started
 
-    def _eval_rule(
+    def _legacy_eval(
         self,
         rule: Rule,
         delta_atom: Optional[int],
         delta: Optional[Set[Tuple[int, ...]]],
     ) -> List[Tuple[int, ...]]:
+        started = time.perf_counter()
         positive = [
             (i, item)
             for i, item in enumerate(rule.body)
@@ -395,6 +933,9 @@ class _SetStore(_Store):
                     join(position + 1, extended)
 
         join(0, {})
+        self.stats.rule_evals += 1
+        elapsed = time.perf_counter() - started
+        self.stats.rule_eval_seconds += elapsed
         return results
 
 
@@ -436,9 +977,16 @@ class _BddStore(_Store):
                 name, decl.domains, self.space, instances
             )
         self._program = program
+        self.stats = SolverStats(backend="bdd")
 
     def relation(self, name: str) -> BddRelation:
         return self._relations[name]
+
+    def finalize_stats(self) -> None:
+        total = sum(len(relation) for relation in self._relations.values())
+        self.stats.tuples_derived = total - self.stats.facts_loaded
+        self.stats.bdd_cache_lookups = self.bdd.op_lookups
+        self.stats.bdd_cache_hits = self.bdd.op_hits
 
     # -- rule evaluation ---------------------------------------------------
 
@@ -501,6 +1049,24 @@ class _BddStore(_Store):
         delta_node: Optional[int] = None,
     ) -> int:
         """Evaluate one rule body; returns a node on the head's instances."""
+        started = time.perf_counter()
+        try:
+            return self._eval_rule_inner(rule, delta_atom, delta_node)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stats.rule_evals += 1
+            self.stats.rule_eval_seconds += elapsed
+            key = str(rule)
+            self.stats.rule_seconds[key] = (
+                self.stats.rule_seconds.get(key, 0.0) + elapsed
+            )
+
+    def _eval_rule_inner(
+        self,
+        rule: Rule,
+        delta_atom: Optional[int] = None,
+        delta_node: Optional[int] = None,
+    ) -> int:
         bdd = self.bdd
         variables = self._variable_instances(rule)
         node = bdd.TRUE
@@ -555,11 +1121,16 @@ class _BddStore(_Store):
         return node
 
     def run_stratum(self, rules: List[Rule]) -> None:
+        started = time.perf_counter()
         bdd = self.bdd
         heads = {rule.head.relation for rule in rules}
+        stratum = StratumStats(relations=tuple(sorted(heads)))
+        self.stats.strata.append(stratum)
+        sizes_before = sum(len(self._relations[name]) for name in heads)
         delta: Dict[str, int] = {
             name: self._relations[name].node for name in heads
         }
+        stratum.rounds = 1
         for rule in rules:
             head = self._relations[rule.head.relation]
             fresh = self._eval_rule(rule)
@@ -570,6 +1141,7 @@ class _BddStore(_Store):
                     delta[rule.head.relation], new
                 )
         while any(node != bdd.FALSE for node in delta.values()):
+            stratum.rounds += 1
             new_delta: Dict[str, int] = {name: bdd.FALSE for name in heads}
             for rule in rules:
                 head = self._relations[rule.head.relation]
@@ -593,3 +1165,8 @@ class _BddStore(_Store):
                             new_delta[rule.head.relation], new
                         )
             delta = new_delta
+        stratum.derived = (
+            sum(len(self._relations[name]) for name in heads) - sizes_before
+        )
+        self.stats.rounds += stratum.rounds
+        stratum.seconds = time.perf_counter() - started

@@ -14,13 +14,24 @@ ablation just swaps the space's ordering policy.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bdd import BDD, DomainInstance, DomainSpace
 
-__all__ = ["RelationError", "Relation", "SetRelation", "BddRelation"]
+__all__ = [
+    "RelationError",
+    "Relation",
+    "SetRelation",
+    "LegacySetRelation",
+    "BddRelation",
+]
 
 Tuple_ = Tuple[int, ...]
+
+# Shared empty result for missed index probes; never mutated (buckets are
+# created via ``setdefault`` with fresh lists, reads use ``get`` with this
+# default).
+_EMPTY: List[Tuple_] = []
 
 
 class RelationError(Exception):
@@ -74,17 +85,36 @@ class Relation:
 
 
 class SetRelation(Relation):
-    """Explicit tuples with per-column-pattern hash indexes.
+    """Explicit tuples with incrementally-maintained hash indexes.
 
-    Indexes map a tuple of bound positions to ``{key_tuple: [tuples]}``;
-    they are invalidated wholesale on mutation (mutations cluster in the
-    fact-loading phase, lookups in the join phase, so this is cheap).
+    Indexes map a tuple of bound positions to ``{key_tuple: [tuples]}``.
+    An index is built lazily on the first lookup with that column pattern
+    and from then on maintained *incrementally* by :meth:`add` -- under
+    semi-naive evaluation inserts and lookups interleave every fixpoint
+    round, so wholesale invalidation would rebuild every index once per
+    round (that pre-optimization behavior is preserved in
+    :class:`LegacySetRelation` as the benchmark baseline).
+
+    The full-scan case (``lookup`` with no bound positions) returns a
+    cached snapshot list that is appended to on insertion rather than
+    copied per call.
+
+    Lists returned by :meth:`lookup` are live views owned by the relation:
+    callers must not mutate them.  Growth is append-only, so iterating a
+    previously returned list while new tuples arrive is well-defined (the
+    iteration may or may not observe the new tuples).
+
+    ``index_builds`` / ``index_hits`` count full index (re)builds and
+    served probes for the solver's statistics layer.
     """
 
     def __init__(self, name: str, domains: Sequence[str]) -> None:
         super().__init__(name, domains)
         self._tuples: set = set()
         self._indexes: Dict[Tuple[int, ...], Dict[Tuple_, List[Tuple_]]] = {}
+        self._snapshot: Optional[List[Tuple_]] = None
+        self.index_builds = 0
+        self.index_hits = 0
 
     def add(self, values: Tuple_) -> bool:
         values = tuple(values)
@@ -92,7 +122,40 @@ class SetRelation(Relation):
         if values in self._tuples:
             return False
         self._tuples.add(values)
-        self._indexes.clear()
+        if self._snapshot is not None:
+            self._snapshot.append(values)
+        for positions, index in self._indexes.items():
+            index_key = tuple(values[p] for p in positions)
+            index.setdefault(index_key, []).append(values)
+        return True
+
+    def add_all(self, tuples: Iterable[Tuple_]) -> bool:
+        # Bulk fact loading happens before any lookup has materialized an
+        # index or snapshot; feed the tuple set directly in that case.
+        if self._indexes or self._snapshot is not None:
+            return super().add_all(tuples)
+        before = len(self._tuples)
+        for values in tuples:
+            values = tuple(values)
+            self._check_arity(values)
+            self._tuples.add(values)
+        return len(self._tuples) != before
+
+    def insert_new(self, values: Tuple_) -> bool:
+        """:meth:`add` minus validation, for solver-built tuples.
+
+        The solver constructs head tuples itself (correct arity by
+        construction, already plain ``tuple``s), so the per-insert checks
+        of :meth:`add` are pure overhead on the innermost fixpoint loop.
+        """
+        if values in self._tuples:
+            return False
+        self._tuples.add(values)
+        if self._snapshot is not None:
+            self._snapshot.append(values)
+        for positions, index in self._indexes.items():
+            index_key = tuple(values[p] for p in positions)
+            index.setdefault(index_key, []).append(values)
         return True
 
     def __contains__(self, values: Tuple_) -> bool:
@@ -110,11 +173,62 @@ class SetRelation(Relation):
     def clear(self) -> None:
         self._tuples.clear()
         self._indexes.clear()
+        self._snapshot = None
 
     def lookup(
         self, positions: Tuple[int, ...], key: Tuple_
     ) -> List[Tuple_]:
         """All tuples whose ``positions`` columns equal ``key``."""
+        if not positions:
+            if self._snapshot is None:
+                self._snapshot = list(self._tuples)
+                self.index_builds += 1
+            else:
+                self.index_hits += 1
+            return self._snapshot
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for values in self._tuples:
+                index_key = tuple(values[p] for p in positions)
+                index.setdefault(index_key, []).append(values)
+            self._indexes[positions] = index
+            self.index_builds += 1
+        else:
+            self.index_hits += 1
+        return index.get(key, _EMPTY)
+
+
+class LegacySetRelation(SetRelation):
+    """The pre-optimization storage behavior, kept for benchmarking.
+
+    Every insertion invalidates all indexes wholesale (so each fixpoint
+    round rebuilds them from scratch) and the no-bound-columns lookup
+    copies the tuple set on every call.  ``benchmarks/bench_datalog_joins``
+    measures the incremental engine against this baseline.
+    """
+
+    def add(self, values: Tuple_) -> bool:
+        values = tuple(values)
+        self._check_arity(values)
+        if values in self._tuples:
+            return False
+        self._tuples.add(values)
+        self._indexes.clear()
+        return True
+
+    def add_all(self, tuples: Iterable[Tuple_]) -> bool:
+        changed = False
+        for values in tuples:
+            changed |= self.add(values)
+        return changed
+
+    def insert_new(self, values: Tuple_) -> bool:
+        return self.add(values)
+
+    def lookup(
+        self, positions: Tuple[int, ...], key: Tuple_
+    ) -> List[Tuple_]:
         if not positions:
             return list(self._tuples)
         index = self._indexes.get(positions)
@@ -124,7 +238,10 @@ class SetRelation(Relation):
                 index_key = tuple(values[p] for p in positions)
                 index.setdefault(index_key, []).append(values)
             self._indexes[positions] = index
-        return index.get(key, [])
+            self.index_builds += 1
+        else:
+            self.index_hits += 1
+        return index.get(key, _EMPTY)
 
 
 class BddRelation(Relation):

@@ -424,6 +424,11 @@ class DatalogPTA:
 
     # -- result views --------------------------------------------------------
 
+    @property
+    def stats(self):
+        """:class:`~repro.datalog.SolverStats` of the solve, or None."""
+        return None if self.solution is None else self.solution.stats
+
     def _label(self, index: int) -> str:
         return self.objects[index][2]
 

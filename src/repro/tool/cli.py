@@ -90,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
         dest="json_output",
         help="emit a machine-readable JSON report instead of text",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        dest="solver_stats",
+        help=(
+            "collect and print Datalog solver statistics (fixpoint"
+            " rounds, tuples derived, index hits, per-stratum timings)"
+        ),
+    )
     return parser
 
 
@@ -124,6 +133,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 filename=args.files[0],
                 options=options,
                 name=args.files[0],
+                solver_stats=args.solver_stats,
             )
         else:
             report = run_regionwiz(
@@ -134,6 +144,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 options=options,
                 name=args.files[0],
                 refine=args.refine,
+                solver_stats=args.solver_stats,
             )
     except (CompileError, ValueError) as error:
         print(f"regionwiz: {error}", file=sys.stderr)

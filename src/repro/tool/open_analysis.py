@@ -139,6 +139,7 @@ def analyze_open_program(
     exports: Optional[List[str]] = None,
     options: Optional[AnalysisOptions] = None,
     name: str = "library",
+    solver_stats: bool = False,
 ) -> RegionWizReport:
     """Run RegionWiz on a library via the synthesized open harness."""
     harnessed = build_harness(source, interface, filename, exports)
@@ -149,4 +150,5 @@ def analyze_open_program(
         entry=HARNESS_ENTRY,
         options=options,
         name=name,
+        solver_stats=solver_stats,
     )

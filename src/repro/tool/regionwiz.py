@@ -34,7 +34,9 @@ from repro.core import (
     RankedWarnings,
     check_consistency,
     rank_warnings,
+    solve_object_pairs,
 )
+from repro.datalog import SolverStats
 from repro.interfaces import RegionInterface, apr_pools_interface
 from repro.ir import IRModule, lower
 from repro.lang import SemaResult, SourceLocation, analyze, parse
@@ -73,6 +75,9 @@ class PhaseTimes:
     context_cloning: float = 0.0
     correlation: float = 0.0
     post_processing: float = 0.0
+    #: Datalog solver telemetry for the consistency query; populated only
+    #: when :func:`run_regionwiz` is called with ``solver_stats=True``.
+    solver: Optional[SolverStats] = None
 
     @property
     def total(self) -> float:
@@ -99,6 +104,12 @@ class Fig11Row:
     o_pairs: int
     i_pairs: int
     high: int
+    # Solver telemetry (populated when the run collected SolverStats;
+    # deliberately not part of HEADER/as_tuple -- the Figure 11 table
+    # shape matches the paper).
+    solver_rounds: int = 0
+    solver_derived: int = 0
+    solver_ms: float = 0.0
 
     HEADER = (
         "name", "time", "R", "H", "sub.", "own.", "heap",
@@ -143,6 +154,7 @@ class RegionWizReport:
         return not self.warnings
 
     def fig11_row(self) -> Fig11Row:
+        solver = self.times.solver
         return Fig11Row(
             name=self.name,
             time_seconds=self.times.total,
@@ -155,6 +167,9 @@ class RegionWizReport:
             o_pairs=self.consistency.o_pair_count,
             i_pairs=self.ranked.i_pair_count,
             high=self.ranked.high_count,
+            solver_rounds=0 if solver is None else solver.rounds,
+            solver_derived=0 if solver is None else solver.tuples_derived,
+            solver_ms=0.0 if solver is None else solver.solve_seconds * 1e3,
         )
 
 
@@ -187,12 +202,17 @@ def run_regionwiz(
     registry: Optional[ImplicitCallRegistry] = None,
     name: str = "program",
     refine: bool = False,
+    solver_stats: bool = False,
 ) -> RegionWizReport:
     """Run the full RegionWiz pipeline on C source text.
 
     ``refine=True`` additionally applies the Section 4.3 def-use
     refinement (IPSSA-style, deliberately unsound) to suppress warnings
     whose region arguments provably came from the same variable.
+
+    ``solver_stats=True`` re-runs the consistency query on the Datalog
+    engine and attaches its :class:`~repro.datalog.SolverStats` to
+    ``report.times.solver`` (surfaced by ``--stats`` in the CLI).
     """
     if interface is None:
         interface = apr_pools_interface()
@@ -224,6 +244,8 @@ def run_regionwiz(
     start = time.perf_counter()
     analysis = analyze_pointers(graph, interface, options, numbering)
     consistency = check_consistency(analysis)
+    if solver_stats:
+        _, times.solver = solve_object_pairs(analysis)
     times.correlation = time.perf_counter() - start
 
     # Phase 4: post processing.

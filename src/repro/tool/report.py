@@ -5,9 +5,22 @@ from __future__ import annotations
 import json
 from typing import Iterable, List, Sequence
 
+from repro.datalog import SolverStats
 from repro.tool.regionwiz import Fig11Row, RegionWizReport
 
-__all__ = ["format_report", "format_fig11_table", "report_to_json"]
+__all__ = [
+    "format_report",
+    "format_fig11_table",
+    "format_solver_stats",
+    "report_to_json",
+]
+
+
+def format_solver_stats(stats: SolverStats, indent: str = "  ") -> str:
+    """Indented rendering of :meth:`SolverStats.summary`."""
+    return "\n".join(
+        indent + line for line in stats.summary().splitlines()
+    )
 
 
 def format_report(report: RegionWizReport, verbose: bool = False) -> str:
@@ -31,6 +44,8 @@ def format_report(report: RegionWizReport, verbose: bool = False) -> str:
         f" correlation {report.times.correlation * 1000:.1f}ms,"
         f" post {report.times.post_processing * 1000:.1f}ms"
     )
+    if report.times.solver is not None:
+        lines.append(format_solver_stats(report.times.solver))
     if report.is_consistent:
         lines.append("  region lifetime is consistent: no warnings")
         return "\n".join(lines)
@@ -84,6 +99,29 @@ def report_to_json(report: RegionWizReport) -> str:
             for warning in report.warnings
         ],
     }
+    stats = report.times.solver
+    if stats is not None:
+        payload["solver"] = {
+            "backend": stats.backend,
+            "engine": stats.engine,
+            "facts_loaded": stats.facts_loaded,
+            "tuples_derived": stats.tuples_derived,
+            "rounds": stats.rounds,
+            "rule_evals": stats.rule_evals,
+            "rule_eval_ms": round(stats.rule_eval_seconds * 1000, 3),
+            "index_builds": stats.index_builds,
+            "index_hits": stats.index_hits,
+            "solve_ms": round(stats.solve_seconds * 1000, 3),
+            "strata": [
+                {
+                    "relations": list(stratum.relations),
+                    "rounds": stratum.rounds,
+                    "derived": stratum.derived,
+                    "ms": round(stratum.seconds * 1000, 3),
+                }
+                for stratum in stats.strata
+            ],
+        }
     return json.dumps(payload, indent=2)
 
 

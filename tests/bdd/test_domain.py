@@ -95,6 +95,71 @@ class TestEncoding:
         assert space.domain_constraint(h) == space.bdd.TRUE
 
 
+class TestTinyDomains:
+    """Domain sizes 1 and 2: the 1-bit encodings.
+
+    A size-1 domain still occupies one BDD variable (bits is clamped to
+    >= 1), so value 0 encodes as the negative literal and bit-pattern 1
+    is padding that ``domain_constraint``/``tuples`` must exclude.
+    """
+
+    def test_size_one_encode_decode(self, space):
+        space.declare("U", 1)
+        u = space.instance("U")
+        cube = space.encode(u, 0)
+        assert cube != space.bdd.FALSE
+        assignments = list(space.bdd.sat_iter(cube, u.levels))
+        assert len(assignments) == 1
+        assert space.decode(u, assignments[0]) == 0
+
+    def test_size_one_out_of_range(self, space):
+        space.declare("U", 1)
+        with pytest.raises(BDDError):
+            space.encode(space.instance("U"), 1)
+
+    def test_size_one_domain_constraint_excludes_padding(self, space):
+        space.declare("U", 1)
+        u = space.instance("U")
+        constraint = space.domain_constraint(u)
+        assert constraint != space.bdd.TRUE
+        assert space.bdd.satcount(constraint, u.levels) == 1
+        assert space.count_tuples(space.bdd.TRUE, [u]) == 1
+
+    def test_size_one_equality(self, space):
+        space.declare("U", 1, instances=2)
+        u0, u1 = space.instance("U", 0), space.instance("U", 1)
+        eq = space.equality(u0, u1)
+        assert set(space.tuples(eq, [u0, u1])) == {(0, 0)}
+
+    def test_size_two_encode_both_values(self, space):
+        space.declare("B", 2)
+        b = space.instance("B")
+        zero, one = space.encode(b, 0), space.encode(b, 1)
+        assert zero != one
+        assert space.bdd.apply_and(zero, one) == space.bdd.FALSE
+        assert space.bdd.apply_or(zero, one) == space.bdd.TRUE
+
+    def test_size_two_domain_constraint_is_true(self, space):
+        space.declare("B", 2)
+        assert (
+            space.domain_constraint(space.instance("B")) == space.bdd.TRUE
+        )
+
+    def test_size_two_equality(self, space):
+        space.declare("B", 2, instances=2)
+        b0, b1 = space.instance("B", 0), space.instance("B", 1)
+        eq = space.equality(b0, b1)
+        assert set(space.tuples(eq, [b0, b1])) == {(0, 0), (1, 1)}
+
+    def test_mixed_tiny_domains_tuple(self, space):
+        space.declare("U", 1)
+        space.declare("B", 2)
+        u, b = space.instance("U"), space.instance("B")
+        cube = space.encode_tuple([u, b], [0, 1])
+        assert list(space.tuples(cube, [u, b])) == [(0, 1)]
+        assert space.count_tuples(space.bdd.TRUE, [u, b]) == 2
+
+
 class TestRelations:
     def test_equality_relation(self, space):
         space.declare("R", 6, instances=2)

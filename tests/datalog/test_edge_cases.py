@@ -36,6 +36,73 @@ class TestNullaryAndSingleton:
         program.fact("a", 0)
         assert program.solve().tuples("b") == {(0,)}
 
+    def test_size_one_domain_negation_and_disequality(self, backend):
+        # A 1-bit encoded domain with a single value: x != y can never
+        # hold, negation complements within the one-element universe.
+        program = Program(backend=backend)
+        program.domain("U", 1)
+        program.relation("a", ["U"])
+        program.relation("b", ["U"])
+        program.relation("none", ["U", "U"])
+        program.relation("comp", ["U"])
+        program.rules(
+            """
+            none(x, y) :- a(x), a(y), x != y.
+            comp(x) :- a(x), !b(x).
+            """
+        )
+        program.fact("a", 0)
+        solution = program.solve()
+        assert solution.tuples("none") == set()
+        assert solution.tuples("comp") == {(0,)}
+
+    def test_size_one_domain_empty_negated_relation(self, backend):
+        program = Program(backend=backend)
+        program.domain("U", 1)
+        program.relation("a", ["U"])
+        program.relation("b", ["U"])
+        program.relation("c", ["U"])
+        program.rules("c(x) :- a(x), !b(x).")
+        program.fact("a", 0)
+        program.fact("b", 0)
+        assert program.solve().tuples("c") == set()
+
+    def test_size_two_domain_full_mix(self, backend):
+        # Size 2 is the smallest domain where disequality is satisfiable
+        # and negation leaves a strict complement.
+        program = Program(backend=backend)
+        program.domain("U", 2)
+        program.relation("a", ["U"])
+        program.relation("edge", ["U", "U"])
+        program.relation("diff", ["U", "U"])
+        program.relation("self_loop", ["U"])
+        program.relation("missing", ["U", "U"])
+        program.rules(
+            """
+            diff(x, y) :- a(x), a(y), x != y.
+            self_loop(x) :- edge(x, x).
+            missing(x, y) :- a(x), a(y), !edge(x, y).
+            """
+        )
+        program.fact("a", 0)
+        program.fact("a", 1)
+        program.fact("edge", 0, 1)
+        program.fact("edge", 1, 1)
+        solution = program.solve()
+        assert solution.tuples("diff") == {(0, 1), (1, 0)}
+        assert solution.tuples("self_loop") == {(1,)}
+        assert solution.tuples("missing") == {(0, 0), (1, 0)}
+
+    def test_size_one_and_two_domains_mixed_relation(self, backend):
+        program = Program(backend=backend)
+        program.domain("U", 1)
+        program.domain("W", 2)
+        program.relation("pair", ["U", "W"])
+        program.relation("flip", ["W", "U"])
+        program.rules("flip(y, x) :- pair(x, y).")
+        program.fact("pair", 0, 1)
+        assert program.solve().tuples("flip") == {(1, 0)}
+
 
 class TestMultipleNegation:
     def test_two_negated_atoms(self, backend):

@@ -263,6 +263,36 @@ class TestDeclarationErrors:
         with pytest.raises(DatalogError):
             Program(backend="sqlite")
 
+    def test_unknown_engine(self):
+        with pytest.raises(DatalogError):
+            Program(backend="set", engine="warp")
+
+    def test_legacy_engine_requires_set_backend(self):
+        with pytest.raises(DatalogError):
+            Program(backend="bdd", engine="legacy")
+
+    def test_fact_with_unbound_variable_rejected(self, backend):
+        # Regression: a body-less rule with a Var in its head used to
+        # escape validation and crash with AttributeError on Var.value.
+        from repro.datalog import Atom, Rule, Var
+
+        program = make_program(backend)
+        program.domain("V", 2)
+        program.relation("a", ["V"])
+        with pytest.raises(DatalogError, match="unbound variable"):
+            program.rule(Rule(Atom("a", (Var("x"),)), ()))
+
+    def test_fact_rule_text_with_variable_rejected(self, backend):
+        from repro.datalog import DatalogSyntaxError
+
+        program = make_program(backend)
+        program.domain("V", 2)
+        program.relation("a", ["V"])
+        with pytest.raises(
+            (DatalogError, DatalogSyntaxError), match="unbound variable"
+        ):
+            program.rules("a(x).")
+
     def test_constant_out_of_domain_in_rule(self, backend):
         program = make_program(backend)
         program.domain("V", 2)
