@@ -1,0 +1,70 @@
+"""CI smoke test: fault isolation across the six-package batch sweep.
+
+Runs the batch driver over every executable of every package model with
+one fault injected into one subversion executable, then asserts the
+partial-results contract: the poisoned unit yields a structured
+``internal-error`` record (with its traceback captured, not printed) and
+every other unit still completes. Exits non-zero, with a diagnostic, if
+isolation ever regresses.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_fault_injection.py``
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.tool.batch import run_batch
+from repro.util import faults
+from repro.workloads import PACKAGES, package_units
+
+
+def main() -> int:
+    units = [unit for model in PACKAGES for unit in package_units(model)]
+    victims = [u.name for u in units if u.name.startswith("subversion/")]
+    if not victims:
+        print("smoke: no subversion executables found", file=sys.stderr)
+        return 1
+    victim = victims[0]
+    print(f"smoke: sweeping {len(units)} executable(s), poisoning {victim}")
+
+    with faults.injected("correlation", unit=victim, message="smoke fault"):
+        result = run_batch(units, keep_going=True)
+
+    failures = []
+    poisoned = result.outcome(victim)
+    if poisoned.status != "internal-error":
+        failures.append(
+            f"poisoned unit {victim} reported {poisoned.status!r},"
+            " expected 'internal-error'"
+        )
+    if not poisoned.traceback or "InjectedFault" not in poisoned.traceback:
+        failures.append("poisoned unit did not capture its traceback")
+    for outcome in result.outcomes:
+        if outcome.unit == victim:
+            continue
+        if not outcome.ok:
+            failures.append(
+                f"unit {outcome.unit} was not isolated from the fault:"
+                f" {outcome.status} ({outcome.error})"
+            )
+    if result.exit_code() != 3:
+        failures.append(
+            f"batch exit code {result.exit_code()}, expected 3 (internal)"
+        )
+
+    if failures:
+        print(result.summary())
+        for failure in failures:
+            print(f"smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    completed = len(result.succeeded)
+    print(
+        f"smoke: OK -- {completed}/{len(units)} unit(s) completed,"
+        f" 1 structured failure record for {victim}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

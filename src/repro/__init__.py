@@ -30,14 +30,25 @@ Quickstart::
 """
 
 from repro.pointer import AnalysisOptions
-from repro.tool import RegionWizReport, format_report, run_regionwiz
+from repro.tool import (
+    BatchUnit,
+    RegionWizReport,
+    format_report,
+    run_batch,
+    run_regionwiz,
+)
+from repro.util import BudgetExceeded, ResourceBudget
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisOptions",
+    "BatchUnit",
+    "BudgetExceeded",
     "RegionWizReport",
+    "ResourceBudget",
     "__version__",
     "format_report",
+    "run_batch",
     "run_regionwiz",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.callgraph.implicit import ImplicitCallRegistry, default_registry
+from repro.util.budget import BudgetMeter
 from repro.ir import (
     Add,
     Assign,
@@ -110,10 +111,12 @@ class _Builder:
         module: IRModule,
         entry: str,
         registry: ImplicitCallRegistry,
+        meter: Optional[BudgetMeter] = None,
     ) -> None:
         self.module = module
         self.entry = entry
         self.registry = registry
+        self.meter = meter
         self.vf: Dict[VarKey, Set[str]] = {}
         self.escaped: Set[str] = set()
         self._load_dsts: Set[VarKey] = set()
@@ -125,6 +128,8 @@ class _Builder:
     def run(self) -> CallGraph:
         changed = True
         while changed:
+            if self.meter is not None:
+                self.meter.checkpoint("call-graph")
             changed = False
             changed |= self._propagate_intraprocedural()
             changed |= self._update_call_edges()
@@ -274,8 +279,13 @@ def build_call_graph(
     module: IRModule,
     entry: str = "main",
     registry: Optional[ImplicitCallRegistry] = None,
+    meter: Optional[BudgetMeter] = None,
 ) -> CallGraph:
-    """Build the context-insensitive call graph for a module."""
+    """Build the context-insensitive call graph for a module.
+
+    ``meter`` (a started :class:`~repro.util.budget.BudgetMeter`) adds a
+    cooperative wall-clock checkpoint to every fixpoint round.
+    """
     if registry is None:
         registry = default_registry()
-    return _Builder(module, entry, registry).run()
+    return _Builder(module, entry, registry, meter).run()

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
 from repro.datalog import Program, SolverStats
 from repro.pointer import AbstractObject, PointerAnalysisResult
+from repro.util.budget import BudgetMeter
 
 __all__ = ["datalog_object_pairs", "solve_object_pairs"]
 
@@ -53,6 +54,7 @@ def solve_object_pairs(
     analysis: PointerAnalysisResult,
     hierarchy: Optional[RegionHierarchy] = None,
     backend: str = "set",
+    meter: Optional[BudgetMeter] = None,
 ) -> Tuple[
     Set[Tuple[AbstractObject, Optional[int], AbstractObject]], SolverStats
 ]:
@@ -104,7 +106,7 @@ def solve_object_pairs(
                 entity_index[target],
             )
 
-    solution = program.solve()
+    solution = program.solve(meter=meter)
     pairs = {
         (entities[source], offsets[offset], entities[target])
         for source, offset, target in solution.tuples("objectPair")

@@ -37,6 +37,7 @@ from repro.datalog.rules import (
     Var,
     parse_rules,
 )
+from repro.util.budget import BudgetMeter
 from repro.util.graph import strongly_connected_components
 
 __all__ = [
@@ -320,8 +321,15 @@ class Program:
     # Solving
     # ------------------------------------------------------------------
 
-    def solve(self) -> "Solution":
-        """Evaluate to fixpoint and return the resulting relation store."""
+    def solve(self, meter: Optional[BudgetMeter] = None) -> "Solution":
+        """Evaluate to fixpoint and return the resulting relation store.
+
+        ``meter`` (a started :class:`~repro.util.budget.BudgetMeter`)
+        adds cooperative checkpoints to every fixpoint round: the wall
+        clock is checked per round and every derived tuple is charged
+        against the budget's ``max_derived_tuples`` limit, raising a
+        structured ``BudgetExceeded`` on a blowup.
+        """
         started = time.perf_counter()
         strata = self._stratify()
         if self.backend == "set":
@@ -331,6 +339,7 @@ class Program:
                 store = _SetStore(self)
         else:
             store = _BddStore(self)
+        store.meter = meter
         for name, facts in self._facts.items():
             store.load_facts(name, facts)
         for stratum in strata:
@@ -385,6 +394,8 @@ class Solution:
 
 class _Store:
     stats: SolverStats
+    #: Optional budget meter; set by :meth:`Program.solve` before facts load.
+    meter: Optional[BudgetMeter] = None
 
     def relation(self, name: str) -> Relation:
         raise NotImplementedError
@@ -503,6 +514,8 @@ class _SetStore(_Store):
                     added += 1
             self._count_derived(rule, added, stratum)
         while any(not rel.is_empty() for rel in delta.values()):
+            if self.meter is not None:
+                self.meter.checkpoint("datalog")
             stratum.rounds += 1
             new_delta: Dict[str, SetRelation] = {
                 name: self._fresh_delta(name, ()) for name in heads
@@ -549,6 +562,8 @@ class _SetStore(_Store):
         self.stats.rule_derived[key] = (
             self.stats.rule_derived.get(key, 0) + added
         )
+        if self.meter is not None:
+            self.meter.charge_tuples(added, "datalog")
 
     # -- join planning -----------------------------------------------------
 
@@ -823,6 +838,8 @@ class _LegacySetStore(_SetStore):
                     added += 1
             self._count_derived(rule, added, stratum)
         while any(delta.values()):
+            if self.meter is not None:
+                self.meter.checkpoint("datalog")
             stratum.rounds += 1
             new_delta: Dict[str, Set[Tuple[int, ...]]] = {
                 name: set() for name in heads
@@ -1141,6 +1158,8 @@ class _BddStore(_Store):
                     delta[rule.head.relation], new
                 )
         while any(node != bdd.FALSE for node in delta.values()):
+            if self.meter is not None:
+                self.meter.checkpoint("datalog")
             stratum.rounds += 1
             new_delta: Dict[str, int] = {name: bdd.FALSE for name in heads}
             for rule in rules:
@@ -1168,5 +1187,9 @@ class _BddStore(_Store):
         stratum.derived = (
             sum(len(self._relations[name]) for name in heads) - sizes_before
         )
+        if self.meter is not None and stratum.derived > 0:
+            # BDD relations don't expose per-rule tuple deltas cheaply;
+            # charge the stratum's net growth in one step.
+            self.meter.charge_tuples(stratum.derived, "datalog")
         self.stats.rounds += stratum.rounds
         stratum.seconds = time.perf_counter() - started

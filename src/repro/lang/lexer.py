@@ -4,11 +4,16 @@ Handles the full token set the parser needs: identifiers/keywords, integer
 literals (decimal/hex/octal/char), string literals with escapes, both
 comment styles, and all multi-character operators.  Preprocessor lines are
 skipped (the analysis corpora are written pre-expanded; the paper's tool
-likewise consumed post-preprocessor IR from Phoenix).
+likewise consumed post-preprocessor IR from Phoenix) -- with one
+exception: ``#line N "file"`` / ``# N "file"`` markers update the
+location tracking, so drivers that concatenate several source files (the
+CLI's multi-file mode) get diagnostics pointing at the original file and
+line instead of offsets into the concatenation.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterator, List
 
@@ -43,6 +48,9 @@ _PUNCTS = [
     "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
     "(", ")", "{", "}", "[", "]", ",", ";", ".", "?", ":",
 ]
+
+# GNU cpp-style line markers: `#line 5 "f.c"`, `# 5 "f.c" 1`, `#line 5`.
+_LINE_MARKER = re.compile(r'#\s*(?:line\s+)?(\d+)(?:\s+"([^"]*)")?')
 
 _ESCAPES = {
     "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
@@ -116,14 +124,25 @@ def tokenize(text: str, filename: str = "<input>") -> List[Token]:
             cursor.advance(2)
             continue
         if ch == "#" and cursor.column == 1:
-            # Preprocessor directive: skip the (possibly continued) line.
+            # Preprocessor directive: skip the (possibly continued) line,
+            # but honor line markers so concatenated inputs keep their
+            # original locations.
+            directive: List[str] = []
             while not cursor.at_end():
                 if cursor.peek() == "\\" and cursor.peek(1) == "\n":
                     cursor.advance(2)
                     continue
                 if cursor.peek() == "\n":
                     break
+                directive.append(cursor.peek())
                 cursor.advance()
+            marker = _LINE_MARKER.match("".join(directive))
+            if marker is not None:
+                # The *next* line is numbered N; the upcoming newline
+                # advances the counter by one.
+                cursor.line = int(marker.group(1)) - 1
+                if marker.group(2) is not None:
+                    cursor.filename = marker.group(2)
             continue
         if ch.isalpha() or ch == "_":
             tokens.append(_lex_word(cursor))

@@ -41,6 +41,7 @@ from repro.ir import (
     VarOp,
 )
 from repro.pointer.contexts import ContextNumbering, number_contexts
+from repro.util.budget import BudgetMeter
 
 __all__ = [
     "AbstractObject",
@@ -154,11 +155,13 @@ class _Engine:
         interface: RegionInterface,
         options: AnalysisOptions,
         numbering: Optional[ContextNumbering] = None,
+        meter: Optional[BudgetMeter] = None,
     ) -> None:
         self.graph = graph
         self.module = graph.module
         self.interface = interface
         self.options = options
+        self.meter = meter
         self.numbering = numbering or number_contexts(
             graph,
             context_sensitive=options.context_sensitive,
@@ -179,6 +182,10 @@ class _Engine:
         self.cleanups: Set[Tuple[AbstractObject, str, AbstractObject]] = set()
         self._stack_sites: Dict[Tuple[str, str], int] = {}
         self._changed = False
+        # Derived-fact counter for budget accounting (points-to tuples
+        # plus effect tuples); charged incrementally against the meter.
+        self._derived = 0
+        self._charged = 0
 
     # ------------------------------------------------------------------
     # Helpers
@@ -226,6 +233,7 @@ class _Engine:
         bucket.update(locations)
         if len(bucket) != before:
             self._changed = True
+            self._derived += len(bucket) - before
 
     def _add_heap(
         self, slot: Tuple[AbstractObject, Optional[int]], locations: Iterable[Location]
@@ -235,6 +243,7 @@ class _Engine:
         bucket.update(locations)
         if len(bucket) != before:
             self._changed = True
+            self._derived += len(bucket) - before
 
     def _heap_read(
         self, obj: AbstractObject, offset: Optional[int]
@@ -279,6 +288,8 @@ class _Engine:
                     continue
                 for ctx in range(self.numbering.contexts_of(name)):
                     self._process_function(name, ctx, function)
+                if self.meter is not None:
+                    self._charge_budget()
             if not self._changed:
                 break
 
@@ -299,6 +310,15 @@ class _Engine:
             },
             cleanups=frozenset(self.cleanups),
             iterations=iterations,
+        )
+
+    def _charge_budget(self) -> None:
+        """Cooperative checkpoint: runs after each function is processed."""
+        assert self.meter is not None
+        self.meter.charge_tuples(self._derived - self._charged, "correlation")
+        self._charged = self._derived
+        self.meter.charge_objects(
+            len(self.objects) + len(self.regions), "correlation"
         )
 
     def _process_function(self, name: str, ctx: int, function) -> None:
@@ -380,6 +400,7 @@ class _Engine:
                     if access not in self.accesses:
                         self.accesses.add(access)
                         self._changed = True
+                        self._derived += 1
                     self.access_sites.setdefault(access, set()).add(instr.uid)
 
     # ------------------------------------------------------------------
@@ -584,8 +605,15 @@ def analyze_pointers(
     interface: RegionInterface,
     options: Optional[AnalysisOptions] = None,
     numbering: Optional[ContextNumbering] = None,
+    meter: Optional[BudgetMeter] = None,
 ) -> PointerAnalysisResult:
-    """Run the effect-computation phase over a pruned call graph."""
+    """Run the effect-computation phase over a pruned call graph.
+
+    ``meter`` adds cooperative budget checkpoints (wall clock, derived
+    tuples, abstract objects) at per-function granularity inside the
+    fixpoint, so a blowup raises ``BudgetExceeded`` promptly instead of
+    running away.
+    """
     if options is None:
         options = AnalysisOptions()
-    return _Engine(graph, interface, options, numbering).run()
+    return _Engine(graph, interface, options, numbering, meter).run()

@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.bdd import BDD, DomainSpace
 from repro.callgraph import CallGraph
+from repro.util.budget import BudgetMeter
 from repro.util.graph import condensation
 
 __all__ = ["ContextNumbering", "number_contexts"]
@@ -109,12 +110,18 @@ def number_contexts(
     graph: CallGraph,
     context_sensitive: bool = True,
     max_contexts: int = 1 << 16,
+    meter: Optional[BudgetMeter] = None,
 ) -> ContextNumbering:
     """Number call paths over the pruned call graph.
 
     With ``context_sensitive=False`` every function gets a single context
     and every edge maps it to 0 (the context-insensitive degenerate case,
     used by the Andersen baseline and the sensitivity ablation).
+
+    ``meter`` charges the running context total against the budget's
+    ``max_contexts`` limit: unlike the ``max_contexts`` *clamp* (which
+    folds overflowing path numbers and keeps going), the budget raises a
+    structured ``BudgetExceeded`` so the driver can degrade precision.
     """
     entries = tuple(
         name
@@ -166,6 +173,7 @@ def number_contexts(
             incoming[b].append((caller, uid, callee))
 
     entry_components = {component_of[e] for e in entries if e in component_of}
+    running_total = 0
     for comp in order:
         total = 0
         for caller, uid, callee in sorted(
@@ -182,6 +190,9 @@ def number_contexts(
         component_contexts[comp] = total
         for member in components[comp]:
             numbering.num_contexts[member] = total
+            running_total += total
+            if meter is not None:
+                meter.charge_contexts(running_total, "context-cloning")
 
     # Intra-component edges: identity context mapping.
     for caller, uid, callee in site_edges:

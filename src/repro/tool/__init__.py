@@ -1,28 +1,37 @@
-"""The RegionWiz driver: pipeline, reports, and CLI."""
+"""The RegionWiz driver: pipeline, reports, batch driver, and CLI."""
 
+from repro.tool.batch import BatchResult, BatchUnit, UnitOutcome, run_batch
 from repro.tool.open_analysis import (
     HARNESS_ENTRY,
     analyze_open_program,
     build_harness,
 )
 from repro.tool.regionwiz import (
+    PRECISION_LADDER,
     Fig11Row,
     PhaseTimes,
     RegionWizReport,
     Warning_,
+    degrade_options,
     run_regionwiz,
 )
-from repro.tool.report import format_fig11_table, format_report
+from repro.tool.report import format_fig11_table, format_report, report_to_json
 
 __all__ = [
+    "BatchResult",
+    "BatchUnit",
     "Fig11Row",
     "HARNESS_ENTRY",
+    "PRECISION_LADDER",
     "PhaseTimes",
     "RegionWizReport",
+    "UnitOutcome",
     "Warning_",
     "analyze_open_program",
     "build_harness",
+    "degrade_options",
     "format_fig11_table",
     "format_report",
+    "report_to_json",
     "run_regionwiz",
 ]

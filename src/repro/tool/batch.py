@@ -1,0 +1,305 @@
+"""Fault-isolated batch analysis: many units, one sweep, partial results.
+
+The paper's evaluation runs RegionWiz over six packages totalling dozens
+of executables; one crashing executable must not kill the sweep.
+:func:`run_batch` analyzes a list of :class:`BatchUnit`\\ s with
+
+* **per-unit isolation** -- any exception inside one unit (frontend
+  diagnostics, budget exhaustion, internal crashes, injected faults) is
+  captured as a structured :class:`UnitOutcome`, never escaping as a
+  traceback;
+* **``keep_going``** -- continue past failed units (otherwise the sweep
+  stops at the first hard failure and the rest are recorded as skipped);
+* **bounded retry** -- units failing with *internal* errors are retried
+  up to ``max_retries`` times (input errors and budget exhaustion are
+  deterministic, so retrying them is pointless);
+* a **partial-results JSON summary** (:meth:`BatchResult.to_json`) and a
+  **deterministic exit-code policy** (:meth:`BatchResult.exit_code`).
+
+Exit-code policy: per unit, the single-run contract applies (0 clean /
+1 warnings / 2 input error / 3 internal / 4 budget-exhausted-even-
+degraded); the batch exit code is the *most severe* unit outcome under
+the fixed severity order ``3 > 4 > 2 > 1 > 0`` (skipped units do not
+contribute).
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.callgraph import ImplicitCallRegistry
+from repro.interfaces import (
+    RegionInterface,
+    apr_pools_interface,
+    rc_regions_interface,
+)
+from repro.lang.errors import CompileError
+from repro.pointer import AnalysisOptions
+from repro.tool.regionwiz import RegionWizReport, run_regionwiz
+from repro.util import faults
+from repro.util.budget import ResourceBudget
+from repro.util.errors import BudgetExceeded, InputError
+
+__all__ = ["BatchUnit", "UnitOutcome", "BatchResult", "run_batch", "SEVERITY_ORDER"]
+
+#: Batch exit code = first of these found among unit exit codes.
+SEVERITY_ORDER = (3, 4, 2, 1, 0)
+
+
+@dataclass(frozen=True)
+class BatchUnit:
+    """One independently analyzed translation unit."""
+
+    name: str
+    source: str
+    filename: str = "<input>"
+    interface: str = "apr"  # 'apr' | 'rc'
+    entry: str = "main"
+
+    def region_interface(self) -> RegionInterface:
+        if self.interface == "rc":
+            return rc_regions_interface()
+        return apr_pools_interface()
+
+
+@dataclass
+class UnitOutcome:
+    """The structured result of one unit (success or failure)."""
+
+    unit: str
+    status: str  # clean|warnings|input-error|budget-exhausted|internal-error|skipped
+    exit_code: int
+    attempts: int = 1
+    precision: str = "full"
+    warnings: int = 0
+    high: int = 0
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_detail: Optional[Dict[str, Any]] = None
+    traceback: Optional[str] = None
+    #: The full report for successful units (not serialized).
+    report: Optional[RegionWizReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("clean", "warnings")
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "unit": self.unit,
+            "status": self.status,
+            "exit_code": self.exit_code,
+            "attempts": self.attempts,
+        }
+        if self.ok:
+            payload["precision"] = self.precision
+            payload["warnings"] = self.warnings
+            payload["high"] = self.high
+            if self.report is not None and self.report.degraded:
+                payload["degraded"] = True
+                payload["degradation_path"] = list(
+                    self.report.degradation_path
+                )
+        if self.error is not None:
+            payload["error"] = self.error
+            payload["error_type"] = self.error_type
+        if self.error_detail is not None:
+            payload["error_detail"] = self.error_detail
+        if self.traceback is not None:
+            payload["traceback"] = self.traceback
+        return payload
+
+
+@dataclass
+class BatchResult:
+    """Every unit's outcome plus the aggregate exit-code policy."""
+
+    outcomes: List[UnitOutcome] = field(default_factory=list)
+
+    def outcome(self, unit: str) -> UnitOutcome:
+        for outcome in self.outcomes:
+            if outcome.unit == unit:
+                return outcome
+        raise KeyError(unit)
+
+    @property
+    def succeeded(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failed(self) -> List[UnitOutcome]:
+        return [
+            o for o in self.outcomes if not o.ok and o.status != "skipped"
+        ]
+
+    def exit_code(self) -> int:
+        codes = {
+            o.exit_code for o in self.outcomes if o.status != "skipped"
+        }
+        for code in SEVERITY_ORDER:
+            if code in codes:
+                return code
+        return 0
+
+    def to_json(self, indent: int = 2) -> str:
+        """The partial-results summary (stable schema for CI)."""
+        payload = {
+            "exit_code": self.exit_code(),
+            "units": len(self.outcomes),
+            "succeeded": len(self.succeeded),
+            "failed": len(self.failed),
+            "skipped": sum(
+                1 for o in self.outcomes if o.status == "skipped"
+            ),
+            "results": [o.to_dict() for o in self.outcomes],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def summary(self) -> str:
+        """Human-readable one-line-per-unit account."""
+        lines = [
+            f"batch: {len(self.succeeded)}/{len(self.outcomes)} unit(s)"
+            f" analyzed, exit {self.exit_code()}"
+        ]
+        for o in self.outcomes:
+            if o.ok:
+                extra = (
+                    f" degraded(precision={o.precision})"
+                    if o.precision != "full"
+                    else ""
+                )
+                lines.append(
+                    f"  {o.unit}: {o.status} ({o.warnings} warning(s),"
+                    f" {o.high} high){extra}"
+                )
+            elif o.status == "skipped":
+                lines.append(f"  {o.unit}: skipped")
+            else:
+                lines.append(
+                    f"  {o.unit}: {o.status} [{o.error_type}] {o.error}"
+                )
+        return "\n".join(lines)
+
+
+def _analyze_unit(
+    unit: BatchUnit,
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    refine: bool,
+    solver_stats: bool,
+    registry: Optional[ImplicitCallRegistry],
+    max_retries: int,
+) -> UnitOutcome:
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            faults.fire("batch-unit", unit=unit.name)
+            report = run_regionwiz(
+                unit.source,
+                filename=unit.filename,
+                interface=unit.region_interface(),
+                entry=unit.entry,
+                options=options,
+                registry=registry,
+                name=unit.name,
+                refine=refine,
+                solver_stats=solver_stats,
+                budget=budget,
+                degrade=degrade,
+            )
+        except (CompileError, InputError) as error:
+            # Deterministic input failure: retrying cannot help.
+            return UnitOutcome(
+                unit=unit.name,
+                status="input-error",
+                exit_code=2,
+                attempts=attempts,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
+        except BudgetExceeded as error:
+            # Deterministic resource exhaustion (even after degradation
+            # when enabled): retrying the same budget cannot help.
+            return UnitOutcome(
+                unit=unit.name,
+                status="budget-exhausted",
+                exit_code=4,
+                attempts=attempts,
+                error=str(error),
+                error_type=type(error).__name__,
+                error_detail=error.to_dict(),
+            )
+        except Exception as error:  # internal crash: isolate, maybe retry
+            if attempts <= max_retries:
+                continue
+            return UnitOutcome(
+                unit=unit.name,
+                status="internal-error",
+                exit_code=3,
+                attempts=attempts,
+                error=str(error),
+                error_type=type(error).__name__,
+                traceback=traceback.format_exc(),
+            )
+        high = sum(1 for w in report.warnings if w.high_ranked)
+        return UnitOutcome(
+            unit=unit.name,
+            status="warnings" if report.warnings else "clean",
+            exit_code=1 if report.warnings else 0,
+            attempts=attempts,
+            precision=report.precision,
+            warnings=len(report.warnings),
+            high=high,
+            report=report,
+        )
+
+
+def run_batch(
+    units: Iterable[BatchUnit],
+    options: Optional[AnalysisOptions] = None,
+    budget: Optional[ResourceBudget] = None,
+    degrade: bool = True,
+    keep_going: bool = False,
+    max_retries: int = 0,
+    refine: bool = False,
+    solver_stats: bool = False,
+    registry: Optional[ImplicitCallRegistry] = None,
+) -> BatchResult:
+    """Analyze every unit with per-unit fault isolation.
+
+    No exception escapes: each unit yields a :class:`UnitOutcome`.  With
+    ``keep_going`` the sweep always covers every unit; without it, the
+    first hard failure (exit code 2/3/4) stops the sweep and the
+    remaining units are recorded as ``skipped``.
+    """
+    result = BatchResult()
+    pending = list(units)
+    for index, unit in enumerate(pending):
+        outcome = _analyze_unit(
+            unit,
+            options,
+            budget,
+            degrade,
+            refine,
+            solver_stats,
+            registry,
+            max_retries,
+        )
+        result.outcomes.append(outcome)
+        if not keep_going and outcome.exit_code in (2, 3, 4):
+            for skipped in pending[index + 1:]:
+                result.outcomes.append(
+                    UnitOutcome(
+                        unit=skipped.name,
+                        status="skipped",
+                        exit_code=0,
+                        attempts=0,
+                    )
+                )
+            break
+    return result

@@ -1,16 +1,39 @@
-"""Command-line interface: ``regionwiz file.c [options]``."""
+"""Command-line interface: ``regionwiz file.c [options]``.
+
+Exit-code contract (single-file mode; ``--batch`` aggregates the same
+codes over all units, most severe first under 3 > 4 > 2 > 1 > 0):
+
+====  =========================================================
+code  meaning
+====  =========================================================
+0     analysis completed, no warnings
+1     analysis completed with warnings
+2     input error (unreadable file, parse/type diagnostics)
+3     internal error (a bug in RegionWiz -- traceback printed)
+4     resource budget exhausted, even after degradation if
+      ``--degrade`` was given
+====  =========================================================
+
+Multiple source files are concatenated into one translation unit; each
+chunk is prefixed with a ``#line 1 "<path>"`` marker so diagnostics and
+warning locations report the original file and line.
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 from typing import List, Optional
 
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.lang.errors import CompileError
 from repro.pointer import AnalysisOptions
+from repro.tool.batch import BatchUnit, run_batch
 from repro.tool.regionwiz import run_regionwiz
 from repro.tool.report import format_report
+from repro.util.budget import ResourceBudget
+from repro.util.errors import BudgetExceeded, InputError
 
 __all__ = ["main", "build_parser"]
 
@@ -76,6 +99,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=1 << 16,
         help="clamp per-function context counts (default: 65536)",
     )
+    budgets = parser.add_argument_group(
+        "resource budgets",
+        "limits enforced at analysis checkpoints; exceeding one aborts"
+        " with exit code 4 (or degrades precision under --degrade)",
+    )
+    budgets.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget for the whole analysis",
+    )
+    budgets.add_argument(
+        "--max-derived",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on derived points-to/Datalog tuples",
+    )
+    budgets.add_argument(
+        "--max-objects",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on abstract objects + regions",
+    )
+    budgets.add_argument(
+        "--max-total-contexts",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "hard cap on total numbered contexts (unlike --max-contexts,"
+            " which silently clamps per function)"
+        ),
+    )
+    budgets.add_argument(
+        "--degrade",
+        action="store_true",
+        help=(
+            "on budget exhaustion, retry at lower precision"
+            " (heap cloning off, then context-insensitive, then"
+            " field-insensitive) instead of failing"
+        ),
+    )
+    batch = parser.add_argument_group("batch mode")
+    batch.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "analyze each file as an independent unit with fault"
+            " isolation, printing a per-unit summary"
+        ),
+    )
+    batch.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="in batch mode, continue past failed units",
+    )
+    batch.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="in batch mode, retry units failing with internal errors",
+    )
     parser.add_argument(
         "--all",
         action="store_true",
@@ -102,28 +191,98 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _read_sources(paths: List[str]) -> List[str]:
+    """Read every file, raising :class:`InputError` on the first failure."""
     chunks = []
-    for path in args.files:
+    for path in paths:
         try:
             with open(path) as handle:
                 chunks.append(handle.read())
         except OSError as error:
-            print(f"regionwiz: cannot read {path}: {error}", file=sys.stderr)
-            return 2
-    source = "\n".join(chunks)
-    interface = (
-        rc_regions_interface() if args.interface == "rc" else apr_pools_interface()
+            raise InputError(f"cannot read {path}: {error}") from error
+    return chunks
+
+
+def _concatenate(paths: List[str], chunks: List[str]) -> str:
+    """Join chunks with ``#line`` markers so locations stay per-file."""
+    parts = []
+    for path, chunk in zip(paths, chunks):
+        if not chunk.endswith("\n"):
+            chunk += "\n"
+        parts.append(f'#line 1 "{path}"\n{chunk}')
+    return "".join(parts)
+
+
+def _budget_from_args(args: argparse.Namespace) -> Optional[ResourceBudget]:
+    if (
+        args.timeout is None
+        and args.max_derived is None
+        and args.max_objects is None
+        and args.max_total_contexts is None
+    ):
+        return None
+    return ResourceBudget(
+        wall_clock_seconds=args.timeout,
+        max_derived_tuples=args.max_derived,
+        max_contexts=args.max_total_contexts,
+        max_objects=args.max_objects,
     )
-    options = AnalysisOptions(
+
+
+def _run_batch_mode(args: argparse.Namespace) -> int:
+    chunks = _read_sources(args.files)
+    units = [
+        BatchUnit(
+            name=path,
+            source=chunk,
+            filename=path,
+            interface=args.interface,
+            entry=args.entry,
+        )
+        for path, chunk in zip(args.files, chunks)
+    ]
+    options = _options_from_args(args)
+    result = run_batch(
+        units,
+        options=options,
+        budget=_budget_from_args(args),
+        degrade=args.degrade,
+        keep_going=args.keep_going,
+        max_retries=args.max_retries,
+        refine=args.refine,
+        solver_stats=args.solver_stats,
+    )
+    if args.json_output:
+        print(result.to_json())
+    else:
+        print(result.summary())
+    return result.exit_code()
+
+
+def _options_from_args(args: argparse.Namespace) -> AnalysisOptions:
+    return AnalysisOptions(
         context_sensitive=not args.context_insensitive,
         heap_cloning=not args.no_heap_cloning,
         field_sensitive=not args.field_insensitive,
         track_unknown_offsets=args.sound_offsets,
         max_contexts=args.max_contexts,
     )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
     try:
+        if args.batch:
+            return _run_batch_mode(args)
+        chunks = _read_sources(args.files)
+        source = _concatenate(args.files, chunks)
+        interface = (
+            rc_regions_interface()
+            if args.interface == "rc"
+            else apr_pools_interface()
+        )
+        options = _options_from_args(args)
+        budget = _budget_from_args(args)
         if args.open_program:
             from repro.tool.open_analysis import analyze_open_program
 
@@ -134,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 options=options,
                 name=args.files[0],
                 solver_stats=args.solver_stats,
+                budget=budget,
+                degrade=args.degrade,
             )
         else:
             report = run_regionwiz(
@@ -145,10 +306,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 name=args.files[0],
                 refine=args.refine,
                 solver_stats=args.solver_stats,
+                budget=budget,
+                degrade=args.degrade,
             )
-    except (CompileError, ValueError) as error:
+    except (CompileError, InputError) as error:
         print(f"regionwiz: {error}", file=sys.stderr)
         return 2
+    except BudgetExceeded as error:
+        print(f"regionwiz: {error}", file=sys.stderr)
+        return 4
+    except Exception:  # a RegionWiz bug: surface it, don't mask it as 2
+        traceback.print_exc()
+        print("regionwiz: internal error", file=sys.stderr)
+        return 3
     if not args.all:
         report.warnings = [w for w in report.warnings if w.high_ranked]
     if args.json_output:

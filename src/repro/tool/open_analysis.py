@@ -26,6 +26,8 @@ from repro.lang import analyze, parse
 from repro.lang.types import CType, FunctionType, PointerType, StructType
 from repro.pointer import AnalysisOptions
 from repro.tool.regionwiz import RegionWizReport, run_regionwiz
+from repro.util.budget import ResourceBudget
+from repro.util.errors import InputError
 
 __all__ = ["HARNESS_ENTRY", "build_harness", "analyze_open_program"]
 
@@ -128,7 +130,7 @@ def build_harness(
 
     lines.append("}")
     if emitted == 0:
-        raise ValueError("no exported functions to harness")
+        raise InputError("no exported functions to harness")
     return source + "\n".join(lines) + "\n"
 
 
@@ -140,6 +142,8 @@ def analyze_open_program(
     options: Optional[AnalysisOptions] = None,
     name: str = "library",
     solver_stats: bool = False,
+    budget: Optional[ResourceBudget] = None,
+    degrade: bool = False,
 ) -> RegionWizReport:
     """Run RegionWiz on a library via the synthesized open harness."""
     harnessed = build_harness(source, interface, filename, exports)
@@ -151,4 +155,6 @@ def analyze_open_program(
         options=options,
         name=name,
         solver_stats=solver_stats,
+        budget=budget,
+        degrade=degrade,
     )

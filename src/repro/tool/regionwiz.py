@@ -14,12 +14,27 @@
 :func:`run_regionwiz` drives all four on C source text and returns a
 :class:`RegionWizReport` carrying the warnings (with source locations) and
 the Figure 11 statistics row.
+
+Robustness layer: every phase polls an optional
+:class:`~repro.util.budget.ResourceBudget` through cooperative
+checkpoints, and on :class:`~repro.util.errors.BudgetExceeded` the driver
+can walk the **graceful degradation ladder** (``degrade=True``), retrying
+at successively lower precision::
+
+    full -> no-heap-cloning -> context-insensitive -> field-insensitive
+
+Each rung only *merges* abstract objects/contexts/fields, i.e. it widens
+the effect sets ``F``/``Phi`` of Definition 3.3 -- a sound
+over-approximation, so a degraded run may report more warnings but never
+fewer real inconsistencies.  The rung used is recorded on the report
+(``report.precision``) and surfaced by the text/JSON renderers as
+``degraded(precision=...)``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.callgraph import (
@@ -47,8 +62,43 @@ from repro.pointer import (
     analyze_pointers,
     number_contexts,
 )
+from repro.util import faults
+from repro.util.budget import BudgetMeter, ResourceBudget
+from repro.util.errors import BudgetExceeded
 
-__all__ = ["Warning_", "PhaseTimes", "Fig11Row", "RegionWizReport", "run_regionwiz"]
+__all__ = [
+    "Warning_",
+    "PhaseTimes",
+    "Fig11Row",
+    "RegionWizReport",
+    "PRECISION_LADDER",
+    "degrade_options",
+    "run_regionwiz",
+]
+
+#: The graceful degradation ladder, most precise first.  Each rung keeps
+#: the previous rung's weakening (cumulative), so precision decreases
+#: monotonically along the ladder.
+PRECISION_LADDER = (
+    "full",
+    "no-heap-cloning",
+    "context-insensitive",
+    "field-insensitive",
+)
+
+
+def degrade_options(options: AnalysisOptions, rung: str) -> AnalysisOptions:
+    """The analysis options for one ladder rung (cumulative weakening)."""
+    if rung not in PRECISION_LADDER:
+        raise ValueError(f"unknown precision rung {rung!r}")
+    if rung == "full":
+        return options
+    degraded = replace(options, heap_cloning=False)
+    if rung in ("context-insensitive", "field-insensitive"):
+        degraded = replace(degraded, context_sensitive=False)
+    if rung == "field-insensitive":
+        degraded = replace(degraded, field_sensitive=False)
+    return degraded
 
 
 @dataclass(frozen=True)
@@ -110,6 +160,9 @@ class Fig11Row:
     solver_rounds: int = 0
     solver_derived: int = 0
     solver_ms: float = 0.0
+    #: Precision rung the numbers were computed at ("full" unless the
+    #: degradation ladder kicked in); not part of HEADER/as_tuple.
+    precision: str = "full"
 
     HEADER = (
         "name", "time", "R", "H", "sub.", "own.", "heap",
@@ -144,6 +197,19 @@ class RegionWizReport:
     warnings: List[Warning_]
     times: PhaseTimes
     name: str = "program"
+    #: Precision rung this report was computed at (see PRECISION_LADDER).
+    precision: str = "full"
+    #: Rungs that were attempted and exceeded the budget before this one.
+    degradation_path: Tuple[str, ...] = ()
+    #: The budget the run was held to (None: unlimited).
+    budget: Optional[ResourceBudget] = None
+    #: Meter counters from the successful attempt (None: no budget).
+    budget_usage: Optional[Dict[str, int]] = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the degradation ladder lowered precision."""
+        return self.precision != "full"
 
     @property
     def high_warnings(self) -> List[Warning_]:
@@ -170,6 +236,7 @@ class RegionWizReport:
             solver_rounds=0 if solver is None else solver.rounds,
             solver_derived=0 if solver is None else solver.tuples_derived,
             solver_ms=0.0 if solver is None else solver.solve_seconds * 1e3,
+            precision=self.precision,
         )
 
 
@@ -181,75 +248,76 @@ def _loc_of_site(module: IRModule, site: int) -> SourceLocation:
 
 
 def _describe(module: IRModule, ipair: IPair) -> str:
-    sample = ipair.object_pairs[0]
     source_loc = _loc_of_site(module, ipair.source_site)
     target_loc = _loc_of_site(module, ipair.target_site)
-    return (
+    base = (
         f"object allocated at {source_loc} may hold a dangling pointer to"
         f" object allocated at {target_loc}"
+    )
+    if not ipair.object_pairs:
+        # Refinement can strip every contributing object pair; degrade to
+        # a description without owner sets rather than crash mid-report.
+        return f"{base} ({ipair.num_contexts} context(s))"
+    sample = ipair.object_pairs[0]
+    return (
+        f"{base}"
         f" (owners: {', '.join(sorted(str(r) for r in sample.source_owners))}"
         f" vs {', '.join(sorted(str(r) for r in sample.target_owners))};"
         f" {ipair.num_contexts} context(s))"
     )
 
 
-def run_regionwiz(
+def _run_pipeline(
     source: str,
-    filename: str = "<input>",
-    interface: Optional[RegionInterface] = None,
-    entry: str = "main",
-    options: Optional[AnalysisOptions] = None,
-    registry: Optional[ImplicitCallRegistry] = None,
-    name: str = "program",
-    refine: bool = False,
-    solver_stats: bool = False,
+    filename: str,
+    interface: RegionInterface,
+    entry: str,
+    options: AnalysisOptions,
+    registry: ImplicitCallRegistry,
+    name: str,
+    refine: bool,
+    solver_stats: bool,
+    meter: Optional[BudgetMeter],
 ) -> RegionWizReport:
-    """Run the full RegionWiz pipeline on C source text.
-
-    ``refine=True`` additionally applies the Section 4.3 def-use
-    refinement (IPSSA-style, deliberately unsound) to suppress warnings
-    whose region arguments provably came from the same variable.
-
-    ``solver_stats=True`` re-runs the consistency query on the Datalog
-    engine and attaches its :class:`~repro.datalog.SolverStats` to
-    ``report.times.solver`` (surfaced by ``--stats`` in the CLI).
-    """
-    if interface is None:
-        interface = apr_pools_interface()
-    if options is None:
-        options = AnalysisOptions()
-    if registry is None:
-        registry = default_registry()
+    """One pipeline attempt at fixed precision (no degradation)."""
     times = PhaseTimes()
 
     # Frontend (the paper gets IR from Phoenix; we parse and lower).
+    faults.fire("frontend", unit=name, meter=meter)
     sema = analyze(parse(source, filename))
     module = lower(sema)
 
     # Phase 1: call graph construction.
     start = time.perf_counter()
-    graph = build_call_graph(module, entry=entry, registry=registry)
+    faults.fire("call-graph", unit=name, meter=meter)
+    graph = build_call_graph(module, entry=entry, registry=registry, meter=meter)
     times.call_graph = time.perf_counter() - start
 
     # Phase 2: context cloning.
     start = time.perf_counter()
+    faults.fire("context-cloning", unit=name, meter=meter)
     numbering = number_contexts(
         graph,
         context_sensitive=options.context_sensitive,
         max_contexts=options.max_contexts,
+        meter=meter,
     )
     times.context_cloning = time.perf_counter() - start
 
     # Phase 3: conditional correlation computation.
     start = time.perf_counter()
-    analysis = analyze_pointers(graph, interface, options, numbering)
+    faults.fire("correlation", unit=name, meter=meter)
+    analysis = analyze_pointers(graph, interface, options, numbering, meter)
     consistency = check_consistency(analysis)
     if solver_stats:
-        _, times.solver = solve_object_pairs(analysis)
+        _, times.solver = solve_object_pairs(analysis, meter=meter)
     times.correlation = time.perf_counter() - start
 
     # Phase 4: post processing.
     start = time.perf_counter()
+    faults.fire("post-processing", unit=name, meter=meter)
+    if meter is not None:
+        meter.checkpoint("post-processing")
     ranked = rank_warnings(consistency)
     if refine:
         from repro.core.refine import refine_warnings
@@ -289,3 +357,84 @@ def run_regionwiz(
         times=times,
         name=name,
     )
+
+
+def run_regionwiz(
+    source: str,
+    filename: str = "<input>",
+    interface: Optional[RegionInterface] = None,
+    entry: str = "main",
+    options: Optional[AnalysisOptions] = None,
+    registry: Optional[ImplicitCallRegistry] = None,
+    name: str = "program",
+    refine: bool = False,
+    solver_stats: bool = False,
+    budget: Optional[ResourceBudget] = None,
+    degrade: bool = False,
+) -> RegionWizReport:
+    """Run the full RegionWiz pipeline on C source text.
+
+    ``refine=True`` additionally applies the Section 4.3 def-use
+    refinement (IPSSA-style, deliberately unsound) to suppress warnings
+    whose region arguments provably came from the same variable.
+
+    ``solver_stats=True`` re-runs the consistency query on the Datalog
+    engine and attaches its :class:`~repro.datalog.SolverStats` to
+    ``report.times.solver`` (surfaced by ``--stats`` in the CLI).
+
+    ``budget`` bounds each attempt (wall clock, derived tuples, contexts,
+    abstract objects); a fresh meter is started per attempt.  Without
+    ``degrade``, exceeding the budget raises
+    :class:`~repro.util.errors.BudgetExceeded`.  With ``degrade=True``
+    the driver walks :data:`PRECISION_LADDER`, retrying at the next lower
+    precision until an attempt fits; the rung used lands in
+    ``report.precision`` and the rungs that blew the budget in
+    ``report.degradation_path``.  If even the lowest rung exceeds the
+    budget, the last ``BudgetExceeded`` propagates.
+    """
+    if interface is None:
+        interface = apr_pools_interface()
+    if options is None:
+        options = AnalysisOptions()
+    if registry is None:
+        registry = default_registry()
+
+    # Candidate rungs, skipping ones that don't change the options the
+    # caller asked for (e.g. an already context-insensitive run).
+    candidates: List[Tuple[str, AnalysisOptions]] = []
+    for rung in PRECISION_LADDER:
+        rung_options = degrade_options(options, rung)
+        if candidates and rung_options == candidates[-1][1]:
+            continue
+        candidates.append((rung, rung_options))
+    if not degrade:
+        candidates = candidates[:1]
+
+    failed_rungs: List[str] = []
+    last_error: Optional[BudgetExceeded] = None
+    for rung, rung_options in candidates:
+        meter = budget.start() if budget is not None else None
+        try:
+            report = _run_pipeline(
+                source,
+                filename,
+                interface,
+                entry,
+                rung_options,
+                registry,
+                name,
+                refine,
+                solver_stats,
+                meter,
+            )
+        except BudgetExceeded as error:
+            failed_rungs.append(rung)
+            last_error = error
+            continue
+        report.precision = rung
+        report.degradation_path = tuple(failed_rungs)
+        report.budget = budget
+        report.budget_usage = meter.usage() if meter is not None else None
+        return report
+    assert last_error is not None
+    raise last_error

@@ -28,6 +28,12 @@ def format_report(report: RegionWizReport, verbose: bool = False) -> str:
     lines: List[str] = []
     row = report.fig11_row()
     lines.append(f"RegionWiz report for {report.name}")
+    if report.degraded:
+        ladder = " -> ".join(report.degradation_path + (report.precision,))
+        lines.append(
+            f"  degraded(precision={report.precision}):"
+            f" budget exceeded at higher precision (ladder: {ladder})"
+        )
     lines.append(
         f"  {row.regions} region(s), {row.objects} object(s);"
         f" subregion={row.subregion} ownership={row.ownership}"
@@ -65,6 +71,9 @@ def report_to_json(report: RegionWizReport) -> str:
     payload = {
         "name": report.name,
         "consistent": report.is_consistent,
+        "precision": report.precision,
+        "degraded": report.degraded,
+        "degradation_path": list(report.degradation_path),
         "statistics": {
             "regions": row.regions,
             "objects": row.objects,
@@ -99,6 +108,10 @@ def report_to_json(report: RegionWizReport) -> str:
             for warning in report.warnings
         ],
     }
+    if report.budget is not None:
+        payload["budget"] = report.budget.to_dict()
+    if report.budget_usage is not None:
+        payload["budget_usage"] = report.budget_usage
     stats = report.times.solver
     if stats is not None:
         payload["solver"] = {

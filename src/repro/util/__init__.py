@@ -1,5 +1,8 @@
-"""Shared utilities (graph algorithms, timers)."""
+"""Shared utilities (graph algorithms, budgets, fault injection)."""
 
+from repro.util.budget import BudgetMeter, ResourceBudget
+from repro.util.errors import AnalysisError, BudgetExceeded, InputError
+from repro.util.faults import FaultSpec, InjectedFault
 from repro.util.graph import (
     GraphCycleError,
     condensation,
@@ -8,7 +11,14 @@ from repro.util.graph import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "FaultSpec",
     "GraphCycleError",
+    "InjectedFault",
+    "InputError",
+    "ResourceBudget",
     "condensation",
     "strongly_connected_components",
     "topological_order",

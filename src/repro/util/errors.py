@@ -1,0 +1,87 @@
+"""The structured error taxonomy for the analysis pipeline.
+
+Production whole-program analyzers distinguish three failure classes and
+so must we:
+
+* :class:`InputError` -- the *user's program or invocation* is at fault
+  (unreadable files, nothing to analyze).  Reported without a traceback;
+  CLI exit code 2 (alongside :class:`repro.lang.errors.CompileError`,
+  which predates this hierarchy and stays separate so the frontend has no
+  dependency on the analysis layer).
+* :class:`BudgetExceeded` -- the analysis was *cut off by a resource
+  budget* (wall clock, derived tuples, contexts, abstract objects).  This
+  is not a bug and not the user's fault; it is the signal the degradation
+  ladder retries on, and CLI exit code 4 when even the lowest precision
+  rung cannot finish.
+* anything else -- an *internal invariant violation*: surfaced as a crash
+  with a traceback (CLI exit code 3), never masked as an input error.
+
+Every class carries ``exit_code`` so drivers map exceptions to the exit
+contract without isinstance ladders.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+__all__ = ["AnalysisError", "InputError", "BudgetExceeded"]
+
+
+class AnalysisError(Exception):
+    """Base class of structured analysis failures."""
+
+    #: CLI exit code this failure class maps to (internal errors: 3).
+    exit_code = 3
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Machine-readable form for batch summaries and JSON reports."""
+        return {
+            "type": type(self).__name__,
+            "exit_code": self.exit_code,
+            "message": str(self),
+        }
+
+
+class InputError(AnalysisError):
+    """The input program or invocation cannot be analyzed as given."""
+
+    exit_code = 2
+
+
+class BudgetExceeded(AnalysisError):
+    """A :class:`~repro.util.budget.ResourceBudget` limit was crossed.
+
+    ``resource`` is one of ``wall_clock``, ``derived_tuples``,
+    ``contexts``, ``objects`` (or ``corrupted`` when fault injection
+    poisoned the meter); ``phase`` names the pipeline phase whose
+    cooperative checkpoint detected it.
+    """
+
+    exit_code = 4
+
+    def __init__(
+        self,
+        resource: str,
+        limit: float,
+        used: float,
+        phase: str = "",
+    ) -> None:
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        self.phase = phase
+        where = f" during {phase}" if phase else ""
+        super().__init__(
+            f"{resource} budget exceeded{where}:"
+            f" used {used:g}, limit {limit:g}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        payload.update(
+            resource=self.resource,
+            limit=self.limit,
+            used=self.used,
+            phase=self.phase,
+        )
+        return payload

@@ -1,6 +1,6 @@
 """Workloads: paper-figure corpus and synthetic package generator."""
 
-from repro.workloads.figures import FIGURES, FigureProgram, figure
+from repro.workloads.figures import FIGURES, FigureProgram, figure, figure_units
 from repro.workloads.generator import (
     BUG_KINDS,
     GeneratedWorkload,
@@ -13,6 +13,7 @@ from repro.workloads.packages import (
     PackageModel,
     generate_package,
     package,
+    package_units,
 )
 
 __all__ = [
@@ -25,7 +26,9 @@ __all__ = [
     "PackageModel",
     "WorkloadSpec",
     "figure",
+    "figure_units",
     "generate_package",
     "generate_workload",
     "package",
+    "package_units",
 ]

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.interfaces import APR_HEADER, RC_HEADER
 
-__all__ = ["FigureProgram", "FIGURES", "figure", "MINI_APR_HASH"]
+__all__ = ["FigureProgram", "FIGURES", "figure", "figure_units", "MINI_APR_HASH"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,28 @@ def figure(name: str) -> FigureProgram:
         if program.name == name:
             return program
     raise KeyError(name)
+
+
+def figure_units(names: Optional[List[str]] = None):
+    """The figure corpus as :class:`repro.tool.batch.BatchUnit`\\ s.
+
+    With ``names`` given, only those figures (in that order); otherwise
+    the whole corpus.  Feed the result to :func:`repro.tool.batch.run_batch`
+    to sweep the paper figures with fault isolation.
+    """
+    from repro.tool.batch import BatchUnit  # local: tool layers on workloads
+
+    programs = FIGURES if names is None else [figure(name) for name in names]
+    return [
+        BatchUnit(
+            name=program.name,
+            source=program.full_source,
+            filename=f"<{program.name}>",
+            interface=program.interface,
+            entry=program.entry,
+        )
+        for program in programs
+    ]
 
 
 # ---------------------------------------------------------------------------

@@ -34,7 +34,14 @@ from typing import Dict, List, Tuple
 
 from repro.workloads.generator import GeneratedWorkload, WorkloadSpec, generate_workload
 
-__all__ = ["ExecutableModel", "PackageModel", "PACKAGES", "package", "generate_package"]
+__all__ = [
+    "ExecutableModel",
+    "PackageModel",
+    "PACKAGES",
+    "package",
+    "generate_package",
+    "package_units",
+]
 
 
 @dataclass(frozen=True)
@@ -285,3 +292,22 @@ def package(name: str) -> PackageModel:
 def generate_package(model: PackageModel) -> List[GeneratedWorkload]:
     """Generate source for every executable of a package."""
     return [generate_workload(exe.spec) for exe in model.executables]
+
+
+def package_units(model: PackageModel):
+    """A package's executables as :class:`repro.tool.batch.BatchUnit`\\ s.
+
+    Unit names are ``<package>/<executable>`` so batch summaries and
+    fault-injection filters can target one executable of one package.
+    """
+    from repro.tool.batch import BatchUnit  # local: tool layers on workloads
+
+    return [
+        BatchUnit(
+            name=f"{model.name}/{exe.name}",
+            source=workload.source,
+            filename=f"<{exe.name}>",
+            interface=workload.spec.interface,
+        )
+        for exe, workload in zip(model.executables, generate_package(model))
+    ]

@@ -129,3 +129,34 @@ class TestPunctuation:
             "apr_status_t", "apr_pool_create", "(", "apr_pool_t", "*", "*",
             "newp", ",", "apr_pool_t", "*", "parent", ")", ";",
         ]
+
+
+class TestLineMarkers:
+    def test_line_marker_resets_line_and_file(self):
+        text = '#line 1 "second.c"\nint x;\n'
+        tokens = tokenize(text, filename="first.c")
+        assert tokens[0].loc.filename == "second.c"
+        assert tokens[0].loc.line == 1
+
+    def test_gnu_style_marker_without_line_keyword(self):
+        tokens = tokenize('# 42 "gen.c"\ny\n', filename="orig.c")
+        assert tokens[0].loc.filename == "gen.c"
+        assert tokens[0].loc.line == 42
+
+    def test_marker_without_filename_keeps_current_file(self):
+        tokens = tokenize("#line 10\nz\n", filename="keep.c")
+        assert tokens[0].loc.filename == "keep.c"
+        assert tokens[0].loc.line == 10
+
+    def test_concatenated_units_report_original_files(self):
+        first = '#line 1 "a.c"\nint a;\n'
+        second = '#line 1 "b.c"\nint b;\n'
+        tokens = tokenize(first + second)
+        by_value = {t.value: t.loc for t in tokens if t.value in ("a", "b")}
+        assert by_value["a"].filename == "a.c"
+        assert by_value["a"].line == 1  # the line after the marker is line 1
+        assert by_value["b"].filename == "b.c"
+        assert by_value["b"].line == 1
+
+    def test_non_marker_directives_still_skipped(self):
+        assert kinds("#include <apr.h>\nx") == [TokenKind.IDENT]

@@ -81,7 +81,9 @@ class TestHarnessConstruction:
         assert "make_parser(" not in body
 
     def test_no_exports_raises(self):
-        with pytest.raises(ValueError):
+        from repro.util.errors import InputError
+
+        with pytest.raises(InputError):
             build_harness(APR_HEADER, apr_pools_interface())
 
     def test_rc_harness(self):

@@ -85,3 +85,34 @@ class TestJsonReport:
         text = report_to_json(report_for("fig9"))
         payload = json.loads(text)
         assert json.loads(json.dumps(payload)) == payload
+
+
+class TestDescribe:
+    def test_empty_object_pairs_does_not_crash(self):
+        # Refinement can strip every contributing object pair from an
+        # I-pair; the description must degrade, not raise IndexError.
+        from repro.core.ranking import IPair
+        from repro.tool.regionwiz import _describe
+
+        report = report_for("fig2c")
+        original = report.ranked.ipairs[0]
+        stripped = IPair(
+            source_site=original.source_site,
+            target_site=original.target_site,
+            object_pairs=[],
+        )
+        text = _describe(report.module, stripped)
+        assert "dangling pointer" in text
+        assert "0 context(s)" in text
+        assert "owners" not in text
+
+    def test_populated_object_pairs_include_owners(self):
+        report = report_for("fig2c")
+        described = _must_describe_with_owners(report)
+        assert "owners:" in described
+
+
+def _must_describe_with_owners(report):
+    from repro.tool.regionwiz import _describe
+
+    return _describe(report.module, report.ranked.ipairs[0])

@@ -1,0 +1,129 @@
+"""Tests for resource budgets and meters."""
+
+import pytest
+
+from repro.util.budget import BudgetMeter, ResourceBudget
+from repro.util.errors import AnalysisError, BudgetExceeded, InputError
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestResourceBudget:
+    def test_unlimited_by_default(self):
+        budget = ResourceBudget()
+        assert budget.unlimited
+        assert not ResourceBudget(max_derived_tuples=10).unlimited
+
+    def test_to_dict_round_trips_limits(self):
+        budget = ResourceBudget(wall_clock_seconds=1.5, max_derived_tuples=7)
+        payload = budget.to_dict()
+        assert payload["wall_clock_seconds"] == 1.5
+        assert payload["max_derived_tuples"] == 7
+        assert payload["max_contexts"] is None
+
+    def test_unlimited_meter_is_a_noop(self):
+        meter = ResourceBudget().start()
+        for _ in range(3):
+            meter.checkpoint("phase")
+            meter.charge_tuples(10**9, "phase")
+            meter.charge_contexts(10**9, "phase")
+            meter.charge_objects(10**9, "phase")
+        assert meter.tuples_used == 3 * 10**9
+
+
+class TestBudgetMeter:
+    def test_wall_clock_deadline(self):
+        clock = FakeClock()
+        meter = ResourceBudget(wall_clock_seconds=10.0).start(clock=clock)
+        meter.checkpoint("early")
+        clock.advance(10.5)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.checkpoint("late")
+        error = excinfo.value
+        assert error.resource == "wall_clock"
+        assert error.phase == "late"
+        assert error.limit == 10.0
+        assert error.used == pytest.approx(10.5)
+
+    def test_max_derived_tuples(self):
+        meter = ResourceBudget(max_derived_tuples=100).start()
+        meter.charge_tuples(60, "correlation")
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.charge_tuples(41, "correlation")
+        assert excinfo.value.resource == "derived_tuples"
+        assert excinfo.value.used == 101
+
+    def test_max_contexts_takes_running_max(self):
+        meter = ResourceBudget(max_contexts=50).start()
+        meter.charge_contexts(30, "context-cloning")
+        meter.charge_contexts(20, "context-cloning")  # not cumulative
+        assert meter.contexts_used == 30
+        with pytest.raises(BudgetExceeded):
+            meter.charge_contexts(51, "context-cloning")
+
+    def test_max_objects(self):
+        meter = ResourceBudget(max_objects=5).start()
+        meter.charge_objects(5, "correlation")
+        with pytest.raises(BudgetExceeded):
+            meter.charge_objects(6, "correlation")
+
+    def test_corrupt_fails_next_checkpoint(self):
+        meter = ResourceBudget().start()
+        meter.checkpoint("ok")
+        meter.corrupt()
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.checkpoint("poisoned")
+        assert excinfo.value.resource == "corrupted"
+
+    def test_fresh_meter_per_attempt(self):
+        clock = FakeClock()
+        budget = ResourceBudget(wall_clock_seconds=1.0)
+        first = budget.start(clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceeded):
+            first.checkpoint("stale")
+        second = budget.start(clock=clock)  # deadline restarts
+        second.checkpoint("fresh")
+
+    def test_usage_snapshot(self):
+        meter = ResourceBudget().start()
+        meter.charge_tuples(3, "p")
+        meter.charge_contexts(2, "p")
+        meter.charge_objects(4, "p")
+        assert meter.usage() == {
+            "derived_tuples": 3,
+            "contexts": 2,
+            "objects": 4,
+        }
+
+
+class TestErrorTaxonomy:
+    def test_exit_codes(self):
+        assert AnalysisError("x").exit_code == 3
+        assert InputError("x").exit_code == 2
+        assert BudgetExceeded("wall_clock", 1, 2, "p").exit_code == 4
+
+    def test_budget_exceeded_is_analysis_error(self):
+        error = BudgetExceeded("derived_tuples", 100, 101, "correlation")
+        assert isinstance(error, AnalysisError)
+        assert "derived_tuples" in str(error)
+        assert "correlation" in str(error)
+
+    def test_to_dict_structure(self):
+        error = BudgetExceeded("objects", 5, 6, "correlation")
+        payload = error.to_dict()
+        assert payload["type"] == "BudgetExceeded"
+        assert payload["resource"] == "objects"
+        assert payload["limit"] == 5
+        assert payload["used"] == 6
+        assert payload["phase"] == "correlation"
+        assert payload["exit_code"] == 4

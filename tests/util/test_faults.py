@@ -1,0 +1,86 @@
+"""Tests for the fault-injection registry."""
+
+import pytest
+
+from repro.util import faults
+from repro.util.budget import ResourceBudget
+from repro.util.errors import BudgetExceeded
+from repro.util.faults import InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+class TestFire:
+    def test_unarmed_point_is_a_noop(self):
+        faults.fire("frontend")
+
+    def test_raise_action(self):
+        faults.inject("frontend", message="boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            faults.fire("frontend")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            faults.inject("frontend", action="segfault")
+
+    def test_unit_filter(self):
+        faults.inject("batch-unit", unit="svn/commit")
+        faults.fire("batch-unit", unit="svn/update")  # other unit: no fire
+        faults.fire("batch-unit")  # no unit at all: no fire
+        with pytest.raises(InjectedFault):
+            faults.fire("batch-unit", unit="svn/commit")
+
+    def test_times_disarms_after_countdown(self):
+        faults.inject("correlation", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.fire("correlation")
+        faults.fire("correlation")  # disarmed
+        assert not faults.active()
+
+    def test_delay_action(self):
+        recorded = []
+        faults.inject("call-graph", action="delay", delay_seconds=0.0)
+        faults.fire("call-graph")  # zero-length sleep completes
+        assert recorded == []
+
+    def test_corrupt_budget_action(self):
+        meter = ResourceBudget().start()
+        faults.inject("correlation", action="corrupt-budget")
+        faults.fire("correlation", meter=meter)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            meter.checkpoint("correlation")
+        assert excinfo.value.resource == "corrupted"
+
+    def test_corrupt_budget_without_meter_is_a_noop(self):
+        faults.inject("correlation", action="corrupt-budget")
+        faults.fire("correlation", meter=None)
+
+
+class TestRegistry:
+    def test_clear_point(self):
+        faults.inject("frontend")
+        faults.inject("correlation")
+        faults.clear("frontend")
+        faults.fire("frontend")
+        with pytest.raises(InjectedFault):
+            faults.fire("correlation")
+
+    def test_context_manager_cleans_up(self):
+        with faults.injected("frontend"):
+            assert faults.active()
+            with pytest.raises(InjectedFault):
+                faults.fire("frontend")
+        assert not faults.active()
+        faults.fire("frontend")
+
+    def test_context_manager_cleans_up_on_error(self):
+        with pytest.raises(RuntimeError):
+            with faults.injected("frontend"):
+                raise RuntimeError("test error")
+        assert not faults.active()
