@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.callgraph.implicit import ImplicitCallRegistry, default_registry
+from repro.obs.trace import trace_span
 from repro.util.budget import BudgetMeter
 from repro.ir import (
     Add,
@@ -126,15 +127,19 @@ class _Builder:
     # ------------------------------------------------------------------
 
     def run(self) -> CallGraph:
-        changed = True
-        while changed:
-            if self.meter is not None:
-                self.meter.checkpoint("call-graph")
-            changed = False
-            changed |= self._propagate_intraprocedural()
-            changed |= self._update_call_edges()
-            changed |= self._propagate_interprocedural()
-        reachable = self._compute_reachable()
+        with trace_span("callgraph.fixpoint") as span:
+            iterations = 0
+            changed = True
+            while changed:
+                if self.meter is not None:
+                    self.meter.checkpoint("call-graph")
+                iterations += 1
+                changed = False
+                changed |= self._propagate_intraprocedural()
+                changed |= self._update_call_edges()
+                changed |= self._propagate_interprocedural()
+            reachable = self._compute_reachable()
+            span.set(iterations=iterations, reachable=len(reachable))
         graph = CallGraph(
             module=self.module,
             entry=self.entry,

@@ -11,6 +11,7 @@ figure corpus, tying the executable formalism to the production checker.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
@@ -18,7 +19,12 @@ from repro.datalog import Program, SolverStats
 from repro.pointer import AbstractObject, PointerAnalysisResult
 from repro.util.budget import BudgetMeter
 
-__all__ = ["datalog_object_pairs", "solve_object_pairs"]
+__all__ = [
+    "ConsistencyProgram",
+    "build_consistency_program",
+    "datalog_object_pairs",
+    "solve_object_pairs",
+]
 
 RULES = """
 # Reflexive transitive closure of the canonical subregion tree.
@@ -50,15 +56,41 @@ def datalog_object_pairs(
     return pairs
 
 
-def solve_object_pairs(
+@dataclass
+class ConsistencyProgram:
+    """The eq. 4.12 Datalog program plus its dense-index decoding maps."""
+
+    program: Program
+    entities: List[AbstractObject]
+    offsets: List[Optional[int]]
+    entity_index: Dict[AbstractObject, int]
+    offset_index: Dict[Optional[int], int]
+
+    def object_pair_key(
+        self,
+        source: AbstractObject,
+        offset: Optional[int],
+        target: AbstractObject,
+    ) -> Tuple[int, int, int]:
+        """Encode an object pair as an ``objectPair`` tuple."""
+        return (
+            self.entity_index[source],
+            self.offset_index[offset],
+            self.entity_index[target],
+        )
+
+
+def build_consistency_program(
     analysis: PointerAnalysisResult,
     hierarchy: Optional[RegionHierarchy] = None,
     backend: str = "set",
-    meter: Optional[BudgetMeter] = None,
-) -> Tuple[
-    Set[Tuple[AbstractObject, Optional[int], AbstractObject]], SolverStats
-]:
-    """Like :func:`datalog_object_pairs` but also returns solver stats."""
+) -> ConsistencyProgram:
+    """Build (without solving) the consistency query over ``analysis``.
+
+    Exposed separately from :func:`solve_object_pairs` so callers that
+    need the decoding maps -- the ``--explain`` provenance renderer runs
+    the same program with derivation recording on -- share one builder.
+    """
     if hierarchy is None:
         hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
 
@@ -106,9 +138,28 @@ def solve_object_pairs(
                 entity_index[target],
             )
 
-    solution = program.solve(meter=meter)
+    return ConsistencyProgram(
+        program=program,
+        entities=entities,
+        offsets=offsets,
+        entity_index=entity_index,
+        offset_index=offset_index,
+    )
+
+
+def solve_object_pairs(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    backend: str = "set",
+    meter: Optional[BudgetMeter] = None,
+) -> Tuple[
+    Set[Tuple[AbstractObject, Optional[int], AbstractObject]], SolverStats
+]:
+    """Like :func:`datalog_object_pairs` but also returns solver stats."""
+    built = build_consistency_program(analysis, hierarchy, backend)
+    solution = built.program.solve(meter=meter)
     pairs = {
-        (entities[source], offsets[offset], entities[target])
+        (built.entities[source], built.offsets[offset], built.entities[target])
         for source, offset, target in solution.tuples("objectPair")
     }
     return pairs, solution.stats

@@ -2,6 +2,7 @@
 
 from repro.datalog.program import (
     DatalogError,
+    Derivation,
     Program,
     Solution,
     SolverStats,
@@ -31,6 +32,7 @@ __all__ = [
     "Const",
     "DatalogError",
     "DatalogSyntaxError",
+    "Derivation",
     "LegacySetRelation",
     "NotEqual",
     "Program",

@@ -37,6 +37,7 @@ from repro.datalog.rules import (
     Var,
     parse_rules,
 )
+from repro.obs.trace import trace_span, tracing
 from repro.util.budget import BudgetMeter
 from repro.util.graph import strongly_connected_components
 
@@ -44,6 +45,7 @@ __all__ = [
     "Program",
     "Solution",
     "DatalogError",
+    "Derivation",
     "SolverStats",
     "StratumStats",
 ]
@@ -148,6 +150,44 @@ class SolverStats:
             for text, seconds in slowest:
                 lines.append(f"    {seconds * 1000:8.1f}ms  {text}")
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Derivation provenance
+# ---------------------------------------------------------------------------
+
+#: A grounded tuple reference: (relation name, values).
+ProvKey = Tuple[str, Tuple[int, ...]]
+
+
+@dataclass
+class Derivation:
+    """One node of a derivation tree for a derived tuple.
+
+    ``rule is None`` marks a leaf: an input fact (``is_fact``) or a tuple
+    whose derivation was not recorded (solving without ``provenance=True``
+    never records any).  Children cover the rule's *positive* body atoms
+    in body order; negated atoms and disequalities hold by absence and
+    are reconstructed from ``rule`` by renderers.
+    """
+
+    relation: str
+    values: Tuple[int, ...]
+    rule: Optional[Rule] = None
+    children: List["Derivation"] = field(default_factory=list)
+    is_fact: bool = False
+
+    @property
+    def depth(self) -> int:
+        return 1 + max((child.depth for child in self.children), default=0)
+
+    def leaves(self) -> List["Derivation"]:
+        if not self.children:
+            return [self]
+        found: List["Derivation"] = []
+        for child in self.children:
+            found.extend(child.leaves())
+        return found
 
 
 @dataclass
@@ -321,7 +361,11 @@ class Program:
     # Solving
     # ------------------------------------------------------------------
 
-    def solve(self, meter: Optional[BudgetMeter] = None) -> "Solution":
+    def solve(
+        self,
+        meter: Optional[BudgetMeter] = None,
+        provenance: bool = False,
+    ) -> "Solution":
         """Evaluate to fixpoint and return the resulting relation store.
 
         ``meter`` (a started :class:`~repro.util.budget.BudgetMeter`)
@@ -329,7 +373,18 @@ class Program:
         clock is checked per round and every derived tuple is charged
         against the budget's ``max_derived_tuples`` limit, raising a
         structured ``BudgetExceeded`` on a blowup.
+
+        ``provenance=True`` (indexed set engine only) records, for every
+        derived tuple, the rule and the positive body tuples of its first
+        derivation; :meth:`Solution.explain` walks those records into a
+        :class:`Derivation` tree.  Recording costs time and memory
+        proportional to the derived tuple count, so it is off by default
+        and enabled per-query (the CLI's ``--explain``).
         """
+        if provenance and (self.backend != "set" or self.engine != "indexed"):
+            raise DatalogError(
+                "provenance recording requires the indexed set engine"
+            )
         started = time.perf_counter()
         strata = self._stratify()
         if self.backend == "set":
@@ -340,11 +395,22 @@ class Program:
         else:
             store = _BddStore(self)
         store.meter = meter
-        for name, facts in self._facts.items():
-            store.load_facts(name, facts)
-        for stratum in strata:
-            store.run_stratum(stratum)
-        store.finalize_stats()
+        if provenance:
+            store.provenance = {}
+            store.fact_keys = set()
+        with trace_span("datalog.solve") as span:
+            for name, facts in self._facts.items():
+                store.load_facts(name, facts)
+            for stratum in strata:
+                store.run_stratum(stratum)
+            store.finalize_stats()
+            span.set(
+                backend=self.backend,
+                engine=self.engine,
+                facts=store.stats.facts_loaded,
+                derived=store.stats.tuples_derived,
+                rounds=store.stats.rounds,
+            )
         store.stats.solve_seconds = time.perf_counter() - started
         return Solution(self, store)
 
@@ -375,6 +441,50 @@ class Solution:
         return self._store.stats
 
     @property
+    def has_provenance(self) -> bool:
+        """Whether the solve recorded derivations (``provenance=True``)."""
+        return self._store.provenance is not None
+
+    def explain(self, name: str, values: Tuple[int, ...]) -> Derivation:
+        """The recorded derivation tree for one tuple.
+
+        Facts come back as ``is_fact`` leaves; derived tuples carry the
+        rule of their first derivation and its positive body tuples as
+        children.  Tuples absent from the relation (or solved without
+        ``provenance=True``) come back as bare leaves with no rule.
+        Shared sub-derivations are memoized, so the tree is linear in the
+        number of distinct tuples it mentions; first-derivation recording
+        guarantees acyclicity (a derivation only references tuples
+        inserted strictly earlier).
+        """
+        key: ProvKey = (name, tuple(values))
+        cache: Dict[ProvKey, Derivation] = {}
+        provenance = self._store.provenance or {}
+        fact_keys = self._store.fact_keys or set()
+
+        def walk(key: ProvKey) -> Derivation:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+            relation, tup = key
+            if key in fact_keys:
+                node = Derivation(relation, tup, is_fact=True)
+            elif key in provenance:
+                rule, body = provenance[key]
+                node = Derivation(relation, tup, rule=rule)
+                cache[key] = node  # memo before recursion (acyclic anyway)
+                node.children = [
+                    walk((body_rel, body_values))
+                    for _, body_rel, body_values in sorted(body)
+                ]
+            else:
+                node = Derivation(relation, tup)
+            cache[key] = node
+            return node
+
+        return walk(key)
+
+    @property
     def bdd(self) -> Optional[BDD]:
         """The underlying BDD manager (None for the set backend)."""
         return getattr(self._store, "bdd", None)
@@ -396,6 +506,11 @@ class _Store:
     stats: SolverStats
     #: Optional budget meter; set by :meth:`Program.solve` before facts load.
     meter: Optional[BudgetMeter] = None
+    #: Derivation records, (head name, tuple) -> (rule, body tuple refs);
+    #: allocated by :meth:`Program.solve` when ``provenance=True``.
+    provenance: Optional[Dict[ProvKey, Tuple[Rule, tuple]]] = None
+    #: Input-fact keys, tracked only while recording provenance.
+    fact_keys: Optional[Set[ProvKey]] = None
 
     def relation(self, name: str) -> Relation:
         raise NotImplementedError
@@ -405,6 +520,8 @@ class _Store:
         before = len(relation)
         relation.add_all(facts)
         self.stats.facts_loaded += len(relation) - before
+        if self.fact_keys is not None:
+            self.fact_keys.update((name, values) for values in facts)
 
     def run_stratum(self, rules: List[Rule]) -> None:
         raise NotImplementedError
@@ -490,9 +607,14 @@ class _SetStore(_Store):
         return delta
 
     def run_stratum(self, rules: List[Rule]) -> None:
+        with trace_span("datalog.stratum") as span:
+            self._run_stratum(rules, span)
+
+    def _run_stratum(self, rules: List[Rule], span) -> None:
         started = time.perf_counter()
         heads = {rule.head.relation for rule in rules}
         stratum = StratumStats(relations=tuple(sorted(heads)))
+        span.set(relations=",".join(stratum.relations))
         self.stats.strata.append(stratum)
         # Delta = everything currently in the stratum's head relations
         # (facts and contributions from earlier strata), stored as an
@@ -550,6 +672,7 @@ class _SetStore(_Store):
             self._retire_counters(retired)
         self.stats.rounds += stratum.rounds
         stratum.seconds = time.perf_counter() - started
+        span.set(rounds=stratum.rounds, derived=stratum.derived)
 
     def _count_derived(
         self, rule: Rule, added: int, stratum: StratumStats
@@ -747,6 +870,57 @@ class _SetStore(_Store):
                 template[i] = env[slot]
             return tuple(template) not in neg_tuples
 
+        # Provenance variant of the join loop: maintains the trail of
+        # matched body tuples and records each *first* derivation of a
+        # head tuple.  Kept separate so the common path below stays free
+        # of per-candidate branches.
+        prov = self.provenance
+        if prov is not None:
+            assert self.fact_keys is not None
+            fact_keys = self.fact_keys
+            head_rel = rule.head.relation
+            trail: List[Tuple[int, str, Tuple[int, ...]]] = []
+
+            def join_prov(position: int) -> None:
+                if position == nsteps:
+                    for check in final_checks:
+                        if not passes(check):
+                            return
+                    for i, slot in head_fill:
+                        head_template[i] = env[slot]
+                    values = tuple(head_template)
+                    results.append(values)
+                    key = (head_rel, values)
+                    if key not in prov and key not in fact_keys:
+                        prov[key] = (rule, tuple(trail))
+                    return
+                step = steps[position]
+                if step.body_index == delta_atom and delta is not None:
+                    relation: SetRelation = delta
+                else:
+                    relation = self._relations[step.relation_name]
+                key_template = step.key_template
+                for i, slot in step.key_slots:
+                    key_template[i] = env[slot]
+                candidates = relation.lookup(
+                    step.key_positions, tuple(key_template)
+                )
+                next_position = position + 1
+                for values in candidates:
+                    if step.same_positions and any(
+                        values[i] != values[j]
+                        for i, j in step.same_positions
+                    ):
+                        continue
+                    for i, slot in step.bind_positions:
+                        env[slot] = values[i]
+                    if all(passes(check) for check in step.checks):
+                        trail.append(
+                            (step.body_index, step.relation_name, values)
+                        )
+                        join_prov(next_position)
+                        trail.pop()
+
         def join(position: int) -> None:
             if position == nsteps:
                 for check in final_checks:
@@ -790,14 +964,19 @@ class _SetStore(_Store):
             # Slots are overwritten before their next read (the plan only
             # reads a slot after the step that binds it), so no unbinding.
 
-        join(0)
-        self.stats.rule_evals += 1
-        elapsed = time.perf_counter() - started
-        self.stats.rule_eval_seconds += elapsed
-        key = str(rule)
-        self.stats.rule_seconds[key] = (
-            self.stats.rule_seconds.get(key, 0.0) + elapsed
-        )
+        with trace_span("datalog.rule") as span:
+            if prov is not None:
+                join_prov(0)
+            else:
+                join(0)
+            self.stats.rule_evals += 1
+            elapsed = time.perf_counter() - started
+            self.stats.rule_eval_seconds += elapsed
+            key = str(rule)
+            self.stats.rule_seconds[key] = (
+                self.stats.rule_seconds.get(key, 0.0) + elapsed
+            )
+            span.set(rule=key, tuples=len(results))
         return results
 
 
@@ -819,10 +998,11 @@ class _LegacySetStore(_SetStore):
         }
         self.stats = SolverStats(backend="set", engine="legacy")
 
-    def run_stratum(self, rules: List[Rule]) -> None:
+    def _run_stratum(self, rules: List[Rule], span) -> None:
         started = time.perf_counter()
         heads = {rule.head.relation for rule in rules}
         stratum = StratumStats(relations=tuple(sorted(heads)))
+        span.set(relations=",".join(stratum.relations))
         self.stats.strata.append(stratum)
         delta: Dict[str, Set[Tuple[int, ...]]] = {
             name: set(self._relations[name]) for name in heads
@@ -870,6 +1050,7 @@ class _LegacySetStore(_SetStore):
             delta = new_delta
         self.stats.rounds += stratum.rounds
         stratum.seconds = time.perf_counter() - started
+        span.set(rounds=stratum.rounds, derived=stratum.derived)
 
     def _legacy_eval(
         self,
@@ -1067,16 +1248,18 @@ class _BddStore(_Store):
     ) -> int:
         """Evaluate one rule body; returns a node on the head's instances."""
         started = time.perf_counter()
-        try:
-            return self._eval_rule_inner(rule, delta_atom, delta_node)
-        finally:
-            elapsed = time.perf_counter() - started
-            self.stats.rule_evals += 1
-            self.stats.rule_eval_seconds += elapsed
-            key = str(rule)
-            self.stats.rule_seconds[key] = (
-                self.stats.rule_seconds.get(key, 0.0) + elapsed
-            )
+        with trace_span("datalog.rule") as span:
+            try:
+                return self._eval_rule_inner(rule, delta_atom, delta_node)
+            finally:
+                elapsed = time.perf_counter() - started
+                self.stats.rule_evals += 1
+                self.stats.rule_eval_seconds += elapsed
+                key = str(rule)
+                self.stats.rule_seconds[key] = (
+                    self.stats.rule_seconds.get(key, 0.0) + elapsed
+                )
+                span.set(rule=key)
 
     def _eval_rule_inner(
         self,
@@ -1138,10 +1321,15 @@ class _BddStore(_Store):
         return node
 
     def run_stratum(self, rules: List[Rule]) -> None:
+        with trace_span("datalog.stratum") as span:
+            self._run_stratum(rules, span)
+
+    def _run_stratum(self, rules: List[Rule], span) -> None:
         started = time.perf_counter()
         bdd = self.bdd
         heads = {rule.head.relation for rule in rules}
         stratum = StratumStats(relations=tuple(sorted(heads)))
+        span.set(relations=",".join(stratum.relations))
         self.stats.strata.append(stratum)
         sizes_before = sum(len(self._relations[name]) for name in heads)
         delta: Dict[str, int] = {
@@ -1193,3 +1381,4 @@ class _BddStore(_Store):
             self.meter.charge_tuples(stratum.derived, "datalog")
         self.stats.rounds += stratum.rounds
         stratum.seconds = time.perf_counter() - started
+        span.set(rounds=stratum.rounds, derived=stratum.derived)

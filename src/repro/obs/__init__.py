@@ -1,0 +1,45 @@
+"""Observability: pipeline tracing, metrics, and warning provenance.
+
+Three cross-cutting facilities every later performance PR measures
+itself against:
+
+* :mod:`repro.obs.trace` -- a hierarchical span tracer threaded through
+  the four pipeline phases, Datalog strata/rules, degradation-ladder
+  rungs, and batch units; exports Chrome ``trace_event`` JSON
+  (``--trace``) and a text profile tree (``--profile``);
+* :mod:`repro.obs.metrics` -- a unified metrics registry absorbing
+  ``SolverStats`` and ``BudgetMeter`` readings into one namespaced
+  store, serialized into JSON reports and aggregated across batch runs;
+* :mod:`repro.obs.provenance` -- Datalog derivation traces behind
+  ``--explain``, turning each warning into a rule-by-rule chain from
+  allocation sites through the ownership closure and the missing
+  subregion order to the offending access.
+"""
+
+from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    trace_instant,
+    trace_span,
+    tracing,
+    tracing_to,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_metrics",
+    "current_tracer",
+    "format_metrics",
+    "install_tracer",
+    "trace_instant",
+    "trace_span",
+    "tracing",
+    "tracing_to",
+    "uninstall_tracer",
+]

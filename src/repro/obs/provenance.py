@@ -1,0 +1,255 @@
+"""Warning provenance: rule-by-rule derivation chains for ``--explain``.
+
+An unexplained warning is an untrusted warning.  This module re-runs the
+eq. 4.12 consistency query (:mod:`repro.core.datalog_check`) with
+derivation recording enabled (``Program.solve(provenance=True)``) and
+renders the recorded :class:`~repro.datalog.Derivation` tree for one
+reported warning as the chain the paper's argument follows::
+
+    allocation site -> ownership closure -> missing subregion order
+                    -> access pair
+
+Leaf facts are annotated with the original source file/line of the
+allocation or store they came from; the ``!le(x, y)`` negation in the
+``regionPair`` rule -- which holds by *absence* -- is rendered as the
+missing subregion order with its two regions' creation sites.
+
+Provenance is recorded only when explicitly requested (the consistency
+checker used by the pipeline itself never records), so the default
+analysis path carries no recording cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.datalog_check import (
+    ConsistencyProgram,
+    build_consistency_program,
+)
+from repro.datalog import Derivation
+from repro.datalog.rules import Atom, Const, NotEqual, Var
+
+__all__ = ["Explanation", "explain_warning", "explain_object_pair"]
+
+
+@dataclass
+class Explanation:
+    """A rendered derivation chain for one warning."""
+
+    warning_number: int
+    description: str
+    num_object_pairs: int
+    derivation: Derivation
+    lines: List[str]
+
+    def format(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _loc_of_site(module, site: int) -> Optional[str]:
+    """Source location of an instruction uid (None for synthetic sites)."""
+    if not site:
+        return None
+    try:
+        return str(module.instr(site).loc)
+    except KeyError:
+        return None
+
+
+def _entity_label(built: ConsistencyProgram, value: int) -> str:
+    return str(built.entities[value])
+
+
+def _decode_atom(
+    built: ConsistencyProgram, relation: str, values
+) -> str:
+    """Ground-tuple rendering with entity/offset names restored."""
+    if relation in ("access", "objectPair"):
+        source, offset, target = values
+        shown = built.offsets[offset]
+        return (
+            f"{relation}({_entity_label(built, source)},"
+            f" {'?' if shown is None else shown},"
+            f" {_entity_label(built, target)})"
+        )
+    rendered = ", ".join(_entity_label(built, value) for value in values)
+    return f"{relation}({rendered})"
+
+
+def _fact_annotation(
+    built: ConsistencyProgram, module, analysis, relation: str, values
+) -> str:
+    """The source-location note attached to a leaf fact."""
+    notes: List[str] = []
+    if relation == "access":
+        source, offset, target = values
+        key = (
+            built.entities[source],
+            built.offsets[offset],
+            built.entities[target],
+        )
+        for uid in sorted(analysis.access_sites.get(key, frozenset())):
+            loc = _loc_of_site(module, uid)
+            if loc is not None:
+                notes.append(f"pointer stored at {loc}")
+        for role, value in (("source", source), ("target", target)):
+            loc = _loc_of_site(module, built.entities[value].site)
+            if loc is not None:
+                notes.append(
+                    f"{role} {_entity_label(built, value)} allocated at {loc}"
+                )
+    else:
+        verbs = {True: "created", False: "allocated"}
+        for value in values:
+            entity = built.entities[value]
+            loc = _loc_of_site(module, entity.site)
+            if loc is not None:
+                notes.append(
+                    f"{entity} {verbs[entity.is_region]} at {loc}"
+                )
+    return "; ".join(notes)
+
+
+def _bindings(node: Derivation) -> Dict[Var, int]:
+    """Variable assignment that grounded ``node``'s rule instance.
+
+    Unifies the head with the derived tuple and each positive body atom
+    (in body order, matching ``node.children``) with the recorded body
+    tuple; used to instantiate the rule's negated atoms/disequalities,
+    which hold by absence and so have no recorded tuple of their own.
+    """
+    assert node.rule is not None
+    bindings: Dict[Var, int] = {}
+
+    def unify(atom: Atom, values) -> None:
+        for term, value in zip(atom.terms, values):
+            if isinstance(term, Var):
+                bindings.setdefault(term, value)
+
+    unify(node.rule.head, node.values)
+    positive = [
+        item
+        for item in node.rule.body
+        if isinstance(item, Atom) and not item.negated
+    ]
+    for atom, child in zip(positive, node.children):
+        unify(atom, child.values)
+    return bindings
+
+
+def _render(
+    node: Derivation,
+    built: ConsistencyProgram,
+    module,
+    analysis,
+    lines: List[str],
+    depth: int,
+) -> None:
+    indent = "  " * depth
+    shown = _decode_atom(built, node.relation, node.values)
+    if node.is_fact:
+        note = _fact_annotation(
+            built, module, analysis, node.relation, node.values
+        )
+        lines.append(
+            f"{indent}{shown}  [fact]" + (f"  {note}" if note else "")
+        )
+        return
+    if node.rule is None:
+        lines.append(f"{indent}{shown}  [unrecorded]")
+        return
+    lines.append(f"{indent}{shown}")
+    lines.append(f"{indent}  by rule: {node.rule}")
+    for child in node.children:
+        _render(child, built, module, analysis, lines, depth + 1)
+    bindings = _bindings(node)
+    for item in node.rule.body:
+        if isinstance(item, NotEqual):
+            left = bindings.get(item.left)
+            right = bindings.get(item.right)
+            if left is not None and right is not None:
+                lines.append(
+                    f"{indent}  {_entity_label(built, left)} !="
+                    f" {_entity_label(built, right)}  [holds by absence]"
+                )
+        elif isinstance(item, Atom) and item.negated:
+            values = tuple(
+                term.value if isinstance(term, Const) else bindings[term]
+                for term in item.terms
+            )
+            shown_neg = _decode_atom(built, item.relation, values)
+            note = ""
+            if item.relation == "le":
+                x, y = values
+                note = (
+                    f"  -- no subregion order puts"
+                    f" {_entity_label(built, x)} below"
+                    f" {_entity_label(built, y)}, so their lifetimes are"
+                    f" unordered"
+                )
+            lines.append(f"{indent}  !{shown_neg}  [holds by absence]{note}")
+
+
+def explain_object_pair(analysis, hierarchy, module, pair):
+    """Derivation for one :class:`ObjectPairWarning`.
+
+    Returns ``(lines, derivation)``: the rendered chain and the raw
+    :class:`~repro.datalog.Derivation` tree it was built from.
+    """
+    built = build_consistency_program(analysis, hierarchy)
+    solution = built.program.solve(provenance=True)
+    key = built.object_pair_key(pair.source, pair.offset, pair.target)
+    derivation = solution.explain("objectPair", key)
+    lines: List[str] = []
+    _render(derivation, built, module, analysis, lines, 0)
+    return lines, derivation
+
+
+def explain_warning(report, number: int) -> Explanation:
+    """Explain warning ``number`` (1-based, in report order).
+
+    The warning's I-pair condenses possibly many context-specific object
+    pairs; the chain shown is for the first (they share allocation
+    sites), with the total noted in the header.
+    """
+    if not report.warnings:
+        raise IndexError("the report has no warnings to explain")
+    if not 1 <= number <= len(report.warnings):
+        raise IndexError(
+            f"warning {number} out of range (report has"
+            f" {len(report.warnings)} warning(s))"
+        )
+    warning = report.warnings[number - 1]
+    ipair = next(
+        (
+            candidate
+            for candidate in report.ranked
+            if candidate.source_site == warning.source_site
+            and candidate.target_site == warning.target_site
+            and candidate.object_pairs
+        ),
+        None,
+    )
+    if ipair is None:
+        raise ValueError(
+            f"warning {number} has no recorded object pairs to explain"
+            " (refinement may have stripped them)"
+        )
+    pair = ipair.object_pairs[0]
+    lines = [
+        f"explanation for warning {number}: {warning.description}",
+        f"  derivation (1 of {len(ipair.object_pairs)} object pair(s)):",
+    ]
+    chain, derivation = explain_object_pair(
+        report.analysis, report.consistency.hierarchy, report.module, pair
+    )
+    lines.extend("  " + line for line in chain)
+    return Explanation(
+        warning_number=number,
+        description=warning.description,
+        num_object_pairs=len(ipair.object_pairs),
+        derivation=derivation,
+        lines=lines,
+    )

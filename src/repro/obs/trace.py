@@ -1,0 +1,329 @@
+"""Hierarchical span tracing for the RegionWiz pipeline.
+
+A :class:`Tracer` records a tree of timed spans -- pipeline phases,
+degradation-ladder attempts, Datalog strata and rule evaluations, batch
+units -- each carrying wall time, the peak-RSS delta observed across the
+span, and arbitrary counter attributes.  The tree exports to
+
+* Chrome ``trace_event`` JSON (:meth:`Tracer.to_chrome_trace` /
+  :meth:`Tracer.write_chrome_trace`), loadable in ``chrome://tracing``
+  and Perfetto (CLI: ``--trace out.json``);
+* an indented text profile (:meth:`Tracer.format_tree`, CLI:
+  ``--profile``).
+
+Instrumentation sites call :func:`trace_span` unconditionally::
+
+    with trace_span("phase.call-graph") as span:
+        graph = build_call_graph(...)
+        span.set(edges=graph.num_edges)
+
+With no tracer installed (the default) :func:`trace_span` returns a
+shared, stateless no-op context manager after a single module-global
+read, so always-on instrumentation stays off the profile;
+``benchmarks/bench_trace_overhead.py`` holds the disabled path to < 3%
+of the Datalog join benchmark.  Install a tracer for one run with
+:func:`install_tracer`/:func:`uninstall_tracer` or the :func:`tracing_to`
+context manager.  The registry is process-global and single-threaded by
+design (the tool is a single-threaded pipeline); batch sweeps reuse one
+tracer across units, each unit under its own ``batch.unit`` span.
+
+Peak RSS is read from ``resource.getrusage`` (kilobytes on Linux); it is
+monotone, so a span's ``rss_delta_kb`` is the high-water-mark growth
+*during* the span -- zero for spans that allocate within already-peaked
+memory, which is exactly the signal a capacity investigation wants.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "trace_span",
+    "trace_instant",
+    "tracing",
+    "current_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "tracing_to",
+]
+
+try:
+    import resource
+
+    def _peak_rss_kb() -> int:
+        """Peak RSS of this process in kB (ru_maxrss unit on Linux)."""
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+except ImportError:  # pragma: no cover - non-POSIX fallback
+
+    def _peak_rss_kb() -> int:
+        return 0
+
+
+@dataclass
+class SpanRecord:
+    """One node of the span tree (``kind="instant"`` for point events)."""
+
+    name: str
+    start_us: float
+    end_us: float = 0.0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanRecord"] = field(default_factory=list)
+    kind: str = "span"  # 'span' | 'instant'
+    rss_before_kb: int = 0
+    rss_after_kb: int = 0
+
+    @property
+    def duration_ms(self) -> float:
+        return (self.end_us - self.start_us) / 1000.0
+
+    @property
+    def rss_delta_kb(self) -> int:
+        return max(0, self.rss_after_kb - self.rss_before_kb)
+
+    def find(self, name: str) -> List["SpanRecord"]:
+        """Every descendant span (depth-first, self included) named ``name``."""
+        found = [self] if self.name == name else []
+        for child in self.children:
+            found.extend(child.find(name))
+        return found
+
+
+class _LiveSpan:
+    """Handle for an open span: a context manager with attr setters."""
+
+    __slots__ = ("_tracer", "_record")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+
+    def __enter__(self) -> "_LiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._record.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._record)
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes (shown in trace args / profile lines)."""
+        self._record.attrs.update(attrs)
+
+    def add(self, key: str, count: int = 1) -> None:
+        """Increment a counter attribute."""
+        attrs = self._record.attrs
+        attrs[key] = attrs.get(key, 0) + count
+
+
+class _NoopSpan:
+    """Shared do-nothing span used while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def add(self, key: str, count: int = 1) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects one run's span tree; see the module docstring."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.roots: List[SpanRecord] = []
+        self._stack: List[SpanRecord] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._t0) * 1e6
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        record = SpanRecord(
+            name=name,
+            start_us=self._now_us(),
+            attrs=dict(attrs),
+            rss_before_kb=_peak_rss_kb(),
+        )
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+        self._stack.append(record)
+        return _LiveSpan(self, record)
+
+    def _close(self, record: SpanRecord) -> None:
+        record.end_us = self._now_us()
+        record.rss_after_kb = _peak_rss_kb()
+        # ``with`` unwinds strictly LIFO, including through exceptions.
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+
+    def instant(self, name: str, **attrs: Any) -> None:
+        """A zero-duration point event under the current span."""
+        now = self._now_us()
+        record = SpanRecord(
+            name=name, start_us=now, end_us=now, attrs=dict(attrs),
+            kind="instant",
+        )
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.roots.append(record)
+
+    # -- queries -----------------------------------------------------------
+
+    def find(self, name: str) -> List[SpanRecord]:
+        """Every recorded span/instant named ``name``, depth-first."""
+        found: List[SpanRecord] = []
+        for root in self.roots:
+            found.extend(root.find(name))
+        return found
+
+    # -- export ------------------------------------------------------------
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The Chrome ``trace_event`` representation (``B``/``E`` pairs).
+
+        Events come out in depth-first order, so begin/end events nest
+        monotonically: every ``E`` closes the most recent open ``B`` --
+        the schema ``tests/obs/test_trace.py`` checks.
+        """
+        pid = os.getpid()
+        events: List[Dict[str, Any]] = []
+
+        def emit(record: SpanRecord) -> None:
+            common = {"name": record.name, "pid": pid, "tid": 1,
+                      "cat": record.name.split(".", 1)[0]}
+            if record.kind == "instant":
+                events.append({
+                    **common, "ph": "i", "s": "t",
+                    "ts": round(record.start_us, 3),
+                    "args": dict(record.attrs),
+                })
+                return
+            events.append({
+                **common, "ph": "B", "ts": round(record.start_us, 3),
+                "args": dict(record.attrs),
+            })
+            for child in record.children:
+                emit(child)
+            events.append({
+                **common, "ph": "E", "ts": round(record.end_us, 3),
+                "args": {"rss_delta_kb": record.rss_delta_kb},
+            })
+
+        for root in self.roots:
+            emit(root)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+    def format_tree(self, min_ms: float = 0.0) -> str:
+        """The ``--profile`` text tree: one line per span, indented."""
+        lines: List[str] = []
+
+        def render(record: SpanRecord, depth: int) -> None:
+            if record.kind == "span" and record.duration_ms < min_ms:
+                return
+            indent = "  " * depth
+            attrs = " ".join(
+                f"{key}={value}" for key, value in sorted(record.attrs.items())
+            )
+            if record.kind == "instant":
+                lines.append(
+                    f"{indent}! {record.name}" + (f"  {attrs}" if attrs else "")
+                )
+            else:
+                rss = (
+                    f" +{record.rss_delta_kb}kB"
+                    if record.rss_delta_kb else ""
+                )
+                lines.append(
+                    f"{indent}{record.name}  {record.duration_ms:.2f}ms{rss}"
+                    + (f"  {attrs}" if attrs else "")
+                )
+            for child in record.children:
+                render(child, depth + 1)
+
+        for root in self.roots:
+            render(root, 0)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The process-global active tracer
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a span under the active tracer (no-op when tracing is off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, **attrs)
+
+
+def trace_instant(name: str, **attrs: Any) -> None:
+    """Record a point event under the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **attrs)
+
+
+def tracing() -> bool:
+    """Whether a tracer is installed (for guarding costly attr prep)."""
+    return _ACTIVE is not None
+
+
+def current_tracer() -> Optional[Tracer]:
+    return _ACTIVE
+
+
+def install_tracer(tracer: Tracer) -> Optional[Tracer]:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+def uninstall_tracer(previous: Optional[Tracer] = None) -> None:
+    """Restore ``previous`` (default: disable tracing)."""
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+@contextmanager
+def tracing_to(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a ``with`` block."""
+    tracer = tracer or Tracer()
+    previous = install_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        uninstall_tracer(previous)

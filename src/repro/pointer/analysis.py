@@ -40,6 +40,7 @@ from repro.ir import (
     Temp,
     VarOp,
 )
+from repro.obs.trace import trace_span
 from repro.pointer.contexts import ContextNumbering, number_contexts
 from repro.util.budget import BudgetMeter
 
@@ -279,19 +280,25 @@ class _Engine:
                     self._returns.setdefault(name, []).append(instr.src)
 
         iterations = 0
-        while True:
-            iterations += 1
-            self._changed = False
-            for name in sorted(self.graph.reachable):
-                function = self.module.functions.get(name)
-                if function is None:
-                    continue
-                for ctx in range(self.numbering.contexts_of(name)):
-                    self._process_function(name, ctx, function)
-                if self.meter is not None:
-                    self._charge_budget()
-            if not self._changed:
-                break
+        with trace_span("pointer.solve") as span:
+            while True:
+                iterations += 1
+                self._changed = False
+                for name in sorted(self.graph.reachable):
+                    function = self.module.functions.get(name)
+                    if function is None:
+                        continue
+                    for ctx in range(self.numbering.contexts_of(name)):
+                        self._process_function(name, ctx, function)
+                    if self.meter is not None:
+                        self._charge_budget()
+                if not self._changed:
+                    break
+            span.set(
+                iterations=iterations,
+                regions=len(self.regions),
+                objects=len(self.objects),
+            )
 
         return PointerAnalysisResult(
             graph=self.graph,

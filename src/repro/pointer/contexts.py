@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.bdd import BDD, DomainSpace
 from repro.callgraph import CallGraph
+from repro.obs.trace import trace_span
 from repro.util.budget import BudgetMeter
 from repro.util.graph import condensation
 
@@ -123,6 +124,25 @@ def number_contexts(
     folds overflowing path numbers and keeps going), the budget raises a
     structured ``BudgetExceeded`` so the driver can degrade precision.
     """
+    with trace_span(
+        "contexts.number", sensitive=context_sensitive
+    ) as span:
+        numbering = _number_contexts(
+            graph, context_sensitive, max_contexts, meter
+        )
+        span.set(
+            contexts=numbering.total_contexts,
+            clamped=len(numbering.clamped),
+        )
+        return numbering
+
+
+def _number_contexts(
+    graph: CallGraph,
+    context_sensitive: bool,
+    max_contexts: int,
+    meter: Optional[BudgetMeter],
+) -> ContextNumbering:
     entries = tuple(
         name
         for name in (graph.entry, "_global_init")

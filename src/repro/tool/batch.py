@@ -37,6 +37,8 @@ from repro.interfaces import (
     rc_regions_interface,
 )
 from repro.lang.errors import CompileError
+from repro.obs.metrics import aggregate_metrics, format_metrics
+from repro.obs.trace import trace_span
 from repro.pointer import AnalysisOptions
 from repro.tool.regionwiz import RegionWizReport, run_regionwiz
 from repro.util import faults
@@ -103,6 +105,8 @@ class UnitOutcome:
                 payload["degradation_path"] = list(
                     self.report.degradation_path
                 )
+            if self.report is not None and self.report.metrics is not None:
+                payload["metrics"] = self.report.metrics.to_dict()
         if self.error is not None:
             payload["error"] = self.error
             payload["error_type"] = self.error_type
@@ -144,6 +148,18 @@ class BatchResult:
                 return code
         return 0
 
+    def unit_metrics(self) -> List[Dict[str, Any]]:
+        """Each successful unit's flat metrics dict (units without skipped)."""
+        return [
+            o.report.metrics.to_dict()
+            for o in self.succeeded
+            if o.report is not None and o.report.metrics is not None
+        ]
+
+    def fleet_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Fleet percentiles over every successful unit's metrics."""
+        return aggregate_metrics(self.unit_metrics())
+
     def to_json(self, indent: int = 2) -> str:
         """The partial-results summary (stable schema for CI)."""
         payload = {
@@ -156,7 +172,30 @@ class BatchResult:
             ),
             "results": [o.to_dict() for o in self.outcomes],
         }
+        fleet = self.fleet_metrics()
+        if fleet:
+            payload["fleet_metrics"] = fleet
         return json.dumps(payload, indent=indent)
+
+    def metrics_summary(self) -> str:
+        """Per-unit metric table plus fleet percentiles, for ``--metrics``."""
+        lines: List[str] = []
+        for o in self.succeeded:
+            if o.report is None or o.report.metrics is None:
+                continue
+            lines.append(f"metrics for {o.unit}:")
+            lines.append(format_metrics(o.report.metrics.to_dict()))
+        fleet = self.fleet_metrics()
+        if fleet:
+            lines.append(
+                f"fleet metrics ({len(self.unit_metrics())} unit(s)):"
+            )
+            for name, summary in fleet.items():
+                rendered = " ".join(
+                    f"{key}={value}" for key, value in summary.items()
+                )
+                lines.append(f"  {name}  {rendered}")
+        return "\n".join(lines) if lines else "(no metrics collected)"
 
     def summary(self) -> str:
         """Human-readable one-line-per-unit account."""
@@ -185,6 +224,35 @@ class BatchResult:
 
 
 def _analyze_unit(
+    unit: BatchUnit,
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    refine: bool,
+    solver_stats: bool,
+    registry: Optional[ImplicitCallRegistry],
+    max_retries: int,
+) -> UnitOutcome:
+    with trace_span("batch.unit", unit=unit.name) as span:
+        outcome = _analyze_unit_isolated(
+            unit,
+            options,
+            budget,
+            degrade,
+            refine,
+            solver_stats,
+            registry,
+            max_retries,
+        )
+        span.set(
+            status=outcome.status,
+            exit_code=outcome.exit_code,
+            attempts=outcome.attempts,
+        )
+        return outcome
+
+
+def _analyze_unit_isolated(
     unit: BatchUnit,
     options: Optional[AnalysisOptions],
     budget: Optional[ResourceBudget],

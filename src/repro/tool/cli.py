@@ -28,10 +28,12 @@ from typing import List, Optional
 
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.lang.errors import CompileError
+from repro.obs.metrics import format_metrics
+from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
 from repro.pointer import AnalysisOptions
 from repro.tool.batch import BatchUnit, run_batch
 from repro.tool.regionwiz import run_regionwiz
-from repro.tool.report import format_report
+from repro.tool.report import format_report, format_solver_stats
 from repro.util.budget import ResourceBudget
 from repro.util.errors import BudgetExceeded, InputError
 
@@ -50,8 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--interface",
         choices=["apr", "rc"],
-        default="apr",
-        help="region interface the program uses (default: apr)",
+        default=None,
+        help=(
+            "region interface the program uses (default: rc when every"
+            " input file ends in .rc, apr otherwise)"
+        ),
     )
     parser.add_argument(
         "--entry", default="main", help="program entry function (default: main)"
@@ -184,8 +189,47 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="solver_stats",
         help=(
-            "collect and print Datalog solver statistics (fixpoint"
-            " rounds, tuples derived, index hits, per-stratum timings)"
+            "collect and print Datalog solver statistics to stderr"
+            " (fixpoint rounds, tuples derived, index hits, per-stratum"
+            " timings); always embedded in --json reports"
+        ),
+    )
+    obs = parser.add_argument_group(
+        "observability",
+        "tracing, metrics, and warning provenance; diagnostic output"
+        " goes to stderr so stdout stays the warning report",
+    )
+    obs.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a span trace of the whole run and write Chrome"
+            " trace_event JSON to PATH (load in chrome://tracing or"
+            " Perfetto)"
+        ),
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the span tree as an indented text profile on stderr",
+    )
+    obs.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "print the unified metrics registry on stderr (per-unit"
+            " table plus fleet percentiles under --batch)"
+        ),
+    )
+    obs.add_argument(
+        "--explain",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "print the Datalog derivation chain behind warning N"
+            " (1-based, report order) instead of the warning listing"
         ),
     )
     return parser
@@ -229,6 +273,15 @@ def _budget_from_args(args: argparse.Namespace) -> Optional[ResourceBudget]:
     )
 
 
+def _detect_interface(paths: List[str], explicit: Optional[str]) -> str:
+    """Explicit ``--interface`` wins; otherwise ``.rc`` files mean rc."""
+    if explicit is not None:
+        return explicit
+    if paths and all(path.endswith(".rc") for path in paths):
+        return "rc"
+    return "apr"
+
+
 def _run_batch_mode(args: argparse.Namespace) -> int:
     chunks = _read_sources(args.files)
     units = [
@@ -236,7 +289,7 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
             name=path,
             source=chunk,
             filename=path,
-            interface=args.interface,
+            interface=_detect_interface([path], args.interface),
             entry=args.entry,
         )
         for path, chunk in zip(args.files, chunks)
@@ -256,6 +309,8 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         print(result.to_json())
     else:
         print(result.summary())
+    if args.metrics:
+        print(result.metrics_summary(), file=sys.stderr)
     return result.exit_code()
 
 
@@ -271,6 +326,23 @@ def _options_from_args(args: argparse.Namespace) -> AnalysisOptions:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    tracer: Optional[Tracer] = None
+    previous: Optional[Tracer] = None
+    if args.trace or args.profile:
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+    try:
+        return _run(args)
+    finally:
+        if tracer is not None:
+            uninstall_tracer(previous)
+            if args.trace:
+                tracer.write_chrome_trace(args.trace)
+            if args.profile:
+                print(tracer.format_tree(), file=sys.stderr)
+
+
+def _run(args: argparse.Namespace) -> int:
     try:
         if args.batch:
             return _run_batch_mode(args)
@@ -278,7 +350,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         source = _concatenate(args.files, chunks)
         interface = (
             rc_regions_interface()
-            if args.interface == "rc"
+            if _detect_interface(args.files, args.interface) == "rc"
             else apr_pools_interface()
         )
         options = _options_from_args(args)
@@ -321,6 +393,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 3
     if not args.all:
         report.warnings = [w for w in report.warnings if w.high_ranked]
+    if args.solver_stats and report.times.solver is not None:
+        print("solver statistics:", file=sys.stderr)
+        print(format_solver_stats(report.times.solver), file=sys.stderr)
+    if args.metrics and report.metrics is not None:
+        print("metrics:", file=sys.stderr)
+        print(format_metrics(report.metrics.to_dict()), file=sys.stderr)
+    if args.explain is not None:
+        from repro.obs.provenance import explain_warning
+
+        try:
+            explanation = explain_warning(report, args.explain)
+        except (IndexError, ValueError) as error:
+            print(f"regionwiz: {error}", file=sys.stderr)
+            return 2
+        print(explanation.format())
+        return 1 if report.warnings else 0
     if args.json_output:
         from repro.tool.report import report_to_json
 

@@ -55,6 +55,8 @@ from repro.datalog import SolverStats
 from repro.interfaces import RegionInterface, apr_pools_interface
 from repro.ir import IRModule, lower
 from repro.lang import SemaResult, SourceLocation, analyze, parse
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import trace_span
 from repro.pointer import (
     AnalysisOptions,
     ContextNumbering,
@@ -205,6 +207,8 @@ class RegionWizReport:
     budget: Optional[ResourceBudget] = None
     #: Meter counters from the successful attempt (None: no budget).
     budget_usage: Optional[Dict[str, int]] = None
+    #: Unified metrics registry for this run (see :mod:`repro.obs.metrics`).
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def degraded(self) -> bool:
@@ -283,65 +287,84 @@ def _run_pipeline(
     times = PhaseTimes()
 
     # Frontend (the paper gets IR from Phoenix; we parse and lower).
-    faults.fire("frontend", unit=name, meter=meter)
-    sema = analyze(parse(source, filename))
-    module = lower(sema)
+    with trace_span("phase.frontend") as span:
+        faults.fire("frontend", unit=name, meter=meter)
+        sema = analyze(parse(source, filename))
+        module = lower(sema)
+        span.set(functions=len(module.functions))
 
     # Phase 1: call graph construction.
     start = time.perf_counter()
-    faults.fire("call-graph", unit=name, meter=meter)
-    graph = build_call_graph(module, entry=entry, registry=registry, meter=meter)
+    with trace_span("phase.call-graph") as span:
+        faults.fire("call-graph", unit=name, meter=meter)
+        graph = build_call_graph(
+            module, entry=entry, registry=registry, meter=meter
+        )
+        span.set(reachable=len(graph.reachable), edges=graph.num_edges)
     times.call_graph = time.perf_counter() - start
 
     # Phase 2: context cloning.
     start = time.perf_counter()
-    faults.fire("context-cloning", unit=name, meter=meter)
-    numbering = number_contexts(
-        graph,
-        context_sensitive=options.context_sensitive,
-        max_contexts=options.max_contexts,
-        meter=meter,
-    )
+    with trace_span("phase.context-cloning") as span:
+        faults.fire("context-cloning", unit=name, meter=meter)
+        numbering = number_contexts(
+            graph,
+            context_sensitive=options.context_sensitive,
+            max_contexts=options.max_contexts,
+            meter=meter,
+        )
+        span.set(contexts=numbering.total_contexts)
     times.context_cloning = time.perf_counter() - start
 
     # Phase 3: conditional correlation computation.
     start = time.perf_counter()
-    faults.fire("correlation", unit=name, meter=meter)
-    analysis = analyze_pointers(graph, interface, options, numbering, meter)
-    consistency = check_consistency(analysis)
-    if solver_stats:
-        _, times.solver = solve_object_pairs(analysis, meter=meter)
+    with trace_span("phase.correlation") as span:
+        faults.fire("correlation", unit=name, meter=meter)
+        analysis = analyze_pointers(graph, interface, options, numbering, meter)
+        consistency = check_consistency(analysis)
+        if solver_stats:
+            _, times.solver = solve_object_pairs(analysis, meter=meter)
+        span.set(
+            regions=len(analysis.regions),
+            objects=len(analysis.objects),
+            object_pairs=consistency.o_pair_count,
+        )
     times.correlation = time.perf_counter() - start
 
     # Phase 4: post processing.
     start = time.perf_counter()
-    faults.fire("post-processing", unit=name, meter=meter)
-    if meter is not None:
-        meter.checkpoint("post-processing")
-    ranked = rank_warnings(consistency)
-    if refine:
-        from repro.core.refine import refine_warnings
+    with trace_span("phase.post-processing") as span:
+        faults.fire("post-processing", unit=name, meter=meter)
+        if meter is not None:
+            meter.checkpoint("post-processing")
+        ranked = rank_warnings(consistency)
+        if refine:
+            from repro.core.refine import refine_warnings
 
-        ranked = refine_warnings(ranked, module, interface)
-    warnings = []
-    for ipair in ranked:
-        store_locs = tuple(
-            sorted(
-                (_loc_of_site(module, uid) for uid in ipair.store_uids),
-                key=str,
+            ranked = refine_warnings(ranked, module, interface)
+        warnings = []
+        for ipair in ranked:
+            store_locs = tuple(
+                sorted(
+                    (_loc_of_site(module, uid) for uid in ipair.store_uids),
+                    key=str,
+                )
             )
-        )
-        warnings.append(
-            Warning_(
-                source_site=ipair.source_site,
-                target_site=ipair.target_site,
-                source_loc=_loc_of_site(module, ipair.source_site),
-                target_loc=_loc_of_site(module, ipair.target_site),
-                store_locs=store_locs,
-                high_ranked=ipair.high_ranked,
-                num_contexts=ipair.num_contexts,
-                description=_describe(module, ipair),
+            warnings.append(
+                Warning_(
+                    source_site=ipair.source_site,
+                    target_site=ipair.target_site,
+                    source_loc=_loc_of_site(module, ipair.source_site),
+                    target_loc=_loc_of_site(module, ipair.target_site),
+                    store_locs=store_locs,
+                    high_ranked=ipair.high_ranked,
+                    num_contexts=ipair.num_contexts,
+                    description=_describe(module, ipair),
+                )
             )
+        span.set(
+            i_pairs=ranked.i_pair_count,
+            high=ranked.high_count,
         )
     times.post_processing = time.perf_counter() - start
 
@@ -357,6 +380,37 @@ def _run_pipeline(
         times=times,
         name=name,
     )
+
+
+def _collect_metrics(report: RegionWizReport) -> MetricsRegistry:
+    """Fold one run's readings into the unified ``repro.obs`` registry."""
+    registry = MetricsRegistry()
+    times = report.times
+    registry.gauge("pipeline.call_graph_ms", times.call_graph * 1000.0)
+    registry.gauge("pipeline.context_cloning_ms", times.context_cloning * 1000.0)
+    registry.gauge("pipeline.correlation_ms", times.correlation * 1000.0)
+    registry.gauge("pipeline.post_processing_ms", times.post_processing * 1000.0)
+    registry.gauge("pipeline.total_ms", times.total * 1000.0)
+    registry.gauge("callgraph.reachable", len(report.graph.reachable))
+    registry.gauge("callgraph.edges", report.graph.num_edges)
+    registry.gauge("pointer.contexts", report.numbering.total_contexts)
+    registry.gauge("pointer.regions", len(report.analysis.regions))
+    registry.gauge("pointer.objects", len(report.analysis.objects))
+    registry.gauge("pointer.iterations", report.analysis.iterations)
+    registry.gauge("effects.subregion", report.consistency.subregion_size)
+    registry.gauge("effects.ownership", report.consistency.ownership_size)
+    registry.gauge("effects.heap", report.consistency.heap_size)
+    registry.gauge("warnings.region_pairs", report.consistency.region_pair_count)
+    registry.gauge("warnings.object_pairs", report.consistency.o_pair_count)
+    registry.gauge("warnings.i_pairs", report.ranked.i_pair_count)
+    registry.gauge("warnings.high", report.ranked.high_count)
+    registry.gauge("ladder.degraded", 1 if report.degraded else 0)
+    registry.gauge("ladder.failed_rungs", len(report.degradation_path))
+    if times.solver is not None:
+        registry.absorb_solver_stats(times.solver)
+    if report.budget_usage is not None:
+        registry.absorb_budget_usage(report.budget_usage)
+    return registry
 
 
 def run_regionwiz(
@@ -415,18 +469,19 @@ def run_regionwiz(
     for rung, rung_options in candidates:
         meter = budget.start() if budget is not None else None
         try:
-            report = _run_pipeline(
-                source,
-                filename,
-                interface,
-                entry,
-                rung_options,
-                registry,
-                name,
-                refine,
-                solver_stats,
-                meter,
-            )
+            with trace_span("ladder.attempt", precision=rung, unit=name):
+                report = _run_pipeline(
+                    source,
+                    filename,
+                    interface,
+                    entry,
+                    rung_options,
+                    registry,
+                    name,
+                    refine,
+                    solver_stats,
+                    meter,
+                )
         except BudgetExceeded as error:
             failed_rungs.append(rung)
             last_error = error
@@ -435,6 +490,7 @@ def run_regionwiz(
         report.degradation_path = tuple(failed_rungs)
         report.budget = budget
         report.budget_usage = meter.usage() if meter is not None else None
+        report.metrics = _collect_metrics(report)
         return report
     assert last_error is not None
     raise last_error

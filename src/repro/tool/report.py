@@ -50,8 +50,9 @@ def format_report(report: RegionWizReport, verbose: bool = False) -> str:
         f" correlation {report.times.correlation * 1000:.1f}ms,"
         f" post {report.times.post_processing * 1000:.1f}ms"
     )
-    if report.times.solver is not None:
-        lines.append(format_solver_stats(report.times.solver))
+    # Solver stats deliberately do NOT appear here: the warning listing is
+    # the machine-greppable product on stdout, so --stats goes to stderr
+    # (see repro.tool.cli) or into the JSON report.
     if report.is_consistent:
         lines.append("  region lifetime is consistent: no warnings")
         return "\n".join(lines)
@@ -112,6 +113,8 @@ def report_to_json(report: RegionWizReport) -> str:
         payload["budget"] = report.budget.to_dict()
     if report.budget_usage is not None:
         payload["budget_usage"] = report.budget_usage
+    if report.metrics is not None:
+        payload["metrics"] = report.metrics.to_dict()
     stats = report.times.solver
     if stats is not None:
         payload["solver"] = {

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs.trace import trace_instant
 from repro.util.budget import BudgetMeter
 
 __all__ = [
@@ -142,6 +143,9 @@ def fire(
             spec.times -= 1
             if spec.times == 0:
                 specs.remove(spec)
+        trace_instant(
+            "fault", point=point, action=spec.action, unit=unit or ""
+        )
         if spec.action == "raise":
             raise InjectedFault(
                 spec.message or f"injected fault at {point}"
