@@ -1,0 +1,99 @@
+"""Parallel batch executor benchmark: serial vs ``jobs=2`` on the corpus.
+
+Sweeps the full six-package evaluation corpus (22 executables) through
+:func:`repro.tool.batch.run_batch` twice -- serial and on two worker
+processes -- and asserts the shard scheduler's contract:
+
+* the two batch reports are **identical** modulo timing fields (metric
+  values are wall-clock readings; their *keys* must still match);
+* on a machine with >= 2 cores, the parallel sweep is at least
+  ``MIN_SPEEDUP`` x faster end-to-end (on a single-core runner the
+  speedup assertion is reported but not enforced -- there is nothing to
+  parallelize onto).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch_parallel.py [--smoke]
+
+``--smoke`` sweeps only the subversion package (the largest) to keep CI
+minutes down; the equivalence assertion is identical either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+from repro.tool.batch import BatchResult, run_batch
+from repro.workloads import all_package_units, package, package_units
+
+MIN_SPEEDUP = 1.5
+JOBS = 2
+
+
+def normalized(result: BatchResult) -> dict:
+    """The batch JSON with timing-dependent values reduced to their keys."""
+    payload = json.loads(result.to_json())
+    metric_keys = []
+    for entry in payload["results"]:
+        metric_keys.append(sorted(entry.pop("metrics", {})))
+    fleet = payload.pop("fleet_metrics", {})
+    payload["metric_keys"] = metric_keys
+    payload["fleet_keys"] = sorted(fleet)
+    return payload
+
+
+def sweep(units, jobs: int):
+    start = time.perf_counter()
+    result = run_batch(units, keep_going=True, jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        units = package_units(package("subversion"))
+    else:
+        units = all_package_units()
+    label = "subversion" if smoke else "six-package"
+    print(f"corpus: {label}, {len(units)} executable(s); jobs={JOBS}")
+
+    serial, t_serial = sweep(units, jobs=1)
+    parallel, t_parallel = sweep(units, jobs=JOBS)
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    print(
+        f"serial {t_serial:.2f}s  parallel {t_parallel:.2f}s"
+        f"  speedup {speedup:.2f}x  (exit {serial.exit_code()})"
+    )
+
+    if normalized(serial) != normalized(parallel):
+        print("FAIL: serial and parallel reports differ", file=sys.stderr)
+        return 1
+    if [o.warning_lines for o in serial.outcomes] != [
+        o.warning_lines for o in parallel.outcomes
+    ]:
+        print("FAIL: warning sets differ across modes", file=sys.stderr)
+        return 1
+    print("reports identical across modes")
+
+    cores = os.cpu_count() or 1
+    if cores < JOBS:
+        print(
+            f"speedup assertion skipped: only {cores} core(s) available"
+        )
+        return 0
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: speedup {speedup:.2f}x < {MIN_SPEEDUP}x"
+            f" on {cores} core(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"speedup {speedup:.2f}x >= {MIN_SPEEDUP}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

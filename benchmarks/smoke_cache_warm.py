@@ -1,0 +1,74 @@
+"""CI smoke test: cold-then-warm persistent-cache sweep.
+
+Runs the package corpus through :func:`repro.tool.batch.run_batch` twice
+against one fresh cache directory and asserts the warm-start contract:
+
+* the cold run misses for every unit and stores every successful one;
+* the warm run reports nonzero cache hits, replays **every** unit from
+  the cache (zero units re-analyzed), and reproduces the cold run's
+  statuses, exit codes, and warning sets.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_cache_warm.py``
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.tool.batch import run_batch
+from repro.tool.cache import AnalysisCache
+from repro.workloads import all_package_units
+
+
+def main() -> int:
+    units = all_package_units()
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="regionwiz-cache-") as root:
+        cache = AnalysisCache(root)
+        start = time.perf_counter()
+        cold = run_batch(units, keep_going=True, cache=cache)
+        t_cold = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = run_batch(units, keep_going=True, cache=cache)
+        t_warm = time.perf_counter() - start
+
+        hits = cache.hits
+        print(
+            f"smoke: {len(units)} unit(s); cold {t_cold:.2f}s"
+            f" ({cache.misses} miss(es)), warm {t_warm:.2f}s"
+            f" ({hits} hit(s))"
+        )
+        if hits == 0:
+            failures.append("warm run reported zero cache hits")
+        reanalyzed = [o.unit for o in warm.outcomes if not o.cached]
+        if reanalyzed:
+            failures.append(
+                f"warm run re-analyzed {len(reanalyzed)} unit(s):"
+                f" {', '.join(reanalyzed[:5])}"
+            )
+        if warm.exit_code() != cold.exit_code():
+            failures.append(
+                f"warm exit {warm.exit_code()} != cold {cold.exit_code()}"
+            )
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            if (
+                before.status != after.status
+                or before.exit_code != after.exit_code
+                or before.warning_lines != after.warning_lines
+            ):
+                failures.append(
+                    f"unit {before.unit}: warm outcome diverged"
+                )
+
+    if failures:
+        for failure in failures:
+            print(f"smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"smoke: OK -- warm run replayed all {len(units)} unit(s) from cache")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,7 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "SpanRecord",
@@ -146,12 +146,26 @@ _NOOP = _NoopSpan()
 
 
 class Tracer:
-    """Collects one run's span tree; see the module docstring."""
+    """Collects one run's span tree; see the module docstring.
 
-    def __init__(self) -> None:
-        self._t0 = time.perf_counter()
+    ``epoch`` pins the tracer's time zero to a given ``perf_counter``
+    reading.  Pool workers use it (via the parent's :attr:`epoch`) so
+    worker-side span timestamps land on the parent's timeline -- on
+    Linux ``perf_counter`` is ``CLOCK_MONOTONIC``, which is shared
+    across processes of one boot, so the lanes line up in Perfetto.
+    """
+
+    def __init__(self, epoch: Optional[float] = None) -> None:
+        self._t0 = time.perf_counter() if epoch is None else epoch
         self.roots: List[SpanRecord] = []
         self._stack: List[SpanRecord] = []
+        #: Foreign span lanes adopted from worker processes: (pid, roots).
+        self.lanes: List[Tuple[int, List[SpanRecord]]] = []
+
+    @property
+    def epoch(self) -> float:
+        """The ``perf_counter`` reading this tracer calls time zero."""
+        return self._t0
 
     # -- recording ---------------------------------------------------------
 
@@ -191,13 +205,33 @@ class Tracer:
         else:
             self.roots.append(record)
 
+    def adopt(self, roots: List[SpanRecord], pid: int) -> None:
+        """Merge a worker process's span roots as a separate trace lane.
+
+        The parallel batch executor ships each worker unit's recorded
+        :class:`SpanRecord` tree back over the pool boundary and adopts
+        it here; the Chrome export emits the lane under the worker's
+        ``pid`` so per-worker timelines stay distinguishable.
+        """
+        if not roots:
+            return
+        for existing_pid, existing_roots in self.lanes:
+            if existing_pid == pid:
+                existing_roots.extend(roots)
+                return
+        self.lanes.append((pid, list(roots)))
+
     # -- queries -----------------------------------------------------------
 
     def find(self, name: str) -> List[SpanRecord]:
-        """Every recorded span/instant named ``name``, depth-first."""
+        """Every recorded span/instant named ``name``, depth-first
+        (adopted worker lanes included)."""
         found: List[SpanRecord] = []
         for root in self.roots:
             found.extend(root.find(name))
+        for _pid, roots in self.lanes:
+            for root in roots:
+                found.extend(root.find(name))
         return found
 
     # -- export ------------------------------------------------------------
@@ -212,7 +246,7 @@ class Tracer:
         pid = os.getpid()
         events: List[Dict[str, Any]] = []
 
-        def emit(record: SpanRecord) -> None:
+        def emit(record: SpanRecord, pid: int = pid) -> None:
             common = {"name": record.name, "pid": pid, "tid": 1,
                       "cat": record.name.split(".", 1)[0]}
             if record.kind == "instant":
@@ -227,7 +261,7 @@ class Tracer:
                 "args": dict(record.attrs),
             })
             for child in record.children:
-                emit(child)
+                emit(child, pid)
             events.append({
                 **common, "ph": "E", "ts": round(record.end_us, 3),
                 "args": {"rss_delta_kb": record.rss_delta_kb},
@@ -235,6 +269,13 @@ class Tracer:
 
         for root in self.roots:
             emit(root)
+        for worker_pid, roots in self.lanes:
+            events.append({
+                "ph": "M", "name": "process_name", "pid": worker_pid,
+                "tid": 1, "args": {"name": f"regionwiz worker {worker_pid}"},
+            })
+            for root in roots:
+                emit(root, worker_pid)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def write_chrome_trace(self, path: str) -> None:
@@ -270,6 +311,10 @@ class Tracer:
 
         for root in self.roots:
             render(root, 0)
+        for worker_pid, roots in self.lanes:
+            lines.append(f"[worker pid={worker_pid}]")
+            for root in roots:
+                render(root, 1)
         return "\n".join(lines)
 
 

@@ -1,6 +1,7 @@
 """The RegionWiz driver: pipeline, reports, batch driver, and CLI."""
 
 from repro.tool.batch import BatchResult, BatchUnit, UnitOutcome, run_batch
+from repro.tool.cache import AnalysisCache
 from repro.tool.open_analysis import (
     HARNESS_ENTRY,
     analyze_open_program,
@@ -18,6 +19,7 @@ from repro.tool.regionwiz import (
 from repro.tool.report import format_fig11_table, format_report, report_to_json
 
 __all__ = [
+    "AnalysisCache",
     "BatchResult",
     "BatchUnit",
     "Fig11Row",

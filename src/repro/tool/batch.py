@@ -19,16 +19,55 @@ of executables; one crashing executable must not kill the sweep.
 Exit-code policy: per unit, the single-run contract applies (0 clean /
 1 warnings / 2 input error / 3 internal / 4 budget-exhausted-even-
 degraded); the batch exit code is the *most severe* unit outcome under
-the fixed severity order ``3 > 4 > 2 > 1 > 0`` (skipped units do not
-contribute).
+the fixed severity order ``3 > 4 > 2 > 1 > 0``.  Skipped units do not
+contribute: their ``exit_code`` is ``None`` (``null`` in JSON), so a
+stopped sweep can never be mistaken for a mostly-clean one by consumers
+keying on exit codes.
+
+Parallel sharding (``jobs > 1``)
+--------------------------------
+
+Units are independent by construction -- that independence is exactly
+what the fault-isolation design guarantees -- so :func:`run_batch` can
+fan them out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
+Every serial contract is preserved:
+
+* outcomes are reassembled in **submission order** regardless of
+  completion order;
+* armed fault-injection specs ship with each dispatch
+  (:func:`repro.util.faults.snapshot`/``install``) so injection scopes
+  correctly inside workers;
+* worker-side metrics snapshots and trace spans are shipped back and
+  merged into the parent's fleet percentiles and Chrome trace export
+  (one lane per worker ``pid``);
+* ``keep_going=False`` cancels not-yet-started units once a hard
+  failure lands, then **normalizes to serial semantics**: every unit
+  after the earliest hard failure in submission order is reported
+  ``skipped``, even if a worker happened to finish it first.  Because
+  units are deterministic and independent, the parallel report is
+  byte-identical to the serial one modulo timing/pid fields.
+
+Persistent caching
+------------------
+
+Pass ``cache=`` (an :class:`~repro.tool.cache.AnalysisCache` or a
+directory path) and successful outcomes are stored content-addressed;
+a warm re-run of an unchanged corpus skips analysis entirely, marking
+each replayed outcome ``cached``.  Hit/miss counters land in the batch
+JSON and :meth:`BatchResult.batch_metrics`.  Note one scheduling
+artifact: with ``keep_going=False`` the parallel scheduler probes the
+cache for every unit up front, so the *counters* (not the per-unit
+results) can differ from a serial run that stopped early.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import traceback
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.callgraph import ImplicitCallRegistry
 from repro.interfaces import (
@@ -37,9 +76,18 @@ from repro.interfaces import (
     rc_regions_interface,
 )
 from repro.lang.errors import CompileError
-from repro.obs.metrics import aggregate_metrics, format_metrics
-from repro.obs.trace import trace_span
+from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    trace_instant,
+    trace_span,
+    uninstall_tracer,
+)
 from repro.pointer import AnalysisOptions
+from repro.tool.cache import AnalysisCache
 from repro.tool.regionwiz import RegionWizReport, run_regionwiz
 from repro.util import faults
 from repro.util.budget import ResourceBudget
@@ -50,39 +98,70 @@ __all__ = ["BatchUnit", "UnitOutcome", "BatchResult", "run_batch", "SEVERITY_ORD
 #: Batch exit code = first of these found among unit exit codes.
 SEVERITY_ORDER = (3, 4, 2, 1, 0)
 
+#: Unit exit codes that stop a ``keep_going=False`` sweep.
+_HARD_FAILURES = (2, 3, 4)
+
 
 @dataclass(frozen=True)
 class BatchUnit:
-    """One independently analyzed translation unit."""
+    """One independently analyzed translation unit.
+
+    ``interface=None`` (the default) auto-detects from the filename --
+    ``.rc`` sources use the RC regions interface, everything else APR
+    pools -- mirroring the single-run CLI's detection, so ``.rc`` corpus
+    units fed through ``--batch`` get the right interface too.
+    """
 
     name: str
     source: str
     filename: str = "<input>"
-    interface: str = "apr"  # 'apr' | 'rc'
+    interface: Optional[str] = None  # 'apr' | 'rc' | None = detect
     entry: str = "main"
 
+    @property
+    def effective_interface(self) -> str:
+        if self.interface is not None:
+            return self.interface
+        return "rc" if self.filename.endswith(".rc") else "apr"
+
     def region_interface(self) -> RegionInterface:
-        if self.interface == "rc":
+        if self.effective_interface == "rc":
             return rc_regions_interface()
         return apr_pools_interface()
 
 
 @dataclass
 class UnitOutcome:
-    """The structured result of one unit (success or failure)."""
+    """The structured result of one unit (success or failure).
+
+    Everything the JSON summary needs is carried as plain data
+    (``metrics`` is the registry's flat dict, not the registry), so an
+    outcome crosses the process-pool boundary and the persistent cache
+    without dragging the full :class:`RegionWizReport` along; ``report``
+    is populated only for units analyzed in-process.
+    """
 
     unit: str
     status: str  # clean|warnings|input-error|budget-exhausted|internal-error|skipped
-    exit_code: int
+    exit_code: Optional[int]  # None for skipped units
     attempts: int = 1
     precision: str = "full"
     warnings: int = 0
     high: int = 0
+    degraded: bool = False
+    degradation_path: Tuple[str, ...] = ()
+    #: Flat metrics payload (:meth:`MetricsRegistry.to_dict`) for ok units.
+    metrics: Optional[Dict[str, Any]] = None
+    #: Rendered warning lines (``[HIGH] ...``), for cross-mode equality
+    #: checks and cache replay; not part of :meth:`to_dict`.
+    warning_lines: List[str] = field(default_factory=list)
+    #: True when this outcome was replayed from the persistent cache.
+    cached: bool = False
     error: Optional[str] = None
     error_type: Optional[str] = None
     error_detail: Optional[Dict[str, Any]] = None
     traceback: Optional[str] = None
-    #: The full report for successful units (not serialized).
+    #: The full report for units analyzed in this process (not serialized).
     report: Optional[RegionWizReport] = None
 
     @property
@@ -100,13 +179,13 @@ class UnitOutcome:
             payload["precision"] = self.precision
             payload["warnings"] = self.warnings
             payload["high"] = self.high
-            if self.report is not None and self.report.degraded:
+            if self.degraded:
                 payload["degraded"] = True
-                payload["degradation_path"] = list(
-                    self.report.degradation_path
-                )
-            if self.report is not None and self.report.metrics is not None:
-                payload["metrics"] = self.report.metrics.to_dict()
+                payload["degradation_path"] = list(self.degradation_path)
+            if self.metrics is not None:
+                payload["metrics"] = dict(self.metrics)
+            if self.cached:
+                payload["cached"] = True
         if self.error is not None:
             payload["error"] = self.error
             payload["error_type"] = self.error_type
@@ -116,12 +195,45 @@ class UnitOutcome:
             payload["traceback"] = self.traceback
         return payload
 
+    # -- persistent-cache round trip ---------------------------------------
+
+    def to_cache_payload(self) -> Dict[str, Any]:
+        payload = self.to_dict()
+        payload.pop("cached", None)
+        payload["warning_lines"] = list(self.warning_lines)
+        return payload
+
+    @classmethod
+    def from_cache_payload(cls, payload: Dict[str, Any]) -> "UnitOutcome":
+        return cls(
+            unit=payload["unit"],
+            status=payload["status"],
+            exit_code=payload["exit_code"],
+            attempts=int(payload.get("attempts", 1)),
+            precision=payload.get("precision", "full"),
+            warnings=int(payload.get("warnings", 0)),
+            high=int(payload.get("high", 0)),
+            degraded=bool(payload.get("degraded", False)),
+            degradation_path=tuple(payload.get("degradation_path", ())),
+            metrics=payload.get("metrics"),
+            warning_lines=list(payload.get("warning_lines", ())),
+            cached=True,
+        )
+
+
+def _skipped(unit_name: str) -> UnitOutcome:
+    return UnitOutcome(
+        unit=unit_name, status="skipped", exit_code=None, attempts=0
+    )
+
 
 @dataclass
 class BatchResult:
     """Every unit's outcome plus the aggregate exit-code policy."""
 
     outcomes: List[UnitOutcome] = field(default_factory=list)
+    #: Persistent-cache hit/miss counters (None: no cache configured).
+    cache_counters: Optional[Dict[str, int]] = None
 
     def outcome(self, unit: str) -> UnitOutcome:
         for outcome in self.outcomes:
@@ -139,6 +251,10 @@ class BatchResult:
             o for o in self.outcomes if not o.ok and o.status != "skipped"
         ]
 
+    @property
+    def skipped(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == "skipped"]
+
     def exit_code(self) -> int:
         codes = {
             o.exit_code for o in self.outcomes if o.status != "skipped"
@@ -149,16 +265,27 @@ class BatchResult:
         return 0
 
     def unit_metrics(self) -> List[Dict[str, Any]]:
-        """Each successful unit's flat metrics dict (units without skipped)."""
-        return [
-            o.report.metrics.to_dict()
-            for o in self.succeeded
-            if o.report is not None and o.report.metrics is not None
-        ]
+        """Each successful unit's flat metrics dict (cached units included)."""
+        return [o.metrics for o in self.succeeded if o.metrics is not None]
 
     def fleet_metrics(self) -> Dict[str, Dict[str, float]]:
         """Fleet percentiles over every successful unit's metrics."""
         return aggregate_metrics(self.unit_metrics())
+
+    def batch_metrics(self) -> MetricsRegistry:
+        """Batch-level counters: unit counts plus cache hits/misses."""
+        registry = MetricsRegistry()
+        registry.inc("batch.units", len(self.outcomes))
+        registry.inc("batch.succeeded", len(self.succeeded))
+        registry.inc("batch.failed", len(self.failed))
+        registry.inc("batch.skipped", len(self.skipped))
+        registry.inc(
+            "batch.cached", sum(1 for o in self.outcomes if o.cached)
+        )
+        if self.cache_counters is not None:
+            registry.inc("cache.hits", self.cache_counters["hits"])
+            registry.inc("cache.misses", self.cache_counters["misses"])
+        return registry
 
     def to_json(self, indent: int = 2) -> str:
         """The partial-results summary (stable schema for CI)."""
@@ -167,11 +294,11 @@ class BatchResult:
             "units": len(self.outcomes),
             "succeeded": len(self.succeeded),
             "failed": len(self.failed),
-            "skipped": sum(
-                1 for o in self.outcomes if o.status == "skipped"
-            ),
+            "skipped": len(self.skipped),
             "results": [o.to_dict() for o in self.outcomes],
         }
+        if self.cache_counters is not None:
+            payload["cache"] = dict(self.cache_counters)
         fleet = self.fleet_metrics()
         if fleet:
             payload["fleet_metrics"] = fleet
@@ -181,10 +308,10 @@ class BatchResult:
         """Per-unit metric table plus fleet percentiles, for ``--metrics``."""
         lines: List[str] = []
         for o in self.succeeded:
-            if o.report is None or o.report.metrics is None:
+            if o.metrics is None:
                 continue
             lines.append(f"metrics for {o.unit}:")
-            lines.append(format_metrics(o.report.metrics.to_dict()))
+            lines.append(format_metrics(o.metrics))
         fleet = self.fleet_metrics()
         if fleet:
             lines.append(
@@ -195,7 +322,9 @@ class BatchResult:
                     f"{key}={value}" for key, value in summary.items()
                 )
                 lines.append(f"  {name}  {rendered}")
-        return "\n".join(lines) if lines else "(no metrics collected)"
+        lines.append("batch metrics:")
+        lines.append(format_metrics(self.batch_metrics().to_dict()))
+        return "\n".join(lines)
 
     def summary(self) -> str:
         """Human-readable one-line-per-unit account."""
@@ -210,6 +339,8 @@ class BatchResult:
                     if o.precision != "full"
                     else ""
                 )
+                if o.cached:
+                    extra += " (cached)"
                 lines.append(
                     f"  {o.unit}: {o.status} ({o.warnings} warning(s),"
                     f" {o.high} high){extra}"
@@ -323,8 +454,225 @@ def _analyze_unit_isolated(
             precision=report.precision,
             warnings=len(report.warnings),
             high=high,
+            degraded=report.degraded,
+            degradation_path=tuple(report.degradation_path),
+            metrics=(
+                report.metrics.to_dict() if report.metrics is not None else None
+            ),
+            warning_lines=[str(w) for w in report.warnings],
             report=report,
         )
+
+
+# ---------------------------------------------------------------------------
+# Persistent cache plumbing
+# ---------------------------------------------------------------------------
+
+
+def _unit_cache_key(
+    cache: AnalysisCache,
+    unit: BatchUnit,
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    refine: bool,
+    solver_stats: bool,
+) -> str:
+    return cache.key(
+        source=unit.source,
+        filename=unit.filename,
+        interface=unit.effective_interface,
+        entry=unit.entry,
+        options=options,
+        budget=budget,
+        degrade=degrade,
+        refine=refine,
+        solver_stats=solver_stats,
+    )
+
+
+def _cache_lookup(
+    cache: Optional[AnalysisCache], key: Optional[str], unit: BatchUnit
+) -> Optional[UnitOutcome]:
+    if cache is None or key is None:
+        return None
+    payload = cache.lookup(key)
+    if payload is None:
+        return None
+    try:
+        outcome = UnitOutcome.from_cache_payload(payload)
+    except (KeyError, TypeError, ValueError):
+        # A structurally valid JSON file with the wrong shape: treat as
+        # a corrupt entry -- fall back to analysis.
+        cache.hits -= 1
+        cache.misses += 1
+        return None
+    if outcome.unit != unit.name or not outcome.ok:
+        cache.hits -= 1
+        cache.misses += 1
+        return None
+    trace_instant("batch.cache-hit", unit=unit.name)
+    return outcome
+
+
+def _cache_store(
+    cache: Optional[AnalysisCache], key: Optional[str], outcome: UnitOutcome
+) -> None:
+    if cache is None or key is None or not outcome.ok or outcome.cached:
+        return
+    cache.store(key, outcome.to_cache_payload())
+
+
+# ---------------------------------------------------------------------------
+# The process-pool shard scheduler
+# ---------------------------------------------------------------------------
+
+#: Task payload shipped to a pool worker, one per dispatched unit.
+_WorkerTask = Tuple[
+    int,  # submission index
+    BatchUnit,
+    Optional[AnalysisOptions],
+    Optional[ResourceBudget],
+    bool,  # degrade
+    bool,  # refine
+    bool,  # solver_stats
+    Optional[ImplicitCallRegistry],
+    int,  # max_retries
+    List[faults.FaultSpec],
+    Optional[float],  # parent tracer epoch (None: tracing off)
+]
+
+
+def _worker_analyze(
+    task: _WorkerTask,
+) -> Tuple[int, UnitOutcome, List[SpanRecord], int]:
+    """Analyze one unit inside a pool worker.
+
+    Installs the parent's fault-spec snapshot and (when the parent is
+    tracing) a fresh tracer pinned to the parent's epoch, so spans and
+    injections behave exactly as in-process; ships back the slimmed
+    outcome, the recorded span roots, and this worker's pid.
+    """
+    (
+        index,
+        unit,
+        options,
+        budget,
+        degrade,
+        refine,
+        solver_stats,
+        registry,
+        max_retries,
+        fault_specs,
+        trace_epoch,
+    ) = task
+    faults.install(fault_specs)
+    tracer = Tracer(epoch=trace_epoch) if trace_epoch is not None else None
+    if tracer is not None:
+        install_tracer(tracer)
+    else:
+        uninstall_tracer(None)  # drop any tracer inherited through fork
+    try:
+        outcome = _analyze_unit(
+            unit,
+            options,
+            budget,
+            degrade,
+            refine,
+            solver_stats,
+            registry,
+            max_retries,
+        )
+    finally:
+        uninstall_tracer(None)
+        faults.clear()
+    outcome.report = None  # the full report does not cross the pool
+    roots = tracer.roots if tracer is not None else []
+    return index, outcome, roots, os.getpid()
+
+
+def _pool_failure_outcome(unit: BatchUnit, error: BaseException) -> UnitOutcome:
+    """A structured outcome for a unit whose *worker* died (not the unit)."""
+    return UnitOutcome(
+        unit=unit.name,
+        status="internal-error",
+        exit_code=3,
+        attempts=1,
+        error=f"worker process failed: {error}",
+        error_type=type(error).__name__,
+    )
+
+
+def _run_batch_parallel(
+    units: List[BatchUnit],
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    keep_going: bool,
+    max_retries: int,
+    refine: bool,
+    solver_stats: bool,
+    registry: Optional[ImplicitCallRegistry],
+    jobs: int,
+    cache: Optional[AnalysisCache],
+    cache_keys: List[Optional[str]],
+) -> List[Optional[UnitOutcome]]:
+    """Fan units out to a process pool; returns outcome slots by index.
+
+    A ``None`` slot means the unit never ran (cancelled after an early
+    stop); the caller turns those -- and, without ``keep_going``, every
+    slot after the earliest hard failure -- into ``skipped`` outcomes.
+    """
+    slots: List[Optional[UnitOutcome]] = [None] * len(units)
+    to_run: List[int] = []
+    for index, unit in enumerate(units):
+        hit = _cache_lookup(cache, cache_keys[index], unit)
+        if hit is not None:
+            slots[index] = hit
+        else:
+            to_run.append(index)
+    if not to_run:
+        return slots
+
+    tracer = current_tracer()
+    epoch = tracer.epoch if tracer is not None else None
+    spec_snapshot = faults.snapshot()
+    workers = min(jobs, len(to_run))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {}
+        for index in to_run:
+            task: _WorkerTask = (
+                index,
+                units[index],
+                options,
+                budget,
+                degrade,
+                refine,
+                solver_stats,
+                registry,
+                max_retries,
+                spec_snapshot,
+                epoch,
+            )
+            futures[pool.submit(_worker_analyze, task)] = index
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                _, outcome, roots, pid = future.result()
+            except CancelledError:
+                continue  # early stop already cancelled it: stays skipped
+            except Exception as error:  # worker/pool death, pickling, ...
+                outcome, roots, pid = (
+                    _pool_failure_outcome(units[index], error), [], 0
+                )
+            slots[index] = outcome
+            if tracer is not None and roots:
+                tracer.adopt(roots, pid=pid)
+            _cache_store(cache, cache_keys[index], outcome)
+            if not keep_going and outcome.exit_code in _HARD_FAILURES:
+                for pending in futures:
+                    pending.cancel()
+    return slots
 
 
 def run_batch(
@@ -337,37 +685,85 @@ def run_batch(
     refine: bool = False,
     solver_stats: bool = False,
     registry: Optional[ImplicitCallRegistry] = None,
+    jobs: int = 1,
+    cache: Optional[Union[AnalysisCache, str]] = None,
 ) -> BatchResult:
     """Analyze every unit with per-unit fault isolation.
 
     No exception escapes: each unit yields a :class:`UnitOutcome`.  With
     ``keep_going`` the sweep always covers every unit; without it, the
     first hard failure (exit code 2/3/4) stops the sweep and the
-    remaining units are recorded as ``skipped``.
+    remaining units are recorded as ``skipped`` (``exit_code=None``).
+
+    ``jobs > 1`` shards the sweep over that many worker processes;
+    outcomes come back in submission order either way (see the module
+    docstring for the full equivalence argument).  ``cache`` (an
+    :class:`~repro.tool.cache.AnalysisCache` or a directory path)
+    enables the persistent result cache.
     """
-    result = BatchResult()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if isinstance(cache, str):
+        cache = AnalysisCache(cache)
     pending = list(units)
-    for index, unit in enumerate(pending):
-        outcome = _analyze_unit(
-            unit,
+    cache_keys: List[Optional[str]] = [
+        _unit_cache_key(
+            cache, unit, options, budget, degrade, refine, solver_stats
+        )
+        if cache is not None
+        else None
+        for unit in pending
+    ]
+
+    result = BatchResult()
+    if jobs > 1:
+        slots = _run_batch_parallel(
+            pending,
             options,
             budget,
             degrade,
+            keep_going,
+            max_retries,
             refine,
             solver_stats,
             registry,
-            max_retries,
+            jobs,
+            cache,
+            cache_keys,
         )
-        result.outcomes.append(outcome)
-        if not keep_going and outcome.exit_code in (2, 3, 4):
-            for skipped in pending[index + 1:]:
-                result.outcomes.append(
-                    UnitOutcome(
-                        unit=skipped.name,
-                        status="skipped",
-                        exit_code=0,
-                        attempts=0,
-                    )
+        first_failure: Optional[int] = None
+        if not keep_going:
+            for index, outcome in enumerate(slots):
+                if outcome is not None and outcome.exit_code in _HARD_FAILURES:
+                    first_failure = index
+                    break
+        for index, (unit, outcome) in enumerate(zip(pending, slots)):
+            if outcome is None or (
+                first_failure is not None and index > first_failure
+            ):
+                result.outcomes.append(_skipped(unit.name))
+            else:
+                result.outcomes.append(outcome)
+    else:
+        for index, unit in enumerate(pending):
+            outcome = _cache_lookup(cache, cache_keys[index], unit)
+            if outcome is None:
+                outcome = _analyze_unit(
+                    unit,
+                    options,
+                    budget,
+                    degrade,
+                    refine,
+                    solver_stats,
+                    registry,
+                    max_retries,
                 )
-            break
+                _cache_store(cache, cache_keys[index], outcome)
+            result.outcomes.append(outcome)
+            if not keep_going and outcome.exit_code in _HARD_FAILURES:
+                for skipped in pending[index + 1:]:
+                    result.outcomes.append(_skipped(skipped.name))
+                break
+    if cache is not None:
+        result.cache_counters = cache.counters()
     return result

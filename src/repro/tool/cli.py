@@ -170,6 +170,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="in batch mode, retry units failing with internal errors",
     )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "in batch mode, analyze units on N worker processes"
+            " (outcomes stay in submission order; default: 1, serial)"
+        ),
+    )
+    batch.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        dest="cache_dir",
+        help=(
+            "in batch mode, reuse/store per-unit results in a persistent"
+            " content-addressed cache under DIR (keyed by source text,"
+            " interface, entry, options, and tool version)"
+        ),
+    )
+    batch.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache even if --cache was given",
+    )
     parser.add_argument(
         "--all",
         action="store_true",
@@ -283,18 +309,24 @@ def _detect_interface(paths: List[str], explicit: Optional[str]) -> str:
 
 
 def _run_batch_mode(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        print("regionwiz: --jobs must be >= 1", file=sys.stderr)
+        return 2
     chunks = _read_sources(args.files)
     units = [
         BatchUnit(
             name=path,
             source=chunk,
             filename=path,
-            interface=_detect_interface([path], args.interface),
+            # None lets BatchUnit auto-detect rc from a .rc filename,
+            # matching the single-run CLI's per-file detection.
+            interface=args.interface,
             entry=args.entry,
         )
         for path, chunk in zip(args.files, chunks)
     ]
     options = _options_from_args(args)
+    cache = None if args.no_cache else args.cache_dir
     result = run_batch(
         units,
         options=options,
@@ -304,6 +336,8 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         refine=args.refine,
         solver_stats=args.solver_stats,
+        jobs=args.jobs,
+        cache=cache,
     )
     if args.json_output:
         print(result.to_json())

@@ -73,10 +73,18 @@ __all__ = [
     "PhaseTimes",
     "Fig11Row",
     "RegionWizReport",
+    "ANALYSIS_VERSION",
     "PRECISION_LADDER",
     "degrade_options",
     "run_regionwiz",
 ]
+
+#: Version stamp of the analysis *semantics* (what facts are derived,
+#: how warnings are ranked and described).  Part of every persistent
+#: cache key (:mod:`repro.tool.cache`): bump it whenever a change can
+#: alter a report for unchanged input, so stale cached outcomes can
+#: never be served.
+ANALYSIS_VERSION = 1
 
 #: The graceful degradation ladder, most precise first.  Each rung keeps
 #: the previous rung's weakening (cumulative), so precision decreases

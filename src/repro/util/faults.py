@@ -21,14 +21,25 @@ test poison exactly one executable of a package sweep.
 The registry is process-global and therefore test-only by design; always
 pair :func:`inject` with :func:`clear` (the :func:`injected` context
 manager does both).
+
+**Worker processes.**  The parallel batch executor
+(:func:`repro.tool.batch.run_batch` with ``jobs > 1``) ships a
+:func:`snapshot` of the armed specs with every dispatched unit and
+:func:`install`\\ s it inside the worker before analysis, so injection
+works identically whether a unit runs in-process or in a pool worker.
+Because each dispatch carries its own copy, a ``times=`` count without a
+``unit=`` filter is scoped *per dispatch* in parallel mode (it may fire
+once in every worker) rather than globally; pair ``times=`` with
+``unit=`` -- the documented way to poison one executable of a sweep --
+and the behaviour is exactly the serial one.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.obs.trace import trace_instant
 from repro.util.budget import BudgetMeter
@@ -41,6 +52,8 @@ __all__ = [
     "active",
     "injected",
     "fire",
+    "snapshot",
+    "install",
 ]
 
 _ACTIONS = ("raise", "delay", "corrupt-budget")
@@ -101,6 +114,22 @@ def clear(point: Optional[str] = None) -> None:
 def active() -> List[FaultSpec]:
     """Every currently armed spec (for assertions and diagnostics)."""
     return [spec for specs in _ACTIVE.values() for spec in specs]
+
+
+def snapshot() -> List[FaultSpec]:
+    """A picklable copy of every armed spec (current ``times`` included).
+
+    The parallel batch executor sends this with each dispatched unit so
+    pool workers see the same armed faults as an in-process run.
+    """
+    return [replace(spec) for specs in _ACTIVE.values() for spec in specs]
+
+
+def install(specs: Iterable[FaultSpec]) -> None:
+    """Replace the registry with copies of ``specs`` (worker-side setup)."""
+    _ACTIVE.clear()
+    for spec in specs:
+        _ACTIVE.setdefault(spec.point, []).append(replace(spec))
 
 
 @contextmanager

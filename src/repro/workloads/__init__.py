@@ -11,6 +11,7 @@ from repro.workloads.packages import (
     PACKAGES,
     ExecutableModel,
     PackageModel,
+    all_package_units,
     generate_package,
     package,
     package_units,
@@ -19,6 +20,7 @@ from repro.workloads.packages import (
 __all__ = [
     "BUG_KINDS",
     "ExecutableModel",
+    "all_package_units",
     "FIGURES",
     "FigureProgram",
     "GeneratedWorkload",

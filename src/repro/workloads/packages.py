@@ -41,6 +41,7 @@ __all__ = [
     "package",
     "generate_package",
     "package_units",
+    "all_package_units",
 ]
 
 
@@ -311,3 +312,15 @@ def package_units(model: PackageModel):
         )
         for exe, workload in zip(model.executables, generate_package(model))
     ]
+
+
+def all_package_units():
+    """Every executable of every package, in Figure 7 order.
+
+    The full 22-unit evaluation corpus in one list -- what the parallel
+    batch benchmark and the CI cache smoke sweep.
+    """
+    units = []
+    for model in PACKAGES:
+        units.extend(package_units(model))
+    return units

@@ -27,6 +27,22 @@ class TestBatchUnits:
         assert [u.name for u in units][:2] == ["fig1", "fig2a"]
         assert all(u.source for u in units)
 
+    def test_interface_auto_detected_from_rc_filename(self):
+        unit = BatchUnit(name="x", source="", filename="prog.rc")
+        assert unit.effective_interface == "rc"
+        assert unit.region_interface().name == "rc"
+
+    def test_interface_defaults_to_apr(self):
+        unit = BatchUnit(name="x", source="", filename="prog.c")
+        assert unit.effective_interface == "apr"
+        assert BatchUnit(name="y", source="").effective_interface == "apr"
+
+    def test_explicit_interface_wins_over_filename(self):
+        unit = BatchUnit(
+            name="x", source="", filename="prog.rc", interface="apr"
+        )
+        assert unit.effective_interface == "apr"
+
     def test_figure_units_by_name(self):
         units = figure_units(["fig2c", "fig1"])
         assert [u.name for u in units] == ["fig2c", "fig1"]
@@ -66,6 +82,18 @@ class TestRunBatch:
         assert result.outcome("fig2a").status == "skipped"
         # Skipped units do not dilute the exit code.
         assert result.exit_code() == 2
+
+    def test_skipped_units_get_no_exit_code(self):
+        # A stopped sweep must not look mostly clean to a consumer that
+        # keys on per-unit exit codes instead of status.
+        units = [poison_unit("bad"), *figure_units(["fig1", "fig2a"])]
+        result = run_batch(units, keep_going=False)
+        assert [o.exit_code for o in result.outcomes] == [2, None, None]
+        payload = json.loads(result.to_json())
+        codes = [entry["exit_code"] for entry in payload["results"]]
+        assert codes == [2, None, None]
+        assert not any(code == 0 for code in codes)
+        assert payload["skipped"] == 2
 
     def test_injected_fault_becomes_internal_error(self):
         units = figure_units(["fig1", "fig2a"])

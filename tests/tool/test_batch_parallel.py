@@ -1,0 +1,217 @@
+"""Serial vs. parallel ``run_batch`` equivalence and worker plumbing.
+
+The shard scheduler's contract is that ``jobs > 1`` changes wall-clock
+behaviour only: per-unit outcomes, ordering, warning sets, exit codes,
+fault isolation, and trace/metrics payloads all match the serial run
+(modulo timing and pid values).  These tests hold it to that, including
+under injected faults firing *inside* worker processes.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer, tracing_to
+from repro.tool.batch import BatchUnit, run_batch
+from repro.util import faults
+from repro.workloads import figure_units
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def poison_unit(name):
+    return BatchUnit(name=name, source="int main( {", filename=f"<{name}>")
+
+
+def normalized(result):
+    """The batch JSON with timing-dependent payloads stripped.
+
+    Metric values are wall-clock readings, so only their *keys* must
+    match across modes; everything else must match byte-for-byte.
+    """
+    payload = json.loads(result.to_json())
+    metric_keys = []
+    for entry in payload["results"]:
+        metric_keys.append(sorted(entry.pop("metrics", {})))
+        entry.pop("traceback", None)  # line numbers differ worker-side
+    fleet = payload.pop("fleet_metrics", {})
+    payload["metric_keys"] = metric_keys
+    payload["fleet_keys"] = sorted(fleet)
+    return payload
+
+
+def assert_equivalent(serial, parallel):
+    assert normalized(serial) == normalized(parallel)
+    assert [o.warning_lines for o in serial.outcomes] == [
+        o.warning_lines for o in parallel.outcomes
+    ]
+    assert serial.exit_code() == parallel.exit_code()
+
+
+class TestSerialParallelEquivalence:
+    def test_clean_and_warning_figures(self):
+        units = figure_units(["fig1", "fig2a", "fig2c", "fig5"])
+        serial = run_batch(units, keep_going=True)
+        parallel = run_batch(units, keep_going=True, jobs=2)
+        assert_equivalent(serial, parallel)
+        assert [o.unit for o in parallel.outcomes] == [u.name for u in units]
+
+    def test_mixed_corpus_with_poison_and_injected_fault(self):
+        units = [
+            *figure_units(["fig1"]),
+            poison_unit("bad"),
+            *figure_units(["fig2c", "fig2a"]),
+        ]
+        with faults.injected("correlation", unit="fig2c"):
+            serial = run_batch(units, keep_going=True)
+        with faults.injected("correlation", unit="fig2c"):
+            parallel = run_batch(units, keep_going=True, jobs=2)
+        assert parallel.outcome("fig2c").status == "internal-error"
+        assert parallel.outcome("fig2c").error_type == "InjectedFault"
+        assert parallel.outcome("bad").status == "input-error"
+        assert_equivalent(serial, parallel)
+
+    def test_early_stop_normalizes_to_serial_semantics(self):
+        # Workers may finish units past the failure point before the
+        # cancel lands; the report must still match the serial one.
+        units = [
+            poison_unit("bad"),
+            *figure_units(["fig1", "fig2a", "fig2c"]),
+        ]
+        serial = run_batch(units, keep_going=False)
+        parallel = run_batch(units, keep_going=False, jobs=2)
+        assert_equivalent(serial, parallel)
+        assert [o.status for o in parallel.outcomes] == [
+            "input-error", "skipped", "skipped", "skipped"
+        ]
+        assert [o.exit_code for o in parallel.outcomes] == [2, None, None, None]
+
+    def test_retry_inside_worker(self):
+        units = figure_units(["fig1", "fig2a"])
+        with faults.injected("batch-unit", unit="fig1", times=1):
+            parallel = run_batch(units, keep_going=True, jobs=2, max_retries=1)
+        outcome = parallel.outcome("fig1")
+        assert outcome.status == "clean"
+        assert outcome.attempts == 2
+
+    def test_fleet_metrics_match(self):
+        units = figure_units(["fig1", "fig2c"])
+        serial = run_batch(units, keep_going=True)
+        parallel = run_batch(units, keep_going=True, jobs=2)
+        assert sorted(serial.fleet_metrics()) == sorted(parallel.fleet_metrics())
+        counts = {
+            name: summary["count"]
+            for name, summary in parallel.fleet_metrics().items()
+        }
+        assert counts == {
+            name: summary["count"]
+            for name, summary in serial.fleet_metrics().items()
+        }
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_batch(figure_units(["fig1"]), jobs=0)
+
+
+class TestWorkerObservability:
+    def test_worker_spans_merge_into_parent_lanes(self):
+        import os
+
+        units = figure_units(["fig1", "fig2a", "fig2c"])
+        with tracing_to(Tracer()) as tracer:
+            run_batch(units, keep_going=True, jobs=2)
+        assert tracer.lanes, "worker spans should come back as lanes"
+        unit_spans = tracer.find("batch.unit")
+        assert sorted(s.attrs["unit"] for s in unit_spans) == [
+            "fig1", "fig2a", "fig2c"
+        ]
+        # Chrome export puts each worker on its own pid, distinct from
+        # the parent's.
+        trace = tracer.to_chrome_trace()
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        worker_pids = {pid for pid, _roots in tracer.lanes}
+        assert worker_pids
+        assert os.getpid() not in worker_pids
+        assert worker_pids <= pids
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "process_name" in names
+
+    def test_serial_mode_records_no_lanes(self):
+        with tracing_to(Tracer()) as tracer:
+            run_batch(figure_units(["fig1"]), keep_going=True)
+        assert tracer.lanes == []
+        assert len(tracer.find("batch.unit")) == 1
+
+
+if HAVE_HYPOTHESIS:
+
+    _CORPUS_POOL = ("fig1", "fig2a", "fig2c", "poison", "fault")
+
+    @st.composite
+    def corpora(draw):
+        picks = draw(
+            st.lists(st.sampled_from(_CORPUS_POOL), min_size=1, max_size=5)
+        )
+        units = []
+        for position, pick in enumerate(picks):
+            name = f"u{position}-{pick}"
+            if pick == "poison":
+                units.append(poison_unit(name))
+            elif pick == "fault":
+                source = figure_units(["fig1"])[0].source
+                units.append(
+                    BatchUnit(name=name, source=source, filename=f"<{name}>")
+                )
+            else:
+                base = figure_units([pick])[0]
+                units.append(
+                    BatchUnit(
+                        name=name,
+                        source=base.source,
+                        filename=base.filename,
+                        interface=base.interface,
+                        entry=base.entry,
+                    )
+                )
+        return units, draw(st.booleans())
+
+    class TestEquivalenceProperty:
+        @settings(
+            max_examples=6,
+            deadline=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(corpora())
+        def test_serial_equals_parallel(self, corpus):
+            units, keep_going = corpus
+            faults.clear()
+            # Every 'fault' unit crashes mid-analysis, inside the worker
+            # when parallel: identical structured outcomes either way.
+            for unit in units:
+                if "-fault" in unit.name:
+                    faults.inject("correlation", unit=unit.name)
+            try:
+                serial = run_batch(units, keep_going=keep_going)
+            finally:
+                faults.clear()
+            for unit in units:
+                if "-fault" in unit.name:
+                    faults.inject("correlation", unit=unit.name)
+            try:
+                parallel = run_batch(units, keep_going=keep_going, jobs=2)
+            finally:
+                faults.clear()
+            assert_equivalent(serial, parallel)

@@ -1,0 +1,217 @@
+"""Tests for the persistent content-addressed analysis cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.pointer import AnalysisOptions
+from repro.tool.batch import BatchUnit, run_batch
+from repro.tool.cache import AnalysisCache
+from repro.util import faults
+from repro.workloads import figure_units
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def poison_unit(name):
+    return BatchUnit(name=name, source="int main( {", filename=f"<{name}>")
+
+
+def entry_files(root):
+    return sorted(
+        name for name in os.listdir(root) if name.endswith(".json")
+    )
+
+
+class TestCacheKey:
+    def kwargs(self, **overrides):
+        base = dict(
+            source="int main(void) { return 0; }",
+            filename="a.c",
+            interface="apr",
+            entry="main",
+            options=AnalysisOptions(),
+            budget=None,
+            degrade=True,
+            refine=False,
+            solver_stats=False,
+        )
+        base.update(overrides)
+        return base
+
+    def test_key_is_stable(self):
+        assert AnalysisCache.key(**self.kwargs()) == AnalysisCache.key(
+            **self.kwargs()
+        )
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"source": "int main(void) { return 1; }"},
+            {"filename": "b.c"},
+            {"interface": "rc"},
+            {"entry": "start"},
+            {"options": AnalysisOptions(context_sensitive=False)},
+            {"degrade": False},
+            {"refine": True},
+            {"solver_stats": True},
+        ],
+    )
+    def test_key_changes_with_inputs(self, override):
+        assert AnalysisCache.key(**self.kwargs()) != AnalysisCache.key(
+            **self.kwargs(**override)
+        )
+
+
+class TestWarmRuns:
+    def test_hit_after_warm(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1", "fig2c"])
+        cold = run_batch(units, keep_going=True, cache=cache)
+        assert cold.cache_counters == {"hits": 0, "misses": 2}
+        assert not any(o.cached for o in cold.outcomes)
+
+        warm = run_batch(units, keep_going=True, cache=cache)
+        assert warm.cache_counters == {"hits": 2, "misses": 2}
+        assert all(o.cached for o in warm.outcomes)
+        # The replayed outcomes carry the full result, not just status.
+        assert warm.outcome("fig2c").warnings == cold.outcome("fig2c").warnings
+        assert warm.outcome("fig2c").high == cold.outcome("fig2c").high
+        assert (
+            warm.outcome("fig2c").warning_lines
+            == cold.outcome("fig2c").warning_lines
+        )
+        assert warm.outcome("fig1").metrics is not None
+        payload = json.loads(warm.to_json())
+        assert payload["cache"]["hits"] == 2
+        assert all(entry["cached"] for entry in payload["results"])
+
+    def test_cache_accepts_directory_path(self, tmp_path):
+        target = tmp_path / "cache"
+        run_batch(figure_units(["fig1"]), cache=str(target))
+        assert entry_files(target)
+        warm = run_batch(figure_units(["fig1"]), cache=str(target))
+        assert warm.outcome("fig1").cached
+
+    def test_warm_parallel_run_reuses_serial_entries(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1", "fig2a", "fig2c"])
+        run_batch(units, keep_going=True, cache=cache)
+        warm = run_batch(units, keep_going=True, jobs=2, cache=cache)
+        assert all(o.cached for o in warm.outcomes)
+        # One shared cache object: 3 cold misses, then 3 warm hits.
+        assert warm.cache_counters == {"hits": 3, "misses": 3}
+        assert [o.unit for o in warm.outcomes] == [u.name for u in units]
+
+    def test_batch_metrics_report_counters(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1"])
+        run_batch(units, cache=cache)
+        warm = run_batch(units, cache=cache)
+        metrics = warm.batch_metrics().to_dict()
+        assert metrics["cache.hits"] == 1
+        assert metrics["batch.cached"] == 1
+        assert "cache.hits" in warm.metrics_summary()
+
+
+class TestInvalidation:
+    def test_source_change_invalidates(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        base = figure_units(["fig1"])[0]
+        run_batch([base], cache=cache)
+        changed = BatchUnit(
+            name=base.name,
+            source=base.source + "\n// touched\n",
+            filename=base.filename,
+            interface=base.interface,
+            entry=base.entry,
+        )
+        rerun = run_batch([changed], cache=cache)
+        assert not rerun.outcome(base.name).cached
+        assert rerun.cache_counters == {"hits": 0, "misses": 2}
+
+    def test_options_change_invalidates(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1"])
+        run_batch(units, cache=cache)
+        rerun = run_batch(
+            units,
+            options=AnalysisOptions(context_sensitive=False),
+            cache=cache,
+        )
+        assert not rerun.outcome("fig1").cached
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        run_batch([poison_unit("bad")], keep_going=True, cache=cache)
+        assert entry_files(tmp_path) == []
+        rerun = run_batch([poison_unit("bad")], keep_going=True, cache=cache)
+        assert rerun.outcome("bad").status == "input-error"
+        assert rerun.cache_counters == {"hits": 0, "misses": 2}
+
+    def test_internal_errors_are_not_cached(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1"])
+        with faults.injected("correlation", unit="fig1"):
+            crashed = run_batch(units, keep_going=True, cache=cache)
+        assert crashed.outcome("fig1").status == "internal-error"
+        assert entry_files(tmp_path) == []
+        # With the fault cleared the unit analyzes (and then caches).
+        healed = run_batch(units, keep_going=True, cache=cache)
+        assert healed.outcome("fig1").status == "clean"
+        assert entry_files(tmp_path)
+
+
+class TestCorruption:
+    def corrupt_every_entry(self, root, text):
+        for name in entry_files(root):
+            (root / name).write_text(text)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "not json at all {",
+            '{"schema": 999, "outcome": {}}',
+            '{"outcome": "not a dict", "schema": 1}',
+            '[1, 2, 3]',
+        ],
+    )
+    def test_corrupted_entry_falls_back_to_analysis(self, tmp_path, garbage):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1"])
+        run_batch(units, cache=cache)
+        self.corrupt_every_entry(tmp_path, garbage)
+        rerun = run_batch(units, cache=AnalysisCache(str(tmp_path)))
+        outcome = rerun.outcome("fig1")
+        assert outcome.status == "clean"
+        assert not outcome.cached
+        assert rerun.cache_counters == {"hits": 0, "misses": 1}
+
+    def test_wrong_unit_name_in_entry_is_a_miss(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        units = figure_units(["fig1"])
+        run_batch(units, cache=cache)
+        for name in entry_files(tmp_path):
+            payload = json.loads((tmp_path / name).read_text())
+            payload["outcome"]["unit"] = "someone-else"
+            (tmp_path / name).write_text(json.dumps(payload))
+        rerun = run_batch(units, cache=AnalysisCache(str(tmp_path)))
+        assert not rerun.outcome("fig1").cached
+        assert rerun.cache_counters == {"hits": 0, "misses": 1}
+
+    def test_corrupted_entry_is_removed(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        run_batch(figure_units(["fig1"]), cache=cache)
+        self.corrupt_every_entry(tmp_path, "oops")
+        fresh = AnalysisCache(str(tmp_path))
+        rerun = run_batch(figure_units(["fig1"]), cache=fresh)
+        assert rerun.outcome("fig1").status == "clean"
+        # The bad file was replaced by the freshly stored entry.
+        warm = run_batch(figure_units(["fig1"]), cache=fresh)
+        assert warm.outcome("fig1").cached

@@ -1,5 +1,8 @@
 """Tests for the regionwiz command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.tool.cli import main
@@ -97,3 +100,78 @@ class TestCli:
         body = tmp_path / "main.c"
         body.write_text(figure("fig1").source)
         assert main([str(header), str(body)]) == 0
+
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+class TestBatchCli:
+    def write_figures(self, tmp_path, names):
+        return [
+            write_source(tmp_path, figure(name)) for name in names
+        ]
+
+    def batch_json(self, capsys, argv):
+        code = main(argv)
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == code
+        for entry in payload["results"]:
+            entry.pop("metrics", None)
+        payload.pop("fleet_metrics", None)
+        return code, payload
+
+    def test_rc_corpus_detected_in_batch_mode(self, tmp_path, capsys):
+        # Regression: --batch used to hardcode the APR interface, so an
+        # .rc unit analyzed "clean" with no region model at all while
+        # the single-run CLI (auto-detecting rc) reported the warning.
+        source = (EXAMPLES / "fig1_connection_broken.rc").read_text()
+        path = tmp_path / "fig1_connection_broken.rc"
+        path.write_text(source)
+        single = main([str(path)])
+        capsys.readouterr()
+        batch = main(["--batch", str(path)])
+        capsys.readouterr()
+        assert single == 1
+        assert batch == 1
+
+    def test_rc_clean_example_through_both_paths(self, tmp_path, capsys):
+        source = (EXAMPLES / "fig1_connection.rc").read_text()
+        path = tmp_path / "fig1_connection.rc"
+        path.write_text(source)
+        assert main([str(path)]) == 0
+        capsys.readouterr()
+        assert main(["--batch", str(path)]) == 0
+
+    def test_jobs_flag_matches_serial_output(self, tmp_path, capsys):
+        paths = self.write_figures(tmp_path, ["fig1", "fig2c", "fig2a"])
+        code_serial, serial = self.batch_json(
+            capsys, ["--batch", "--keep-going", "--json", *paths]
+        )
+        code_parallel, parallel = self.batch_json(
+            capsys, ["--batch", "--keep-going", "--json", "--jobs", "2", *paths]
+        )
+        assert code_serial == code_parallel == 1
+        assert serial == parallel
+
+    def test_jobs_must_be_positive(self, tmp_path, capsys):
+        paths = self.write_figures(tmp_path, ["fig1"])
+        assert main(["--batch", "--jobs", "0", *paths]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_cache_flag_warm_run_hits(self, tmp_path, capsys):
+        paths = self.write_figures(tmp_path, ["fig1", "fig2c"])
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--batch", "--keep-going", "--json", "--cache", cache_dir]
+        _, cold = self.batch_json(capsys, argv + paths)
+        assert cold["cache"] == {"hits": 0, "misses": 2}
+        _, warm = self.batch_json(capsys, argv + paths)
+        assert warm["cache"] == {"hits": 2, "misses": 0}
+        assert all(entry.get("cached") for entry in warm["results"])
+
+    def test_no_cache_overrides_cache(self, tmp_path, capsys):
+        paths = self.write_figures(tmp_path, ["fig1"])
+        cache_dir = str(tmp_path / "cache")
+        argv = ["--batch", "--json", "--cache", cache_dir, "--no-cache"]
+        _, payload = self.batch_json(capsys, argv + paths)
+        assert "cache" not in payload
+        assert not (tmp_path / "cache").exists()
