@@ -10,7 +10,7 @@ backend, comparing times and peak BDD node counts.  Interleaving keeps
 equality/rename relations linear, so it must not be asymptotically worse.
 """
 
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.datalog import Program
 
@@ -81,6 +81,13 @@ def _record(label, solution):
                 f" {stats['le_nodes']:9d} {stats['nopo_nodes']:11d}"
             )
         write_result("ablation_bdd_order.txt", "\n".join(lines))
+        record_bench(
+            "ablation_bdd_order",
+            le=_RESULTS["set"]["le"],
+            nopo=_RESULTS["set"]["nopo"],
+            interleaved_nopo_nodes=_RESULTS["interleaved"]["nopo_nodes"],
+            sequential_nopo_nodes=_RESULTS["sequential"]["nopo_nodes"],
+        )
     # All configurations agree on the relations themselves.
     reference = None
     for stats in _RESULTS.values():

@@ -8,7 +8,7 @@ regenerating the paper's claim that the single heuristic "effectively
 pruned most false warnings".
 """
 
-from conftest import write_result
+from conftest import bench_seconds, record_bench, write_result
 
 from repro.interfaces import apr_pools_interface
 from repro.tool import run_regionwiz
@@ -66,6 +66,14 @@ def test_ranking_heuristic_precision(benchmark):
         f"  unranked precision:    {(true_never_safe + low_true) / total:.2f}",
     ]
     write_result("ablation_ranking.txt", "\n".join(lines))
+    record_bench(
+        "ablation_ranking",
+        total=total,
+        high=high,
+        high_precision=round(true_never_safe / high, 3),
+        raw_precision=round((true_never_safe + low_true) / total, 3),
+        mean_s=bench_seconds(benchmark),
+    )
 
     assert high == true_never_safe + high_fp
     assert total == high + low_true + low_fp

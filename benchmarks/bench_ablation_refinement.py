@@ -7,7 +7,7 @@ of the same-region-variable class disappear, every real bug survives,
 and the added cost is a linear IR pass.
 """
 
-from conftest import write_result
+from conftest import bench_seconds, record_bench, write_result
 
 from repro.interfaces import apr_pools_interface
 from repro.tool import run_regionwiz
@@ -54,6 +54,13 @@ def test_refinement_ablation(benchmark):
         f" {len(unrefined.warnings) - len(refined.warnings)}",
     ]
     write_result("ablation_refinement.txt", "\n".join(lines))
+    record_bench(
+        "ablation_refinement",
+        unrefined=len(unrefined.warnings),
+        refined=len(refined.warnings),
+        removed=len(unrefined.warnings) - len(refined.warnings),
+        mean_s=bench_seconds(benchmark),
+    )
 
     # All three intra_fp warnings are gone; all five real bugs remain.
     assert len(unrefined.warnings) == 8

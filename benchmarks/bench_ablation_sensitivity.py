@@ -16,7 +16,7 @@ Expected shape:
 * context-insensitive: cheapest, least precise.
 """
 
-from conftest import write_result
+from conftest import record_bench, write_result
 
 from repro.pointer import AnalysisOptions
 from repro.tool import run_regionwiz
@@ -87,6 +87,17 @@ def test_ablation_sensitivity(benchmark):
             f" {row.high:5d} {report.numbering.total_contexts:10d}"
         )
     write_result("ablation_sensitivity.txt", "\n".join(lines))
+    record_bench(
+        "ablation_sensitivity",
+        **{
+            f"{label.replace('-', '_')}_time_s": round(row.time_seconds, 3)
+            for label, row, _ in rows
+        },
+        full_regions=next(r.regions for l, r, _ in rows if l == "full"),
+        ci_regions=next(
+            r.regions for l, r, _ in rows if l == "context-insensitive"
+        ),
+    )
 
     by_label = {label: (row, report) for label, row, report in rows}
     full_row, full_report = by_label["full"]

@@ -67,6 +67,19 @@ def main(argv) -> int:
         f"serial {t_serial:.2f}s  parallel {t_parallel:.2f}s"
         f"  speedup {speedup:.2f}x  (exit {serial.exit_code()})"
     )
+    try:
+        from conftest import record_bench
+
+        record_bench(
+            "batch_parallel",
+            corpus=label,
+            units=len(units),
+            serial_s=round(t_serial, 3),
+            parallel_s=round(t_parallel, 3),
+            speedup=round(speedup, 2),
+        )
+    except ImportError:
+        pass  # direct invocation from another cwd
 
     if normalized(serial) != normalized(parallel):
         print("FAIL: serial and parallel reports differ", file=sys.stderr)

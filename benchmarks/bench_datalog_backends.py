@@ -7,7 +7,7 @@ the transitive-closure kernel at two scales and checks they agree -- the
 cross-validation that justifies using either interchangeably.
 """
 
-from conftest import write_result
+from conftest import bench_seconds, record_bench, write_result
 
 from repro.datalog import Program
 
@@ -44,11 +44,21 @@ def test_bdd_backend_small(benchmark):
 def test_set_backend_medium(benchmark):
     solution = benchmark(_closure, "set", 48)
     assert solution.count("path") == 48 * 48
+    record_bench(
+        "datalog_backends", backend="set", n=48, mean_s=bench_seconds(benchmark)
+    )
 
 
 def test_bdd_backend_medium(benchmark):
     solution = benchmark(_closure, "bdd", 48)
     assert solution.count("path") == 48 * 48
+    record_bench(
+        "datalog_backends",
+        backend="bdd",
+        n=48,
+        bdd_nodes=solution.bdd_node_count("path"),
+        mean_s=bench_seconds(benchmark),
+    )
 
 
 def test_backends_agree_and_report(benchmark):

@@ -85,9 +85,16 @@ def test_nonlinear_closure_speedup():
         f"    speedup: {lin_legacy_s / lin_indexed_s:.1f}x",
     ]
     try:
-        from conftest import write_result
+        from conftest import record_bench, write_result
 
         write_result("datalog_joins.txt", "\n".join(lines))
+        record_bench(
+            "datalog_joins",
+            indexed_ms=round(indexed_s * 1000, 2),
+            legacy_ms=round(legacy_s * 1000, 2),
+            speedup=round(speedup, 2),
+            derived=stats.tuples_derived,
+        )
     except ImportError:
         pass  # direct invocation from another cwd
     print("\n".join(lines))

@@ -11,7 +11,7 @@ verdict that needs no execution at all.
 
 import itertools
 
-from conftest import write_result
+from conftest import bench_seconds, record_bench, write_result
 
 from repro.interfaces import apr_pools_interface
 from repro.lang import analyze, parse
@@ -62,6 +62,13 @@ def test_dynamic_coverage(benchmark):
         " independent of execution"
     )
     write_result("dynamic_vs_static.txt", "\n".join(lines))
+    record_bench(
+        "dynamic_vs_static",
+        dynamic_caught=int(caught),
+        dynamic_runs=4,
+        static_warnings=len(report.warnings),
+        mean_s=bench_seconds(benchmark),
+    )
 
     # The pointer is safe only when r2 ends up under r1 (Q=1); when the
     # parent resolution lands on r0 (P=1, Q=0) or the root (P=Q=0) the

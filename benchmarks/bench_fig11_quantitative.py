@@ -9,7 +9,7 @@ grow superlinearly with regions (the scalability pressure the paper
 reports; their svn run hit 2.9e9 R-pairs in 26 hours).
 """
 
-from conftest import analyze_package, write_result
+from conftest import analyze_package, bench_seconds, record_bench, write_result
 
 from repro.tool import format_fig11_table
 from repro.workloads import PACKAGES, package
@@ -26,6 +26,14 @@ def _full_table():
 def test_fig11_full_table(benchmark):
     rows = benchmark.pedantic(_full_table, rounds=1, iterations=1)
     write_result("fig11_quantitative.txt", format_fig11_table(rows))
+    record_bench(
+        "fig11_quantitative",
+        executables=len(rows),
+        total_high=sum(row.high for row in rows),
+        total_time_s=round(sum(row.time_seconds for row in rows), 3),
+        svn_regions=max(row.regions for row in rows),
+        svn_r_pairs=max(row.r_pairs for row in rows),
+    )
 
     by_name = {row.name: row for row in rows}
     assert len(rows) == 22
@@ -80,3 +88,9 @@ def test_fig11_bench_svn_analysis(benchmark):
         )
     )
     assert report.fig11_row().high == svn_exe.spec.expected_high()
+    record_bench(
+        "fig11_svn_analysis",
+        regions=report.fig11_row().regions,
+        high=report.fig11_row().high,
+        mean_s=bench_seconds(benchmark),
+    )

@@ -5,7 +5,7 @@ relations between two regions holding a pointer between their objects,
 and times the pipeline on each micro-program.
 """
 
-from conftest import interface_for, write_result
+from conftest import bench_seconds, interface_for, record_bench, write_result
 
 from repro.tool import run_regionwiz
 from repro.workloads import figure
@@ -41,6 +41,12 @@ def test_fig2_classification(benchmark):
         lines.append(f"{name:6s}  {relation:34s}  {expected:12s}  {verdict}")
     table = "\n".join(lines)
     write_result("fig2_classification.txt", table)
+    record_bench(
+        "fig2_classification",
+        consistent=sum(1 for *_, v in rows if v == "consistent"),
+        high=sum(1 for *_, v in rows if v == "HIGH warning"),
+        mean_s=bench_seconds(benchmark),
+    )
 
     verdicts = {name: verdict for name, _, _, verdict in rows}
     # (a) and (b) are provably safe; (c) and (d) are flagged, with (d)'s

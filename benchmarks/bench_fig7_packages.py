@@ -4,7 +4,7 @@ Regenerates the package inventory and times the synthetic source
 generation for the whole six-package suite.
 """
 
-from conftest import write_result
+from conftest import bench_seconds, record_bench, write_result
 
 from repro.workloads import PACKAGES, generate_package
 
@@ -32,6 +32,15 @@ def test_fig7_package_table(benchmark):
         )
     table = "\n".join(lines)
     write_result("fig7_packages.txt", table)
+    record_bench(
+        "fig7_packages",
+        packages=len(PACKAGES),
+        executables=sum(len(m.executables) for m in PACKAGES),
+        synth_kloc=round(
+            sum(w.kloc for ws in generated.values() for w in ws), 1
+        ),
+        mean_s=bench_seconds(benchmark),
+    )
 
     # Figure 7 shape: six packages, 22 executables total, rcc on RC
     # regions, subversion the largest.

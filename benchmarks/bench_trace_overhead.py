@@ -94,15 +94,22 @@ def _measure(n: int, runs: int):
     assert overhead < MAX_OVERHEAD, (
         f"disabled tracing costs {overhead:.2%} of the join benchmark"
     )
-    return lines
+    stats = {
+        "baseline_ms": round(t_off * 1000, 2),
+        "spans": spans,
+        "noop_ns": round(per_call * 1e9, 1),
+        "overhead": round(overhead, 5),
+    }
+    return lines, stats
 
 
 def test_overhead_guard():
-    lines = _measure(64, runs=3)
+    lines, stats = _measure(64, runs=3)
     try:
-        from conftest import write_result
+        from conftest import record_bench, write_result
 
         write_result("trace_overhead.txt", "\n".join(lines))
+        record_bench("trace_overhead", **stats)
     except ImportError:
         pass  # direct invocation from another cwd
 

@@ -7,19 +7,51 @@ workloads, pure-Python analysis, 2026 hardware vs a 2008 Xeon); the
 benches assert the *shape*: who warns, who ranks high, what grows.
 """
 
+import json
 import pathlib
+import time
 
 import pytest
 
+from repro import __version__
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.tool import run_regionwiz
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / name).write_text(text + "\n")
+
+
+def record_bench(name: str, **headline) -> None:
+    """Append one machine-readable trajectory record for this bench.
+
+    ``BENCH_<name>.json`` at the repo root is JSON-lines: one record per
+    run, so plotting perf across PRs is ``[json.loads(l) for l in open()]``.
+    Headline numbers are whatever the bench considers its key results;
+    timestamp and version pin each record to a point in history.
+    """
+    record = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "version": __version__,
+        **headline,
+    }
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    with open(path, "a") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def bench_seconds(benchmark):
+    """Mean seconds per round, or None when the fixture collected nothing
+    (e.g. ``--benchmark-disable``)."""
+    try:
+        return round(benchmark.stats.stats.mean, 6)
+    except (AttributeError, TypeError):
+        return None
 
 
 def interface_for(kind: str):

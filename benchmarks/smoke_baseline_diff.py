@@ -1,0 +1,131 @@
+"""CI smoke test: warning-lifecycle gate on the package corpus.
+
+Runs the six-package evaluation corpus through
+:func:`repro.tool.batch.run_batch` twice -- once to save a baseline,
+once to diff against it -- and asserts the lifecycle contract:
+
+* the second sweep reports **zero new** warnings (every fingerprint
+  persists: same corpus, same baseline);
+* the ``--fail-on-new`` CLI gate exits 0 against the saved baseline and
+  exits 1 when a broken example meets an empty baseline;
+* the ``--html-report`` artifact is a single self-contained file:
+  inline CSS/JS, no ``<link>``, no ``http(s)://`` fetches.
+
+Usage: ``PYTHONPATH=src python benchmarks/smoke_baseline_diff.py``
+The HTML report lands at the path given by ``--html-out`` (default
+``corpus_report.html``) so CI can upload it as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+from repro.obs.history import (
+    diff_outcomes,
+    entries_from_outcomes,
+    load_baseline,
+    merge_diffs,
+    save_baseline,
+)
+from repro.tool.batch import run_batch
+from repro.tool.cli import main as cli_main
+from repro.workloads import all_package_units
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+BROKEN = os.path.join(EXAMPLES, "fig1_connection_broken.rc")
+CLEAN = os.path.join(EXAMPLES, "fig1_connection.rc")
+
+
+def check_corpus_diff(failures, tmp, html_out):
+    units = all_package_units()
+    baseline_path = os.path.join(tmp, "corpus.jsonl")
+
+    first = run_batch(units, keep_going=True)
+    save_baseline(baseline_path, entries_from_outcomes(first.outcomes))
+    saved = load_baseline(baseline_path)
+    print(
+        f"smoke: corpus sweep 1: {len(units)} unit(s),"
+        f" {len(saved)} baseline entries"
+    )
+
+    second = run_batch(units, keep_going=True)
+    per_unit = diff_outcomes(second.outcomes, saved)
+    second.per_unit_diff = per_unit
+    merged = merge_diffs(per_unit.values())
+    print(f"smoke: corpus sweep 2: {merged.format()}")
+    if merged.new:
+        failures.append(
+            f"second identical sweep reported {len(merged.new)} new"
+            f" warning(s): {[e.fingerprint for e in merged.new][:5]}"
+        )
+    if len(merged.persisting) != len(saved):
+        failures.append(
+            f"{len(merged.persisting)} persisting != {len(saved)} saved"
+        )
+    if merged.fixed:
+        failures.append(f"{len(merged.fixed)} spurious fixed warning(s)")
+
+    from repro.obs.html import write_html_report
+
+    write_html_report(html_out, batch=second, per_unit_diff=per_unit)
+    document = open(html_out).read()
+    if not document.startswith("<!DOCTYPE html>"):
+        failures.append("HTML report missing doctype")
+    if "<link" in document or "@import" in document:
+        failures.append("HTML report pulls external stylesheets")
+    if re.search(r'(src|href)\s*=\s*["\']?https?://', document):
+        failures.append("HTML report fetches from the network")
+    if "<style>" not in document or "<script>" not in document:
+        failures.append("HTML report missing inline CSS/JS")
+    print(f"smoke: HTML report written to {html_out}")
+
+
+def check_fail_on_new_gate(failures, tmp):
+    """The CLI gate: known warnings pass, new warnings fail."""
+    baseline = os.path.join(tmp, "gate.jsonl")
+    empty = os.path.join(tmp, "empty.jsonl")
+    open(empty, "w").close()
+
+    code = cli_main([BROKEN, "--all", "--save-baseline", baseline])
+    if code != 1:
+        failures.append(f"broken example exited {code}, expected 1")
+    code = cli_main([BROKEN, "--all", "--baseline", baseline, "--fail-on-new"])
+    if code != 0:
+        failures.append(f"--fail-on-new against own baseline exited {code}")
+    code = cli_main([BROKEN, "--all", "--baseline", empty, "--fail-on-new"])
+    if code != 1:
+        failures.append(f"--fail-on-new with a new warning exited {code}")
+    code = cli_main([CLEAN, "--all", "--baseline", empty, "--fail-on-new"])
+    if code != 0:
+        failures.append(f"--fail-on-new on a clean unit exited {code}")
+    print("smoke: --fail-on-new gate semantics hold")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--html-out",
+        default="corpus_report.html",
+        help="where to write the corpus HTML report (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list = []
+    with tempfile.TemporaryDirectory(prefix="regionwiz-baseline-") as tmp:
+        check_corpus_diff(failures, tmp, args.html_out)
+        check_fail_on_new_gate(failures, tmp)
+
+    if failures:
+        for failure in failures:
+            print(f"smoke: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("smoke: OK -- zero new warnings across identical sweeps")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

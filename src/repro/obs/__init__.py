@@ -1,7 +1,7 @@
-"""Observability: pipeline tracing, metrics, and warning provenance.
+"""Observability: tracing, metrics, provenance, and warning lifecycle.
 
-Three cross-cutting facilities every later performance PR measures
-itself against:
+Cross-cutting facilities every later performance PR measures itself
+against:
 
 * :mod:`repro.obs.trace` -- a hierarchical span tracer threaded through
   the four pipeline phases, Datalog strata/rules, degradation-ladder
@@ -13,9 +13,38 @@ itself against:
 * :mod:`repro.obs.provenance` -- Datalog derivation traces behind
   ``--explain``, turning each warning into a rule-by-rule chain from
   allocation sites through the ownership closure and the missing
-  subregion order to the offending access.
+  subregion order to the offending access;
+* :mod:`repro.obs.fingerprint` -- content-stable warning identities,
+  invariant across engine choice, sharding, ranking, and ordering;
+* :mod:`repro.obs.history` -- the JSONL baseline store and the
+  new/persisting/fixed differ behind ``--baseline``/``--save-baseline``
+  and the ``--fail-on-new`` CI gate;
+* :mod:`repro.obs.events` -- the structured JSONL event log
+  (``--events``): phase boundaries, ladder degradations, budget trips,
+  cache probes, batch outcomes, and warning emissions as one
+  machine-parseable stream shared across worker processes;
+* :mod:`repro.obs.html` -- the single-file ``--html-report`` fusing
+  warnings + diff + metrics + profile + batch grid with no network
+  fetches.
 """
 
+from repro.obs.events import (
+    EventLog,
+    current_event_log,
+    emit_event,
+    events_enabled,
+    install_event_log,
+    uninstall_event_log,
+)
+from repro.obs.fingerprint import pair_fingerprint, warning_fingerprint
+from repro.obs.history import (
+    BaselineEntry,
+    WarningDiff,
+    diff_entries,
+    load_baseline,
+    save_baseline,
+)
+from repro.obs.html import render_html_report, write_html_report
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
 from repro.obs.trace import (
     SpanRecord,
@@ -30,16 +59,31 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BaselineEntry",
+    "EventLog",
     "MetricsRegistry",
     "SpanRecord",
     "Tracer",
+    "WarningDiff",
     "aggregate_metrics",
+    "current_event_log",
     "current_tracer",
+    "diff_entries",
+    "emit_event",
+    "events_enabled",
     "format_metrics",
+    "install_event_log",
     "install_tracer",
+    "load_baseline",
+    "pair_fingerprint",
+    "render_html_report",
+    "save_baseline",
     "trace_instant",
     "trace_span",
     "tracing",
     "tracing_to",
+    "uninstall_event_log",
     "uninstall_tracer",
+    "warning_fingerprint",
+    "write_html_report",
 ]

@@ -1,0 +1,281 @@
+"""Warning history: a JSONL baseline store and run-over-run diffing.
+
+The paper's post-processing makes warnings consumable by a human reading
+*one* report; a service run repeatedly over an evolving tree also needs
+them consumable *over time* -- which findings are new since the last
+blessed run, which were fixed, which persist.  This module provides the
+machine-checkable result artifact that discipline needs:
+
+* :func:`save_baseline` writes one JSON record per warning (unit,
+  fingerprint, rank, description) to a JSONL file, sorted and
+  deduplicated so identical warning sets serialize byte-identically;
+* :func:`load_baseline` reads one back, raising a clean
+  :class:`~repro.util.errors.InputError` (CLI exit 2) on unreadable or
+  malformed files;
+* :func:`diff_entries` classifies each current warning as ``new`` (not
+  in the baseline) or ``persisting``, and each baseline entry absent
+  from the current run as ``fixed``;
+* :func:`diff_outcomes` applies the same per unit across a batch sweep,
+  considering only units the sweep actually analyzed -- a skipped or
+  failed unit's baseline entries are neither fixed nor persisting, so a
+  partial sweep can never fake a fix.
+
+Identity is the (unit, fingerprint) pair -- see
+:mod:`repro.obs.fingerprint` for what the fingerprint does and does not
+hash.  ``--fail-on-new`` builds the CI gate on top: exit 1 only when
+``new`` is non-empty.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.util.errors import InputError
+
+__all__ = [
+    "BaselineEntry",
+    "WarningDiff",
+    "entries_from_report",
+    "entries_from_outcomes",
+    "save_baseline",
+    "load_baseline",
+    "diff_entries",
+    "diff_outcomes",
+    "merge_diffs",
+]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One warning's identity in the history store."""
+
+    unit: str
+    fingerprint: str
+    rank: str = "low"  # 'high' | 'low' -- informational, not identity
+    description: str = ""
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        """The identity: rank and description are carried for humans."""
+        return (self.unit, self.fingerprint)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "unit": self.unit,
+            "fingerprint": self.fingerprint,
+            "rank": self.rank,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BaselineEntry":
+        return cls(
+            unit=str(payload["unit"]),
+            fingerprint=str(payload["fingerprint"]),
+            rank=str(payload.get("rank", "low")),
+            description=str(payload.get("description", "")),
+        )
+
+
+def entries_from_report(report, warnings=None) -> List[BaselineEntry]:
+    """Baseline entries for a single-run report.
+
+    ``warnings`` lets the CLI pass its post-filter list (the default
+    report hides low-ranked warnings unless ``--all``), so the baseline
+    records exactly what the run reported.
+    """
+    if warnings is None:
+        warnings = report.warnings
+    return [
+        BaselineEntry(
+            unit=report.name,
+            fingerprint=w.fingerprint,
+            rank="high" if w.high_ranked else "low",
+            description=w.description,
+        )
+        for w in warnings
+    ]
+
+
+def entries_from_outcomes(outcomes) -> List[BaselineEntry]:
+    """Baseline entries across a batch sweep's successful outcomes.
+
+    Works from the slimmed :class:`~repro.tool.batch.UnitOutcome`
+    payloads (``fingerprints`` + ``warning_lines``), so cached and
+    worker-analyzed units contribute without a full report.
+    """
+    entries: List[BaselineEntry] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        for fingerprint, line in zip(
+            outcome.fingerprints, outcome.warning_lines
+        ):
+            rank = "high" if line.startswith("[HIGH]") else "low"
+            description = line.split("] ", 1)[1] if "] " in line else line
+            entries.append(
+                BaselineEntry(
+                    unit=outcome.unit,
+                    fingerprint=fingerprint,
+                    rank=rank,
+                    description=description,
+                )
+            )
+    return entries
+
+
+def _dedupe(entries: Iterable[BaselineEntry]) -> List[BaselineEntry]:
+    """First entry per (unit, fingerprint) key, in input order."""
+    seen: Dict[Tuple[str, str], BaselineEntry] = {}
+    for entry in entries:
+        seen.setdefault(entry.key, entry)
+    return list(seen.values())
+
+
+def save_baseline(path: str, entries: Iterable[BaselineEntry]) -> None:
+    """Atomically write a sorted, deduplicated JSONL baseline.
+
+    Sorting by (unit, fingerprint) makes the artifact byte-stable:
+    saving the same warning set -- whatever order the engine or sharding
+    produced it in -- yields the same file.
+    """
+    ordered = sorted(_dedupe(entries), key=lambda e: e.key)
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp: Optional[str] = None
+    try:
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            for entry in ordered:
+                handle.write(json.dumps(entry.to_dict(), sort_keys=True))
+                handle.write("\n")
+        os.replace(tmp, path)
+    except OSError as error:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        raise InputError(f"cannot write baseline {path}: {error}") from error
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Read a JSONL baseline, with clean input errors on bad files."""
+    try:
+        with open(path) as handle:
+            lines = handle.readlines()
+    except OSError as error:
+        raise InputError(f"cannot read baseline {path}: {error}") from error
+    entries: List[BaselineEntry] = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            entries.append(BaselineEntry.from_dict(payload))
+        except (ValueError, KeyError, TypeError) as error:
+            raise InputError(
+                f"malformed baseline {path} at line {number}: {error}"
+            ) from error
+    return entries
+
+
+@dataclass
+class WarningDiff:
+    """The classification of one run against one baseline."""
+
+    new: List[BaselineEntry]
+    persisting: List[BaselineEntry]
+    fixed: List[BaselineEntry]
+
+    @property
+    def has_new(self) -> bool:
+        return bool(self.new)
+
+    @property
+    def clean(self) -> bool:
+        """No movement at all (self-diff of an unchanged run)."""
+        return not self.new and not self.fixed
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "new": len(self.new),
+            "persisting": len(self.persisting),
+            "fixed": len(self.fixed),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "counts": self.counts(),
+            "new": [e.to_dict() for e in self.new],
+            "persisting": [e.fingerprint for e in self.persisting],
+            "fixed": [e.to_dict() for e in self.fixed],
+        }
+
+    def format(self, indent: str = "  ") -> str:
+        """The human-readable diff block appended to text reports."""
+        counts = self.counts()
+        lines = [
+            "baseline diff: "
+            + ", ".join(f"{counts[k]} {k}" for k in ("new", "persisting", "fixed"))
+        ]
+        for label, entries in (("new", self.new), ("fixed", self.fixed)):
+            for entry in entries:
+                lines.append(
+                    f"{indent}{label} [{entry.rank}] {entry.unit}:"
+                    f" {entry.description or entry.fingerprint}"
+                    f" (fp {entry.fingerprint})"
+                )
+        return "\n".join(lines)
+
+
+def diff_entries(
+    current: Iterable[BaselineEntry],
+    baseline: Iterable[BaselineEntry],
+) -> WarningDiff:
+    """Classify ``current`` against ``baseline`` by (unit, fingerprint)."""
+    current = _dedupe(current)
+    baseline = _dedupe(baseline)
+    baseline_keys = {entry.key for entry in baseline}
+    current_keys = {entry.key for entry in current}
+    return WarningDiff(
+        new=[e for e in current if e.key not in baseline_keys],
+        persisting=[e for e in current if e.key in baseline_keys],
+        fixed=[e for e in baseline if e.key not in current_keys],
+    )
+
+
+def diff_outcomes(
+    outcomes, baseline: Iterable[BaselineEntry]
+) -> Dict[str, WarningDiff]:
+    """Per-unit diffs across a batch sweep (analyzed units only).
+
+    Baseline entries for units the sweep skipped or failed are excluded
+    entirely: a unit that did not run can neither fix nor persist its
+    findings, and counting them would make partial sweeps look like
+    mass fixes.  Returned dict is keyed by unit, sorted, one entry per
+    analyzed unit (empty diffs included so consumers see full coverage).
+    """
+    analyzed = {o.unit for o in outcomes if o.ok}
+    current = entries_from_outcomes(outcomes)
+    per_unit: Dict[str, WarningDiff] = {}
+    for unit in sorted(analyzed):
+        per_unit[unit] = diff_entries(
+            [e for e in current if e.unit == unit],
+            [e for e in baseline if e.unit == unit],
+        )
+    return per_unit
+
+
+def merge_diffs(diffs: Iterable[WarningDiff]) -> WarningDiff:
+    """Fold per-unit diffs into one fleet-wide classification."""
+    merged = WarningDiff(new=[], persisting=[], fixed=[])
+    for diff in diffs:
+        merged.new.extend(diff.new)
+        merged.persisting.extend(diff.persisting)
+        merged.fixed.extend(diff.fixed)
+    return merged

@@ -1,0 +1,340 @@
+"""A self-contained HTML observability report (``--html-report PATH``).
+
+One shareable file fusing everything a run knows about itself: the
+warning table (rank, fingerprint, baseline diff status, expandable
+``--explain``-style provenance), the metrics registry (fleet percentiles
+under ``--batch``), the text profile tree, and the batch unit status
+grid.  The output is a **single file with no network fetches** -- all
+CSS and JS are inlined, there are no ``<link>``/``<img src=http...>``
+references -- so it can be attached to a CI run or mailed around and
+render identically offline.
+
+Rendering works from plain data (duck-typed report/batch objects plus
+the diff structures of :mod:`repro.obs.history`), so cached batch
+outcomes -- which carry only fingerprints and rendered warning lines,
+not full reports -- produce the same table as freshly analyzed ones.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["render_html_report", "write_html_report"]
+
+
+def _esc(value: Any) -> str:
+    return _html.escape(str(value), quote=True)
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; padding: 0 1rem;
+       color: #1a1a1a; background: #fcfcfc; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: 0.85rem; }
+th, td { border: 1px solid #ddd; padding: 0.3rem 0.5rem;
+         text-align: left; vertical-align: top; }
+th { background: #f0f0f0; }
+tr:nth-child(even) td { background: #f7f7f7; }
+code, pre { font-family: ui-monospace, 'SF Mono', Menlo, monospace; }
+pre.profile { background: #f4f4f4; border: 1px solid #ddd;
+              padding: 0.6rem; overflow-x: auto; font-size: 0.78rem; }
+details > pre { margin: 0.3rem 0 0 0; }
+.rank-high { color: #b30000; font-weight: 600; }
+.rank-low { color: #666; }
+.diff-new { background: #ffe3e3; color: #8a0000; border-radius: 3px;
+            padding: 0 0.3rem; font-weight: 600; }
+.diff-persisting { background: #eef; color: #334; border-radius: 3px;
+                   padding: 0 0.3rem; }
+.diff-fixed { background: #e2f6e2; color: #0a5a0a; border-radius: 3px;
+              padding: 0 0.3rem; }
+.grid { display: flex; flex-wrap: wrap; gap: 0.4rem; margin: 0.6rem 0; }
+.cell { border-radius: 4px; padding: 0.35rem 0.6rem; font-size: 0.8rem;
+        border: 1px solid rgba(0,0,0,0.15); }
+.cell-clean { background: #e2f6e2; } .cell-warnings { background: #fff3cd; }
+.cell-cached { outline: 2px dashed #88a; }
+.cell-input-error, .cell-internal-error, .cell-budget-exhausted
+  { background: #ffd6d6; }
+.cell-skipped { background: #eee; color: #888; }
+.summary-line { color: #444; }
+footer { margin-top: 2.5rem; color: #999; font-size: 0.75rem; }
+"""
+
+# The only script: expand/collapse every provenance chain at once.
+_JS = """
+function toggleAll(open) {
+  document.querySelectorAll('details').forEach(d => d.open = open);
+}
+"""
+
+
+def _diff_status_index(diff) -> Dict[Tuple[str, str], str]:
+    """(unit, fingerprint) -> 'new' | 'persisting' (from a WarningDiff)."""
+    index: Dict[Tuple[str, str], str] = {}
+    if diff is None:
+        return index
+    for entry in diff.new:
+        index[entry.key] = "new"
+    for entry in diff.persisting:
+        index[entry.key] = "persisting"
+    return index
+
+
+def _warning_rows(
+    rows: List[Dict[str, Any]],
+    explanations: Optional[Mapping[str, str]],
+) -> List[str]:
+    out: List[str] = []
+    out.append(
+        "<table><tr><th>#</th><th>unit</th><th>rank</th>"
+        "<th>fingerprint</th><th>status</th><th>warning</th></tr>"
+    )
+    for index, row in enumerate(rows, 1):
+        status = row.get("status")
+        status_html = (
+            f'<span class="diff-{_esc(status)}">{_esc(status)}</span>'
+            if status
+            else "&mdash;"
+        )
+        description = _esc(row["description"])
+        explanation = (explanations or {}).get(row["fingerprint"])
+        if explanation:
+            description += (
+                "<details><summary>derivation</summary>"
+                f"<pre>{_esc(explanation)}</pre></details>"
+            )
+        rank = row["rank"]
+        out.append(
+            f"<tr><td>{index}</td><td><code>{_esc(row['unit'])}</code></td>"
+            f'<td><span class="rank-{_esc(rank)}">{_esc(rank)}</span></td>'
+            f"<td><code>{_esc(row['fingerprint'])}</code></td>"
+            f"<td>{status_html}</td><td>{description}</td></tr>"
+        )
+    out.append("</table>")
+    if not rows:
+        out.append('<p class="summary-line">no warnings reported.</p>')
+    return out
+
+
+def _fixed_rows(diff) -> List[str]:
+    if diff is None or not diff.fixed:
+        return []
+    out = ["<h2>Fixed since baseline</h2>", "<table>"]
+    out.append("<tr><th>unit</th><th>fingerprint</th><th>warning</th></tr>")
+    for entry in diff.fixed:
+        out.append(
+            f"<tr><td><code>{_esc(entry.unit)}</code></td>"
+            f"<td><code>{_esc(entry.fingerprint)}</code></td>"
+            f"<td>{_esc(entry.description)}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def _metrics_table(metrics: Mapping[str, Any], caption: str) -> List[str]:
+    if not metrics:
+        return []
+    out = [f"<h2>{_esc(caption)}</h2>", "<table>"]
+    first = next(iter(metrics.values()))
+    if isinstance(first, Mapping):  # fleet percentiles / histogram summaries
+        columns = list(first.keys())
+        out.append(
+            "<tr><th>metric</th>"
+            + "".join(f"<th>{_esc(c)}</th>" for c in columns)
+            + "</tr>"
+        )
+        for name, summary in metrics.items():
+            if not isinstance(summary, Mapping):
+                continue
+            out.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                + "".join(
+                    f"<td>{_esc(summary.get(c, ''))}</td>" for c in columns
+                )
+                + "</tr>"
+            )
+    else:
+        out.append("<tr><th>metric</th><th>value</th></tr>")
+        for name, value in metrics.items():
+            if isinstance(value, Mapping):
+                value = " ".join(f"{k}={v}" for k, v in value.items())
+            out.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f"<td>{_esc(value)}</td></tr>"
+            )
+    out.append("</table>")
+    return out
+
+
+def _unit_grid(batch) -> List[str]:
+    out = ["<h2>Batch units</h2>", '<div class="grid">']
+    for outcome in batch.outcomes:
+        classes = f"cell cell-{_esc(outcome.status)}"
+        if getattr(outcome, "cached", False):
+            classes += " cell-cached"
+        detail = (
+            f"{outcome.warnings} warning(s), {outcome.high} high"
+            if outcome.ok
+            else (outcome.error or outcome.status)
+        )
+        code = "&mdash;" if outcome.exit_code is None else outcome.exit_code
+        out.append(
+            f'<div class="{classes}"><strong>{_esc(outcome.unit)}</strong>'
+            f"<br>{_esc(outcome.status)} (exit {code})<br>"
+            f"{_esc(detail)}</div>"
+        )
+    out.append("</div>")
+    return out
+
+
+def render_html_report(
+    title: str = "RegionWiz observability report",
+    report=None,
+    batch=None,
+    diff=None,
+    per_unit_diff: Optional[Mapping[str, Any]] = None,
+    profile: Optional[str] = None,
+    explanations: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render the report as one self-contained HTML document string.
+
+    Exactly one of ``report`` (a single-run
+    :class:`~repro.tool.regionwiz.RegionWizReport`) or ``batch`` (a
+    :class:`~repro.tool.batch.BatchResult`) should be given.  ``diff``
+    is the fleet-wide :class:`~repro.obs.history.WarningDiff` (when a
+    baseline was supplied), ``per_unit_diff`` its per-unit breakdown,
+    ``profile`` the tracer's text tree, and ``explanations`` a
+    fingerprint -> derivation-chain mapping rendered as expandable
+    ``<details>`` blocks.
+    """
+    body: List[str] = [f"<h1>{_esc(title)}</h1>"]
+
+    # Header summary line(s).
+    if report is not None:
+        row = report.fig11_row()
+        body.append(
+            f'<p class="summary-line"><code>{_esc(report.name)}</code>: '
+            f"{row.regions} region(s), {row.objects} object(s), "
+            f"{row.i_pairs} instruction pair(s), {row.high} high-ranked, "
+            f"precision <code>{_esc(report.precision)}</code>, "
+            f"{row.time_seconds * 1000:.1f}ms</p>"
+        )
+    if batch is not None:
+        body.append(
+            f'<p class="summary-line">batch: {len(batch.succeeded)}/'
+            f"{len(batch.outcomes)} unit(s) analyzed, "
+            f"{len(batch.failed)} failed, {len(batch.skipped)} skipped, "
+            f"exit {batch.exit_code()}</p>"
+        )
+    if diff is not None:
+        counts = diff.counts()
+        body.append(
+            '<p class="summary-line">baseline diff: '
+            f'<span class="diff-new">{counts["new"]} new</span> '
+            f'<span class="diff-persisting">{counts["persisting"]}'
+            " persisting</span> "
+            f'<span class="diff-fixed">{counts["fixed"]} fixed</span></p>'
+        )
+
+    # Warning table.
+    body.append("<h2>Warnings</h2>")
+    if explanations:
+        body.append(
+            "<p><button onclick=\"toggleAll(true)\">expand all</button> "
+            "<button onclick=\"toggleAll(false)\">collapse all</button></p>"
+        )
+    status_index = _diff_status_index(diff)
+    rows: List[Dict[str, Any]] = []
+    if report is not None:
+        for warning in report.warnings:
+            key = (report.name, warning.fingerprint)
+            rows.append(
+                {
+                    "unit": report.name,
+                    "rank": "high" if warning.high_ranked else "low",
+                    "fingerprint": warning.fingerprint,
+                    "status": status_index.get(key),
+                    "description": warning.description,
+                }
+            )
+    if batch is not None:
+        for outcome in batch.outcomes:
+            if not outcome.ok:
+                continue
+            for fingerprint, line in zip(
+                outcome.fingerprints, outcome.warning_lines
+            ):
+                rows.append(
+                    {
+                        "unit": outcome.unit,
+                        "rank": "high" if line.startswith("[HIGH]") else "low",
+                        "fingerprint": fingerprint,
+                        "status": status_index.get((outcome.unit, fingerprint)),
+                        "description": (
+                            line.split("] ", 1)[1] if "] " in line else line
+                        ),
+                    }
+                )
+    body.extend(_warning_rows(rows, explanations))
+    body.extend(_fixed_rows(diff))
+
+    # Batch unit grid + per-unit diff table.
+    if batch is not None:
+        body.extend(_unit_grid(batch))
+        if per_unit_diff:
+            body.append("<h2>Baseline diff per unit</h2><table>")
+            body.append(
+                "<tr><th>unit</th><th>new</th><th>persisting</th>"
+                "<th>fixed</th></tr>"
+            )
+            for unit, unit_diff in per_unit_diff.items():
+                counts = unit_diff.counts()
+                body.append(
+                    f"<tr><td><code>{_esc(unit)}</code></td>"
+                    f'<td>{counts["new"]}</td>'
+                    f'<td>{counts["persisting"]}</td>'
+                    f'<td>{counts["fixed"]}</td></tr>'
+                )
+            body.append("</table>")
+
+    # Metrics.
+    if report is not None and report.metrics is not None:
+        body.extend(_metrics_table(report.metrics.to_dict(), "Metrics"))
+    if batch is not None:
+        fleet = batch.fleet_metrics()
+        if fleet:
+            body.extend(
+                _metrics_table(
+                    fleet,
+                    f"Fleet metrics ({len(batch.unit_metrics())} unit(s))",
+                )
+            )
+        body.extend(
+            _metrics_table(batch.batch_metrics().to_dict(), "Batch metrics")
+        )
+
+    # Profile tree.
+    if profile:
+        body.append("<h2>Profile</h2>")
+        body.append(f'<pre class="profile">{_esc(profile)}</pre>')
+
+    body.append(
+        "<footer>generated by regionwiz --html-report; self-contained"
+        " (inline CSS/JS, no network fetches)</footer>"
+    )
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style><script>{_JS}</script></head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body></html>\n"
+    )
+
+
+def write_html_report(path: str, **kwargs: Any) -> None:
+    """Render and write the report to ``path`` (see
+    :func:`render_html_report` for the keyword arguments)."""
+    document = render_html_report(**kwargs)
+    with open(path, "w") as handle:
+        handle.write(document)

@@ -106,6 +106,8 @@ class MetricsRegistry:
             payload[name] = round(value, 6) if isinstance(value, float) else value
         for name, samples in self._histograms.items():
             ordered = sorted(samples)
+            if not ordered:  # defensively skip an empty distribution
+                continue
             payload[name] = {
                 "count": len(ordered),
                 "min": round(ordered[0], 6),
@@ -136,6 +138,8 @@ def aggregate_metrics(
     aggregated: Dict[str, Dict[str, float]] = {}
     for name, values in sorted(samples.items()):
         ordered = sorted(values)
+        if not ordered:  # zero-unit / all-skipped sweeps aggregate to {}
+            continue
         aggregated[name] = {
             "count": len(ordered),
             "min": round(ordered[0], 6),

@@ -76,6 +76,14 @@ from repro.interfaces import (
     rc_regions_interface,
 )
 from repro.lang.errors import CompileError
+from repro.obs.events import (
+    EventLog,
+    current_event_log,
+    emit_event,
+    install_event_log,
+    uninstall_event_log,
+)
+from repro.obs.history import WarningDiff, merge_diffs
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
 from repro.obs.trace import (
     SpanRecord,
@@ -155,6 +163,10 @@ class UnitOutcome:
     #: Rendered warning lines (``[HIGH] ...``), for cross-mode equality
     #: checks and cache replay; not part of :meth:`to_dict`.
     warning_lines: List[str] = field(default_factory=list)
+    #: Content-stable fingerprints, index-aligned with ``warning_lines``
+    #: (see :mod:`repro.obs.fingerprint`); carried through the cache so
+    #: replayed outcomes still diff against baselines.
+    fingerprints: List[str] = field(default_factory=list)
     #: True when this outcome was replayed from the persistent cache.
     cached: bool = False
     error: Optional[str] = None
@@ -184,6 +196,8 @@ class UnitOutcome:
                 payload["degradation_path"] = list(self.degradation_path)
             if self.metrics is not None:
                 payload["metrics"] = dict(self.metrics)
+            if self.fingerprints:
+                payload["fingerprints"] = list(self.fingerprints)
             if self.cached:
                 payload["cached"] = True
         if self.error is not None:
@@ -201,6 +215,7 @@ class UnitOutcome:
         payload = self.to_dict()
         payload.pop("cached", None)
         payload["warning_lines"] = list(self.warning_lines)
+        payload["fingerprints"] = list(self.fingerprints)
         return payload
 
     @classmethod
@@ -217,6 +232,7 @@ class UnitOutcome:
             degradation_path=tuple(payload.get("degradation_path", ())),
             metrics=payload.get("metrics"),
             warning_lines=list(payload.get("warning_lines", ())),
+            fingerprints=list(payload.get("fingerprints", ())),
             cached=True,
         )
 
@@ -234,6 +250,9 @@ class BatchResult:
     outcomes: List[UnitOutcome] = field(default_factory=list)
     #: Persistent-cache hit/miss counters (None: no cache configured).
     cache_counters: Optional[Dict[str, int]] = None
+    #: Per-unit baseline diffs (set by the CLI when ``--baseline`` is
+    #: given; see :func:`repro.obs.history.diff_outcomes`).
+    per_unit_diff: Optional[Dict[str, WarningDiff]] = None
 
     def outcome(self, unit: str) -> UnitOutcome:
         for outcome in self.outcomes:
@@ -283,9 +302,17 @@ class BatchResult:
             "batch.cached", sum(1 for o in self.outcomes if o.cached)
         )
         if self.cache_counters is not None:
-            registry.inc("cache.hits", self.cache_counters["hits"])
-            registry.inc("cache.misses", self.cache_counters["misses"])
+            # .get(): a zero-unit sweep (or a cache that never probed)
+            # may carry partial counters; missing keys read as 0.
+            registry.inc("cache.hits", self.cache_counters.get("hits", 0))
+            registry.inc("cache.misses", self.cache_counters.get("misses", 0))
         return registry
+
+    def merged_diff(self) -> Optional[WarningDiff]:
+        """The fleet-wide baseline diff (None when no baseline was given)."""
+        if self.per_unit_diff is None:
+            return None
+        return merge_diffs(self.per_unit_diff.values())
 
     def to_json(self, indent: int = 2) -> str:
         """The partial-results summary (stable schema for CI)."""
@@ -302,6 +329,16 @@ class BatchResult:
         fleet = self.fleet_metrics()
         if fleet:
             payload["fleet_metrics"] = fleet
+        if self.per_unit_diff is not None:
+            merged = self.merged_diff()
+            assert merged is not None
+            payload["baseline_diff"] = {
+                "counts": merged.counts(),
+                "units": {
+                    unit: diff.to_dict()
+                    for unit, diff in sorted(self.per_unit_diff.items())
+                },
+            }
         return json.dumps(payload, indent=indent)
 
     def metrics_summary(self) -> str:
@@ -351,6 +388,9 @@ class BatchResult:
                 lines.append(
                     f"  {o.unit}: {o.status} [{o.error_type}] {o.error}"
                 )
+        merged = self.merged_diff()
+        if merged is not None:
+            lines.append(merged.format())
         return "\n".join(lines)
 
 
@@ -460,6 +500,7 @@ def _analyze_unit_isolated(
                 report.metrics.to_dict() if report.metrics is not None else None
             ),
             warning_lines=[str(w) for w in report.warnings],
+            fingerprints=[w.fingerprint for w in report.warnings],
             report=report,
         )
 
@@ -498,6 +539,7 @@ def _cache_lookup(
         return None
     payload = cache.lookup(key)
     if payload is None:
+        emit_event("cache.miss", unit=unit.name, key=key)
         return None
     try:
         outcome = UnitOutcome.from_cache_payload(payload)
@@ -506,12 +548,15 @@ def _cache_lookup(
         # a corrupt entry -- fall back to analysis.
         cache.hits -= 1
         cache.misses += 1
+        emit_event("cache.miss", unit=unit.name, key=key, corrupt=True)
         return None
     if outcome.unit != unit.name or not outcome.ok:
         cache.hits -= 1
         cache.misses += 1
+        emit_event("cache.miss", unit=unit.name, key=key, mismatch=True)
         return None
     trace_instant("batch.cache-hit", unit=unit.name)
+    emit_event("cache.hit", unit=unit.name, key=key)
     return outcome
 
 
@@ -540,7 +585,25 @@ _WorkerTask = Tuple[
     int,  # max_retries
     List[faults.FaultSpec],
     Optional[float],  # parent tracer epoch (None: tracing off)
+    Optional[str],  # parent event-log path (None: event logging off)
+    Optional[float],  # parent event-log epoch
 ]
+
+
+#: The worker's event log, cached per process: a pool worker handles
+#: many tasks, and reopening the log per task would restart its seq
+#: counter -- seq must stay monotonic per *process* for the global
+#: (t_ms, pid, seq) ordering to hold.
+_WORKER_EVENT_LOG: Optional[EventLog] = None
+
+
+def _worker_event_log(path: str, epoch: Optional[float]) -> EventLog:
+    global _WORKER_EVENT_LOG
+    if _WORKER_EVENT_LOG is None or _WORKER_EVENT_LOG.path != path:
+        if _WORKER_EVENT_LOG is not None:
+            _WORKER_EVENT_LOG.close()
+        _WORKER_EVENT_LOG = EventLog(path, epoch=epoch, append=True)
+    return _WORKER_EVENT_LOG
 
 
 def _worker_analyze(
@@ -565,6 +628,8 @@ def _worker_analyze(
         max_retries,
         fault_specs,
         trace_epoch,
+        events_path,
+        events_epoch,
     ) = task
     faults.install(fault_specs)
     tracer = Tracer(epoch=trace_epoch) if trace_epoch is not None else None
@@ -572,6 +637,15 @@ def _worker_analyze(
         install_tracer(tracer)
     else:
         uninstall_tracer(None)  # drop any tracer inherited through fork
+    if events_path is not None:
+        # Append to the parent's file on the parent's timeline; each
+        # record is one short write, so lines interleave cleanly.  The
+        # log itself is cached per process (see _worker_event_log) and
+        # left open: buffering is per line, so nothing is lost when the
+        # pool tears the worker down.
+        install_event_log(_worker_event_log(events_path, events_epoch))
+    else:
+        uninstall_event_log(None)  # drop any log inherited through fork
     try:
         outcome = _analyze_unit(
             unit,
@@ -584,6 +658,7 @@ def _worker_analyze(
             max_retries,
         )
     finally:
+        uninstall_event_log(None)
         uninstall_tracer(None)
         faults.clear()
     outcome.report = None  # the full report does not cross the pool
@@ -636,6 +711,9 @@ def _run_batch_parallel(
 
     tracer = current_tracer()
     epoch = tracer.epoch if tracer is not None else None
+    event_log = current_event_log()
+    events_path = event_log.path if event_log is not None else None
+    events_epoch = event_log.epoch if event_log is not None else None
     spec_snapshot = faults.snapshot()
     workers = min(jobs, len(to_run))
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -653,6 +731,8 @@ def _run_batch_parallel(
                 max_retries,
                 spec_snapshot,
                 epoch,
+                events_path,
+                events_epoch,
             )
             futures[pool.submit(_worker_analyze, task)] = index
         for future in as_completed(futures):
@@ -766,4 +846,13 @@ def run_batch(
                 break
     if cache is not None:
         result.cache_counters = cache.counters()
+    for outcome in result.outcomes:
+        emit_event(
+            "batch.unit",
+            unit=outcome.unit,
+            status=outcome.status,
+            exit_code=outcome.exit_code,
+            attempts=outcome.attempts,
+            cached=outcome.cached,
+        )
     return result

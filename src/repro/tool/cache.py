@@ -45,7 +45,9 @@ from repro.util.budget import ResourceBudget
 __all__ = ["AnalysisCache", "CACHE_SCHEMA_VERSION"]
 
 #: Bump when the on-disk entry layout changes (old entries become misses).
-CACHE_SCHEMA_VERSION = 1
+#: 2: outcome payloads carry warning ``fingerprints`` (baseline diffing
+#: must work from cached outcomes, so pre-fingerprint entries are stale).
+CACHE_SCHEMA_VERSION = 2
 
 
 class AnalysisCache:

@@ -14,6 +14,11 @@ code  meaning
       ``--degrade`` was given
 ====  =========================================================
 
+With ``--fail-on-new`` (requires ``--baseline``), codes 0/1 are instead
+decided by the baseline diff: exit 1 only when *new* warnings appeared,
+so a CI gate stays green across known findings.  Hard failures (2/3/4)
+pass through unchanged.
+
 Multiple source files are concatenated into one translation unit; each
 chunk is prefixed with a ``#line 1 "<path>"`` marker so diagnostics and
 warning locations report the original file and line.
@@ -24,18 +29,39 @@ from __future__ import annotations
 import argparse
 import sys
 import traceback
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.lang.errors import CompileError
+from repro.obs.events import EventLog, install_event_log, uninstall_event_log
+from repro.obs.history import (
+    WarningDiff,
+    diff_entries,
+    diff_outcomes,
+    entries_from_outcomes,
+    entries_from_report,
+    load_baseline,
+    save_baseline,
+)
+from repro.obs.html import write_html_report
 from repro.obs.metrics import format_metrics
-from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
+from repro.obs.trace import (
+    Tracer,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
 from repro.pointer import AnalysisOptions
 from repro.tool.batch import BatchUnit, run_batch
-from repro.tool.regionwiz import run_regionwiz
+from repro.tool.regionwiz import RegionWizReport, run_regionwiz
 from repro.tool.report import format_report, format_solver_stats
 from repro.util.budget import ResourceBudget
 from repro.util.errors import BudgetExceeded, InputError
+
+#: Provenance chains embedded in the HTML report are capped: --explain
+#: recomputes the full Datalog derivation per warning, so unbounded
+#: expansion would dominate large reports.
+_HTML_EXPLAIN_CAP = 10
 
 __all__ = ["main", "build_parser"]
 
@@ -258,6 +284,58 @@ def build_parser() -> argparse.ArgumentParser:
             " (1-based, report order) instead of the warning listing"
         ),
     )
+    obs.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append a structured JSONL event log to PATH: phase"
+            " boundaries, ladder degradations, budget trips, cache"
+            " probes, batch unit outcomes, and warning emissions"
+            " (workers share the parent's file and timeline)"
+        ),
+    )
+    obs.add_argument(
+        "--html-report",
+        metavar="PATH",
+        default=None,
+        dest="html_report",
+        help=(
+            "write a single self-contained HTML report (inline CSS/JS,"
+            " no network fetches): warning table with fingerprints and"
+            " diff status, metrics, profile tree, batch unit grid"
+        ),
+    )
+    history = parser.add_argument_group(
+        "warning history",
+        "content-stable fingerprints make warnings diffable across"
+        " runs; baselines are JSONL files of (unit, fingerprint) records",
+    )
+    history.add_argument(
+        "--save-baseline",
+        metavar="PATH",
+        default=None,
+        dest="save_baseline",
+        help="write this run's warnings as a baseline JSONL file",
+    )
+    history.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "diff this run against a saved baseline, classifying each"
+            " warning as new/persisting/fixed in the report"
+        ),
+    )
+    history.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        dest="fail_on_new",
+        help=(
+            "CI gate: exit 1 only when warnings NOT in --baseline"
+            " appear (known warnings exit 0; hard failures unchanged)"
+        ),
+    )
     return parser
 
 
@@ -339,13 +417,58 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
     )
+    merged: Optional[WarningDiff] = None
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        result.per_unit_diff = diff_outcomes(result.outcomes, baseline)
+        merged = result.merged_diff()
+    if args.save_baseline:
+        save_baseline(
+            args.save_baseline, entries_from_outcomes(result.outcomes)
+        )
     if args.json_output:
         print(result.to_json())
     else:
         print(result.summary())
     if args.metrics:
         print(result.metrics_summary(), file=sys.stderr)
-    return result.exit_code()
+    if args.html_report:
+        write_html_report(
+            args.html_report,
+            title="RegionWiz batch report",
+            batch=result,
+            diff=merged,
+            per_unit_diff=result.per_unit_diff,
+            profile=_profile_tree(),
+        )
+    code = result.exit_code()
+    if args.fail_on_new and code in (0, 1):
+        assert merged is not None  # --fail-on-new requires --baseline
+        return 1 if merged.has_new else 0
+    return code
+
+
+def _profile_tree() -> Optional[str]:
+    """The active tracer's span tree, for the HTML report's profile pane."""
+    tracer = current_tracer()
+    if tracer is None or not tracer.roots:
+        return None
+    return tracer.format_tree()
+
+
+def _html_explanations(report: RegionWizReport) -> Optional[Dict[str, str]]:
+    """fingerprint -> derivation chain for the first few warnings."""
+    from repro.obs.provenance import explain_warning
+
+    explanations: Dict[str, str] = {}
+    for number, warning in enumerate(report.warnings[:_HTML_EXPLAIN_CAP], 1):
+        try:
+            explanations[warning.fingerprint] = explain_warning(
+                report, number
+            ).format()
+        except Exception:  # provenance is best-effort decoration here
+            continue
+    return explanations or None
 
 
 def _options_from_args(args: argparse.Namespace) -> AnalysisOptions:
@@ -362,12 +485,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     tracer: Optional[Tracer] = None
     previous: Optional[Tracer] = None
-    if args.trace or args.profile:
+    # --html-report embeds the profile tree, so it wants a tracer too.
+    if args.trace or args.profile or args.html_report:
         tracer = Tracer()
         previous = install_tracer(tracer)
+    event_log: Optional[EventLog] = None
+    previous_log: Optional[EventLog] = None
+    if args.events:
+        try:
+            event_log = EventLog(args.events)
+        except OSError as error:
+            if tracer is not None:
+                uninstall_tracer(previous)
+            print(
+                f"regionwiz: cannot write event log {args.events}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        previous_log = install_event_log(event_log)
     try:
         return _run(args)
     finally:
+        if event_log is not None:
+            uninstall_event_log(previous_log)
+            event_log.close()
         if tracer is not None:
             uninstall_tracer(previous)
             if args.trace:
@@ -377,6 +518,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _run(args: argparse.Namespace) -> int:
+    if args.fail_on_new and not args.baseline:
+        print(
+            "regionwiz: --fail-on-new requires --baseline", file=sys.stderr
+        )
+        return 2
     try:
         if args.batch:
             return _run_batch_mode(args)
@@ -427,6 +573,20 @@ def _run(args: argparse.Namespace) -> int:
         return 3
     if not args.all:
         report.warnings = [w for w in report.warnings if w.high_ranked]
+    try:
+        diff: Optional[WarningDiff] = None
+        if args.baseline:
+            baseline = [
+                entry
+                for entry in load_baseline(args.baseline)
+                if entry.unit == report.name
+            ]
+            diff = diff_entries(entries_from_report(report), baseline)
+        if args.save_baseline:
+            save_baseline(args.save_baseline, entries_from_report(report))
+    except InputError as error:
+        print(f"regionwiz: {error}", file=sys.stderr)
+        return 2
     if args.solver_stats and report.times.solver is not None:
         print("solver statistics:", file=sys.stderr)
         print(format_solver_stats(report.times.solver), file=sys.stderr)
@@ -436,6 +596,15 @@ def _run(args: argparse.Namespace) -> int:
     if args.explain is not None:
         from repro.obs.provenance import explain_warning
 
+        total = len(report.warnings)
+        if args.explain < 1 or args.explain > total:
+            valid = f"valid range: 1..{total}" if total else "no warnings"
+            print(
+                f"regionwiz: --explain {args.explain} is out of range"
+                f" ({valid})",
+                file=sys.stderr,
+            )
+            return 2
         try:
             explanation = explain_warning(report, args.explain)
         except (IndexError, ValueError) as error:
@@ -446,9 +615,21 @@ def _run(args: argparse.Namespace) -> int:
     if args.json_output:
         from repro.tool.report import report_to_json
 
-        print(report_to_json(report))
+        print(report_to_json(report, diff=diff))
     else:
-        print(format_report(report, verbose=args.verbose))
+        print(format_report(report, verbose=args.verbose, diff=diff))
+    if args.html_report:
+        write_html_report(
+            args.html_report,
+            title=f"RegionWiz report: {report.name}",
+            report=report,
+            diff=diff,
+            profile=_profile_tree(),
+            explanations=_html_explanations(report),
+        )
+    if args.fail_on_new:
+        assert diff is not None  # validated above
+        return 1 if diff.has_new else 0
     return 1 if report.warnings else 0
 
 

@@ -34,6 +34,7 @@ fewer real inconsistencies.  The rung used is recorded on the report
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -55,6 +56,8 @@ from repro.datalog import SolverStats
 from repro.interfaces import RegionInterface, apr_pools_interface
 from repro.ir import IRModule, lower
 from repro.lang import SemaResult, SourceLocation, analyze, parse
+from repro.obs.events import emit_event
+from repro.obs.fingerprint import warning_fingerprint
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import trace_span
 from repro.pointer import (
@@ -123,6 +126,10 @@ class Warning_:
     high_ranked: bool
     num_contexts: int
     description: str
+    #: Content-stable identity (see :mod:`repro.obs.fingerprint`); the
+    #: same finding keeps the same fingerprint across engine choice,
+    #: sharding, ranking tweaks, and warning order.
+    fingerprint: str = ""
 
     def __str__(self) -> str:
         rank = "HIGH" if self.high_ranked else "low "
@@ -279,6 +286,23 @@ def _describe(module: IRModule, ipair: IPair) -> str:
     )
 
 
+@contextmanager
+def _phase_events(phase: str, unit: str):
+    """Bracket one pipeline phase with ``phase.start``/``phase.end``
+    records on the active event log (no-op when ``--events`` is off)."""
+    emit_event("phase.start", phase=phase, unit=unit)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        emit_event(
+            "phase.end",
+            phase=phase,
+            unit=unit,
+            duration_ms=round((time.perf_counter() - start) * 1000.0, 3),
+        )
+
+
 def _run_pipeline(
     source: str,
     filename: str,
@@ -295,7 +319,7 @@ def _run_pipeline(
     times = PhaseTimes()
 
     # Frontend (the paper gets IR from Phoenix; we parse and lower).
-    with trace_span("phase.frontend") as span:
+    with trace_span("phase.frontend") as span, _phase_events("frontend", name):
         faults.fire("frontend", unit=name, meter=meter)
         sema = analyze(parse(source, filename))
         module = lower(sema)
@@ -303,7 +327,9 @@ def _run_pipeline(
 
     # Phase 1: call graph construction.
     start = time.perf_counter()
-    with trace_span("phase.call-graph") as span:
+    with trace_span("phase.call-graph") as span, _phase_events(
+        "call-graph", name
+    ):
         faults.fire("call-graph", unit=name, meter=meter)
         graph = build_call_graph(
             module, entry=entry, registry=registry, meter=meter
@@ -313,7 +339,9 @@ def _run_pipeline(
 
     # Phase 2: context cloning.
     start = time.perf_counter()
-    with trace_span("phase.context-cloning") as span:
+    with trace_span("phase.context-cloning") as span, _phase_events(
+        "context-cloning", name
+    ):
         faults.fire("context-cloning", unit=name, meter=meter)
         numbering = number_contexts(
             graph,
@@ -326,7 +354,9 @@ def _run_pipeline(
 
     # Phase 3: conditional correlation computation.
     start = time.perf_counter()
-    with trace_span("phase.correlation") as span:
+    with trace_span("phase.correlation") as span, _phase_events(
+        "correlation", name
+    ):
         faults.fire("correlation", unit=name, meter=meter)
         analysis = analyze_pointers(graph, interface, options, numbering, meter)
         consistency = check_consistency(analysis)
@@ -341,7 +371,9 @@ def _run_pipeline(
 
     # Phase 4: post processing.
     start = time.perf_counter()
-    with trace_span("phase.post-processing") as span:
+    with trace_span("phase.post-processing") as span, _phase_events(
+        "post-processing", name
+    ):
         faults.fire("post-processing", unit=name, meter=meter)
         if meter is not None:
             meter.checkpoint("post-processing")
@@ -358,18 +390,28 @@ def _run_pipeline(
                     key=str,
                 )
             )
-            warnings.append(
-                Warning_(
-                    source_site=ipair.source_site,
-                    target_site=ipair.target_site,
-                    source_loc=_loc_of_site(module, ipair.source_site),
-                    target_loc=_loc_of_site(module, ipair.target_site),
-                    store_locs=store_locs,
-                    high_ranked=ipair.high_ranked,
-                    num_contexts=ipair.num_contexts,
-                    description=_describe(module, ipair),
-                )
+            warning = Warning_(
+                source_site=ipair.source_site,
+                target_site=ipair.target_site,
+                source_loc=_loc_of_site(module, ipair.source_site),
+                target_loc=_loc_of_site(module, ipair.target_site),
+                store_locs=store_locs,
+                high_ranked=ipair.high_ranked,
+                num_contexts=ipair.num_contexts,
+                description=_describe(module, ipair),
             )
+            warning = replace(
+                warning,
+                fingerprint=warning_fingerprint(warning, interface.name),
+            )
+            emit_event(
+                "warning",
+                unit=name,
+                fingerprint=warning.fingerprint,
+                rank="high" if warning.high_ranked else "low",
+                description=warning.description,
+            )
+            warnings.append(warning)
         span.set(
             i_pairs=ranked.i_pair_count,
             high=ranked.high_count,
@@ -491,6 +533,15 @@ def run_regionwiz(
                     meter,
                 )
         except BudgetExceeded as error:
+            emit_event(
+                "ladder.degrade",
+                unit=name,
+                precision=rung,
+                resource=error.resource,
+                limit=error.limit,
+                used=error.used,
+                phase=error.phase,
+            )
             failed_rungs.append(rung)
             last_error = error
             continue

@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.datalog import SolverStats
+from repro.obs.history import WarningDiff
 from repro.tool.regionwiz import Fig11Row, RegionWizReport
 
 __all__ = [
@@ -23,8 +24,16 @@ def format_solver_stats(stats: SolverStats, indent: str = "  ") -> str:
     )
 
 
-def format_report(report: RegionWizReport, verbose: bool = False) -> str:
-    """Human-readable warning listing, high-ranked first."""
+def format_report(
+    report: RegionWizReport,
+    verbose: bool = False,
+    diff: Optional[WarningDiff] = None,
+) -> str:
+    """Human-readable warning listing, high-ranked first.
+
+    ``diff`` (set when the CLI was given ``--baseline``) appends the
+    new/persisting/fixed classification block.
+    """
     lines: List[str] = []
     row = report.fig11_row()
     lines.append(f"RegionWiz report for {report.name}")
@@ -53,20 +62,33 @@ def format_report(report: RegionWizReport, verbose: bool = False) -> str:
     # Solver stats deliberately do NOT appear here: the warning listing is
     # the machine-greppable product on stdout, so --stats goes to stderr
     # (see repro.tool.cli) or into the JSON report.
+    new_fingerprints = (
+        {entry.fingerprint for entry in diff.new} if diff is not None else set()
+    )
     if report.is_consistent:
         lines.append("  region lifetime is consistent: no warnings")
-        return "\n".join(lines)
-    lines.append("")
-    for index, warning in enumerate(report.warnings, 1):
-        rank = "HIGH" if warning.high_ranked else "low"
-        lines.append(f"warning {index} [{rank}]: {warning.description}")
-        if verbose and warning.store_locs:
-            for loc in warning.store_locs:
-                lines.append(f"    pointer stored at {loc}")
+    else:
+        lines.append("")
+        for index, warning in enumerate(report.warnings, 1):
+            rank = "HIGH" if warning.high_ranked else "low"
+            marker = " NEW" if warning.fingerprint in new_fingerprints else ""
+            lines.append(
+                f"warning {index} [{rank}]{marker}: {warning.description}"
+            )
+            if verbose:
+                if warning.fingerprint:
+                    lines.append(f"    fingerprint {warning.fingerprint}")
+                for loc in warning.store_locs:
+                    lines.append(f"    pointer stored at {loc}")
+    if diff is not None:
+        lines.append("")
+        lines.append(diff.format())
     return "\n".join(lines)
 
 
-def report_to_json(report: RegionWizReport) -> str:
+def report_to_json(
+    report: RegionWizReport, diff: Optional[WarningDiff] = None
+) -> str:
     """Machine-readable report (stable schema for CI integration)."""
     row = report.fig11_row()
     payload = {
@@ -100,6 +122,7 @@ def report_to_json(report: RegionWizReport) -> str:
         "warnings": [
             {
                 "rank": "high" if warning.high_ranked else "low",
+                "fingerprint": warning.fingerprint,
                 "source": str(warning.source_loc),
                 "target": str(warning.target_loc),
                 "stores": [str(loc) for loc in warning.store_locs],
@@ -109,6 +132,8 @@ def report_to_json(report: RegionWizReport) -> str:
             for warning in report.warnings
         ],
     }
+    if diff is not None:
+        payload["baseline_diff"] = diff.to_dict()
     if report.budget is not None:
         payload["budget"] = report.budget.to_dict()
     if report.budget_usage is not None:

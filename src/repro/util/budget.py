@@ -96,24 +96,42 @@ class BudgetMeter:
         """Poison the meter: every subsequent check raises."""
         self._corrupted = True
 
+    def _trip(
+        self, resource: str, limit: float, used: float, phase: str
+    ) -> None:
+        """Emit a ``budget.trip`` event and raise (the only raise path).
+
+        The event log import is local: this is the cold path (budget
+        exhaustion), and :mod:`repro.obs.events` layers above
+        :mod:`repro.util` at import time.
+        """
+        from repro.obs.events import emit_event
+
+        emit_event(
+            "budget.trip",
+            resource=resource,
+            limit=limit,
+            used=used,
+            phase=phase,
+        )
+        raise BudgetExceeded(resource, limit, used, phase)
+
     def checkpoint(self, phase: str) -> None:
         """Wall-clock check; call at the top of every fixpoint round."""
         if self._corrupted:
-            raise BudgetExceeded("corrupted", 0, 0, phase)
+            self._trip("corrupted", 0, 0, phase)
         if self._deadline is not None and self._clock() > self._deadline:
             assert self.budget.wall_clock_seconds is not None
             limit = self.budget.wall_clock_seconds
             used = limit + (self._clock() - self._deadline)
-            raise BudgetExceeded("wall_clock", limit, used, phase)
+            self._trip("wall_clock", limit, used, phase)
 
     def charge_tuples(self, count: int, phase: str) -> None:
         """Add ``count`` newly derived tuples; also checks the deadline."""
         self.tuples_used += count
         limit = self.budget.max_derived_tuples
         if limit is not None and self.tuples_used > limit:
-            raise BudgetExceeded(
-                "derived_tuples", limit, self.tuples_used, phase
-            )
+            self._trip("derived_tuples", limit, self.tuples_used, phase)
         self.checkpoint(phase)
 
     def charge_contexts(self, total: int, phase: str) -> None:
@@ -121,7 +139,7 @@ class BudgetMeter:
         self.contexts_used = max(self.contexts_used, total)
         limit = self.budget.max_contexts
         if limit is not None and self.contexts_used > limit:
-            raise BudgetExceeded("contexts", limit, self.contexts_used, phase)
+            self._trip("contexts", limit, self.contexts_used, phase)
         self.checkpoint(phase)
 
     def charge_objects(self, total: int, phase: str) -> None:
@@ -129,7 +147,7 @@ class BudgetMeter:
         self.objects_used = max(self.objects_used, total)
         limit = self.budget.max_objects
         if limit is not None and self.objects_used > limit:
-            raise BudgetExceeded("objects", limit, self.objects_used, phase)
+            self._trip("objects", limit, self.objects_used, phase)
         self.checkpoint(phase)
 
     def usage(self) -> Dict[str, int]:

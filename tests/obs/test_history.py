@@ -1,0 +1,158 @@
+"""Baseline store round trips, byte-stability, and diff semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.history import (
+    BaselineEntry,
+    WarningDiff,
+    diff_entries,
+    diff_outcomes,
+    entries_from_outcomes,
+    load_baseline,
+    merge_diffs,
+    save_baseline,
+)
+from repro.tool.batch import UnitOutcome
+from repro.util.errors import InputError
+
+
+def _entry(unit="u", fp="f" * 16, rank="high", description="d"):
+    return BaselineEntry(
+        unit=unit, fingerprint=fp, rank=rank, description=description
+    )
+
+
+def _ok_outcome(unit, fingerprints, lines):
+    return UnitOutcome(
+        unit=unit,
+        status="warnings" if fingerprints else "clean",
+        exit_code=1 if fingerprints else 0,
+        warnings=len(fingerprints),
+        warning_lines=lines,
+        fingerprints=fingerprints,
+    )
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "base.jsonl"
+        entries = [_entry(fp="a" * 16), _entry(fp="b" * 16, rank="low")]
+        save_baseline(str(path), entries)
+        loaded = load_baseline(str(path))
+        assert loaded == sorted(entries, key=lambda e: e.key)
+
+    def test_byte_stable_across_input_order(self, tmp_path):
+        """The artifact is sorted + deduped: same set, same bytes."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        entries = [_entry(fp="a" * 16), _entry(fp="b" * 16)]
+        save_baseline(str(a), entries)
+        save_baseline(str(b), list(reversed(entries)) + [entries[0]])
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_lines_are_json(self, tmp_path):
+        path = tmp_path / "base.jsonl"
+        save_baseline(str(path), [_entry()])
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert set(record) == {"unit", "fingerprint", "rank", "description"}
+
+    def test_missing_file_is_input_error(self, tmp_path):
+        with pytest.raises(InputError):
+            load_baseline(str(tmp_path / "nope.jsonl"))
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"unit": "u", "fingerprint": "f"}\nnot json\n')
+        with pytest.raises(InputError, match="line 2"):
+            load_baseline(str(path))
+
+    def test_missing_identity_field_is_input_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"rank": "high"}\n')
+        with pytest.raises(InputError, match="line 1"):
+            load_baseline(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "base.jsonl"
+        path.write_text('\n{"unit": "u", "fingerprint": "f"}\n\n')
+        assert len(load_baseline(str(path))) == 1
+
+    def test_unwritable_path_is_input_error(self, tmp_path):
+        with pytest.raises(InputError):
+            save_baseline(str(tmp_path / "no" / "dir" / "b.jsonl"), [_entry()])
+
+
+class TestDiff:
+    def test_classification(self):
+        baseline = [_entry(fp="a" * 16), _entry(fp="b" * 16)]
+        current = [_entry(fp="b" * 16), _entry(fp="c" * 16)]
+        diff = diff_entries(current, baseline)
+        assert [e.fingerprint for e in diff.new] == ["c" * 16]
+        assert [e.fingerprint for e in diff.persisting] == ["b" * 16]
+        assert [e.fingerprint for e in diff.fixed] == ["a" * 16]
+        assert diff.has_new and not diff.clean
+        assert diff.counts() == {"new": 1, "persisting": 1, "fixed": 1}
+
+    def test_identity_is_unit_scoped(self):
+        """The same fingerprint in a different unit is a different finding."""
+        diff = diff_entries([_entry(unit="v")], [_entry(unit="u")])
+        assert len(diff.new) == 1 and len(diff.fixed) == 1
+
+    def test_self_diff_clean(self):
+        entries = [_entry(fp="a" * 16), _entry(fp="b" * 16)]
+        assert diff_entries(entries, entries).clean
+
+    def test_format_block(self):
+        diff = diff_entries([_entry(fp="c" * 16)], [_entry(fp="a" * 16)])
+        text = diff.format()
+        assert "1 new" in text and "1 fixed" in text
+        assert "c" * 16 in text and "a" * 16 in text
+
+    def test_to_dict_shape(self):
+        diff = diff_entries([_entry()], [_entry()])
+        payload = diff.to_dict()
+        assert payload["counts"]["persisting"] == 1
+        assert payload["persisting"] == [_entry().fingerprint]
+
+
+class TestDiffOutcomes:
+    def test_skipped_units_cannot_fake_fixes(self):
+        """Baseline entries of units the sweep did not analyze are
+        excluded entirely -- a partial sweep shows no phantom fixes."""
+        outcomes = [
+            _ok_outcome("u", ["a" * 16], ["[HIGH] d"]),
+            UnitOutcome(unit="v", status="skipped", exit_code=None),
+            UnitOutcome(
+                unit="w", status="internal-error", exit_code=3, error="boom"
+            ),
+        ]
+        baseline = [
+            _entry(unit="u", fp="a" * 16),
+            _entry(unit="v", fp="b" * 16),
+            _entry(unit="w", fp="c" * 16),
+        ]
+        per_unit = diff_outcomes(outcomes, baseline)
+        assert set(per_unit) == {"u"}
+        assert per_unit["u"].clean
+        merged = merge_diffs(per_unit.values())
+        assert not merged.fixed and not merged.new
+
+    def test_entries_from_outcomes_parses_rank(self):
+        outcome = _ok_outcome(
+            "u", ["a" * 16, "b" * 16], ["[HIGH] first", "[low ] second"]
+        )
+        entries = entries_from_outcomes([outcome])
+        assert entries[0].rank == "high" and entries[0].description == "first"
+        assert entries[1].rank == "low" and entries[1].description == "second"
+
+    def test_cached_outcomes_carry_fingerprints(self):
+        """The cache payload round trip preserves fingerprints, so warm
+        runs still diff (CACHE_SCHEMA_VERSION 2)."""
+        outcome = _ok_outcome("u", ["a" * 16], ["[HIGH] d"])
+        replayed = UnitOutcome.from_cache_payload(outcome.to_cache_payload())
+        assert replayed.fingerprints == ["a" * 16]
+        assert replayed.cached
+        diff = diff_outcomes([replayed], [_entry(unit="u", fp="a" * 16)])
+        assert diff["u"].clean

@@ -1,0 +1,106 @@
+"""The --html-report renderer: self-contained, complete, escaped."""
+
+import re
+
+import pytest
+
+from repro.obs.history import diff_entries, entries_from_report
+from repro.obs.html import render_html_report, write_html_report
+from repro.tool.batch import run_batch
+from repro.tool.regionwiz import run_regionwiz
+from repro.workloads import figure, figure_units
+
+
+@pytest.fixture(scope="module")
+def report():
+    program = figure("fig2c")
+    return run_regionwiz(program.full_source, name="fig2c")
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return run_batch(figure_units(["fig1", "fig2c"]), keep_going=True)
+
+
+def assert_self_contained(document):
+    """No network fetches: inline CSS/JS only, one file, renders offline."""
+    assert document.startswith("<!DOCTYPE html>")
+    assert "<style>" in document and "<script>" in document
+    assert "<link" not in document
+    assert not re.search(r'(src|href)\s*=\s*["\']?https?://', document)
+    assert "@import" not in document
+    assert document.count("<html") == 1
+
+
+class TestSingleRun:
+    def test_self_contained(self, report):
+        assert_self_contained(render_html_report(report=report))
+
+    def test_warning_table_fields(self, report):
+        document = render_html_report(report=report)
+        for warning in report.warnings:
+            assert warning.fingerprint in document
+        assert "rank-high" in document
+        assert "dangling pointer" in document
+
+    def test_diff_status_and_fixed_table(self, report):
+        entries = entries_from_report(report)
+        extinct = entries[0].__class__(
+            unit="fig2c", fingerprint="0" * 16, description="old & gone"
+        )
+        diff = diff_entries(entries, entries + [extinct])
+        document = render_html_report(report=report, diff=diff)
+        assert "diff-persisting" in document
+        assert "Fixed since baseline" in document
+        assert "old &amp; gone" in document  # escaped, not raw
+
+    def test_explanations_render_as_details(self, report):
+        fingerprint = report.warnings[0].fingerprint
+        document = render_html_report(
+            report=report,
+            explanations={fingerprint: "objectPair(a, 0, b) <- rule"},
+        )
+        assert "<details>" in document and "<summary>" in document
+        assert "objectPair(a, 0, b) &lt;- rule" in document
+        assert "toggleAll" in document
+
+    def test_profile_pane(self, report):
+        document = render_html_report(report=report, profile="root 1.2ms")
+        assert 'class="profile"' in document and "root 1.2ms" in document
+
+    def test_metrics_table(self, report):
+        document = render_html_report(report=report)
+        assert "pipeline.total_ms" in document
+
+    def test_no_warnings_message(self):
+        program = figure("fig1")
+        clean = run_regionwiz(program.full_source, name="fig1")
+        document = render_html_report(report=clean)
+        assert "no warnings reported" in document
+
+
+class TestBatch:
+    def test_self_contained(self, batch):
+        assert_self_contained(render_html_report(batch=batch))
+
+    def test_unit_grid_and_fleet_metrics(self, batch):
+        document = render_html_report(batch=batch)
+        assert "cell-clean" in document or "cell-warnings" in document
+        assert "Batch units" in document
+        assert "Fleet metrics" in document
+        assert "Batch metrics" in document
+
+    def test_warning_rows_from_slim_outcomes(self, batch):
+        """Rows come from fingerprints + warning_lines, so cached
+        outcomes (no report object) render identically."""
+        document = render_html_report(batch=batch)
+        for outcome in batch.outcomes:
+            for fingerprint in outcome.fingerprints:
+                assert fingerprint in document
+
+
+class TestWrite:
+    def test_write_html_report(self, tmp_path, report):
+        path = tmp_path / "out.html"
+        write_html_report(str(path), report=report)
+        assert_self_contained(path.read_text())

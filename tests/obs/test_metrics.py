@@ -90,6 +90,37 @@ class TestAggregation:
         assert fleet["a"]["count"] == 1
         assert fleet["b"]["count"] == 1
 
+    def test_zero_units_aggregate_to_empty(self):
+        """A zero-unit (or all-skipped) sweep must not KeyError."""
+        assert aggregate_metrics([]) == {}
+        assert aggregate_metrics([{}, {}]) == {}
+
+    def test_keys_emitted_sorted(self):
+        fleet = aggregate_metrics([{"z": 1, "a": 2, "m": 3}])
+        assert list(fleet) == sorted(fleet)
+        registry = MetricsRegistry()
+        registry.inc("z.last")
+        registry.gauge("a.first", 1)
+        registry.observe("m.mid", 2)
+        assert list(registry.to_dict()) == ["a.first", "m.mid", "z.last"]
+
+    def test_empty_batch_metrics_are_stable(self):
+        """Batch JSON on a zero-unit sweep stays byte-stable: no
+        missing-counter KeyError, sorted keys, empty fleet section."""
+        import json
+
+        from repro.tool.batch import BatchResult
+
+        result = BatchResult(outcomes=[], cache_counters={})
+        payload = json.loads(result.to_json())
+        assert payload["units"] == 0
+        assert "fleet_metrics" not in payload
+        batch = result.batch_metrics().to_dict()
+        assert batch["cache.hits"] == 0 and batch["cache.misses"] == 0
+        assert result.to_json() == BatchResult(
+            outcomes=[], cache_counters={}
+        ).to_json()
+
 
 class TestFormatting:
     def test_format_metrics_aligns_and_renders_summaries(self):

@@ -1,0 +1,212 @@
+"""CLI tests for the warning-lifecycle flags: --save-baseline,
+--baseline, --fail-on-new, --events, --html-report."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tool.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+CLEAN = str(EXAMPLES / "fig1_connection.rc")
+BROKEN = str(EXAMPLES / "fig1_connection_broken.rc")
+UNRELATED = str(EXAMPLES / "fig2_unrelated.rc")
+
+
+def _records(path):
+    return [json.loads(line) for line in open(path) if line.strip()]
+
+
+class TestBaselineSingleRun:
+    def test_save_then_self_diff_is_clean(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        assert main([BROKEN, "--all", "--save-baseline", base]) == 1
+        capsys.readouterr()
+        assert main([BROKEN, "--all", "--baseline", base]) == 1
+        out = capsys.readouterr().out
+        assert "baseline diff: 0 new, 1 persisting, 0 fixed" in out
+        assert " NEW" not in out
+
+    def test_new_warnings_marked_in_text_report(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main([BROKEN, "--all", "--baseline", str(empty)]) == 1
+        out = capsys.readouterr().out
+        assert "[HIGH] NEW:" in out
+        assert "baseline diff: 1 new, 0 persisting, 0 fixed" in out
+
+    def test_json_report_carries_fingerprints_and_diff(
+        self, tmp_path, capsys
+    ):
+        base = str(tmp_path / "base.jsonl")
+        main([BROKEN, "--all", "--save-baseline", base])
+        capsys.readouterr()
+        assert main([BROKEN, "--all", "--baseline", base, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert all(len(w["fingerprint"]) == 16 for w in payload["warnings"])
+        diff = payload["baseline_diff"]
+        assert diff["counts"] == {"new": 0, "persisting": 1, "fixed": 0}
+
+    def test_baseline_respects_rank_filter(self, tmp_path, capsys):
+        """Without --all the baseline records what the run reported."""
+        base = str(tmp_path / "base.jsonl")
+        main([BROKEN, "--save-baseline", base])
+        entries = _records(base)
+        assert all(e["rank"] == "high" for e in entries)
+
+    def test_unreadable_baseline_is_input_error(self, tmp_path, capsys):
+        assert main([BROKEN, "--baseline", str(tmp_path / "no.jsonl")]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_input_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert main([BROKEN, "--baseline", str(bad)]) == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+
+class TestFailOnNew:
+    def test_requires_baseline(self, capsys):
+        assert main([BROKEN, "--fail-on-new"]) == 2
+        assert "--fail-on-new requires --baseline" in capsys.readouterr().err
+
+    def test_known_warnings_exit_zero(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        main([BROKEN, "--all", "--save-baseline", base])
+        assert (
+            main([BROKEN, "--all", "--baseline", base, "--fail-on-new"]) == 0
+        )
+
+    def test_new_warning_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert (
+            main([BROKEN, "--all", "--baseline", str(empty), "--fail-on-new"])
+            == 1
+        )
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert (
+            main([CLEAN, "--all", "--baseline", str(empty), "--fail-on-new"])
+            == 0
+        )
+
+    def test_batch_gate(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        args = [CLEAN, BROKEN, UNRELATED, "--batch", "--keep-going", "--all"]
+        assert main(args + ["--save-baseline", base]) == 1
+        capsys.readouterr()
+        assert main(args + ["--baseline", base, "--fail-on-new"]) == 0
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(args + ["--baseline", str(empty), "--fail-on-new"]) == 1
+
+    def test_batch_hard_failure_passes_through(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        base.write_text("")
+        bad = tmp_path / "bad.c"
+        bad.write_text("int main( {")
+        code = main(
+            [
+                str(bad),
+                "--batch",
+                "--keep-going",
+                "--baseline",
+                str(base),
+                "--fail-on-new",
+            ]
+        )
+        assert code == 2  # input error is never masked by the gate
+
+
+class TestBatchBaseline:
+    def test_batch_json_aggregates_per_unit(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        args = [CLEAN, BROKEN, "--batch", "--keep-going", "--all"]
+        main(args + ["--save-baseline", base])
+        capsys.readouterr()
+        main(args + ["--baseline", base, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        diff = payload["baseline_diff"]
+        assert diff["counts"]["new"] == 0
+        assert set(diff["units"]) == {CLEAN, BROKEN}
+        assert diff["units"][BROKEN]["counts"]["persisting"] == 1
+        broken_result = next(
+            r for r in payload["results"] if r["unit"] == BROKEN
+        )
+        assert len(broken_result["fingerprints"]) == 1
+
+    def test_cached_outcomes_still_diff(self, tmp_path, capsys):
+        """Warm cache replays carry fingerprints (schema v2), so the
+        diff works without reanalysis."""
+        base = str(tmp_path / "base.jsonl")
+        cache = str(tmp_path / "cache")
+        args = [BROKEN, "--batch", "--all", "--cache", cache]
+        main(args + ["--save-baseline", base])
+        capsys.readouterr()
+        assert main(args + ["--baseline", base, "--fail-on-new"]) == 0
+        out = capsys.readouterr().out
+        assert "(cached)" in out
+        assert "baseline diff: 0 new, 1 persisting, 0 fixed" in out
+
+
+class TestEventsFlag:
+    def test_single_run_event_stream(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        assert main([BROKEN, "--all", "--events", events]) == 1
+        records = _records(events)
+        kinds = {r["kind"] for r in records}
+        assert {"log.open", "phase.start", "phase.end", "warning"} <= kinds
+        assert records[0]["kind"] == "log.open"
+
+    def test_batch_parallel_event_stream(self, tmp_path, capsys):
+        events = str(tmp_path / "events.jsonl")
+        code = main(
+            [
+                CLEAN,
+                BROKEN,
+                UNRELATED,
+                "--batch",
+                "--keep-going",
+                "--jobs",
+                "2",
+                "--events",
+                events,
+            ]
+        )
+        assert code == 1
+        records = _records(events)
+        assert len({r["pid"] for r in records}) >= 2
+        outcomes = [r for r in records if r["kind"] == "batch.unit"]
+        assert {r["unit"] for r in outcomes} == {CLEAN, BROKEN, UNRELATED}
+
+    def test_unwritable_events_path_is_input_error(self, tmp_path, capsys):
+        bad = str(tmp_path / "no" / "dir" / "events.jsonl")
+        assert main([BROKEN, "--events", bad]) == 2
+        assert "cannot write event log" in capsys.readouterr().err
+
+
+class TestHtmlReportFlag:
+    def test_single_run(self, tmp_path, capsys):
+        html = tmp_path / "report.html"
+        assert main([BROKEN, "--all", "--html-report", str(html)]) == 1
+        document = html.read_text()
+        assert document.startswith("<!DOCTYPE html>")
+        assert "derivation" in document  # embedded --explain provenance
+        assert "Profile" in document  # tracer auto-installed
+        assert "<link" not in document and "http://" not in document
+
+    def test_batch_with_diff(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        html = tmp_path / "batch.html"
+        args = [CLEAN, BROKEN, "--batch", "--keep-going", "--all"]
+        main(args + ["--save-baseline", base])
+        capsys.readouterr()
+        main(args + ["--baseline", base, "--html-report", str(html)])
+        document = html.read_text()
+        assert "Batch units" in document
+        assert "Baseline diff per unit" in document
+        assert "diff-persisting" in document

@@ -68,7 +68,19 @@ class TestExplainExamples:
     def test_explain_out_of_range(self, tmp_path, capsys):
         path = write_source(tmp_path, figure("fig2c"))
         assert main([path, "--explain", "7"]) == 2
-        assert "out of range" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "out of range" in err
+        # One clean line naming the valid range, not a traceback.
+        assert "valid range: 1.." in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("number", ["0", "-1", "-99"])
+    def test_explain_nonpositive_index(self, tmp_path, capsys, number):
+        path = write_source(tmp_path, figure("fig2c"))
+        assert main([path, "--explain", number]) == 2
+        err = capsys.readouterr().err
+        assert "out of range" in err
+        assert "Traceback" not in err
 
 
 class TestTraceFlag:
