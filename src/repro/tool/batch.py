@@ -30,22 +30,33 @@ Parallel sharding (``jobs > 1``)
 Units are independent by construction -- that independence is exactly
 what the fault-isolation design guarantees -- so :func:`run_batch` can
 fan them out to a :class:`~concurrent.futures.ProcessPoolExecutor`.
-Every serial contract is preserved:
+The dispatch is built so parallelism *pays* on paper-scale corpora:
 
+* the per-batch invariant state (:class:`AnalysisOptions`, the
+  :class:`ResourceBudget` template, the
+  :class:`~repro.callgraph.ImplicitCallRegistry`, the fault-spec
+  snapshot, and the tracer/event-log epochs) crosses the pool boundary
+  **once per worker** through the pool ``initializer``, not once per
+  unit -- a task pickles only ``(index, unit)`` pairs;
+* units are dispatched in **contiguous chunks** so small units amortize
+  the submit/result round trip, and the same **warm workers** serve
+  every chunk of the batch -- worker startup is paid ``jobs`` times per
+  sweep, never per unit;
 * outcomes are reassembled in **submission order** regardless of
   completion order;
-* armed fault-injection specs ship with each dispatch
-  (:func:`repro.util.faults.snapshot`/``install``) so injection scopes
-  correctly inside workers;
+* armed fault-injection specs are re-installed per dispatched chunk
+  from the worker-local snapshot so injection scopes correctly inside
+  workers;
 * worker-side metrics snapshots and trace spans are shipped back and
   merged into the parent's fleet percentiles and Chrome trace export
   (one lane per worker ``pid``);
-* ``keep_going=False`` cancels not-yet-started units once a hard
-  failure lands, then **normalizes to serial semantics**: every unit
-  after the earliest hard failure in submission order is reported
-  ``skipped``, even if a worker happened to finish it first.  Because
-  units are deterministic and independent, the parallel report is
-  byte-identical to the serial one modulo timing/pid fields.
+* ``keep_going=False`` cancels not-yet-started chunks once a hard
+  failure lands (a worker also abandons the rest of its own chunk),
+  then **normalizes to serial semantics**: every unit after the
+  earliest hard failure in submission order is reported ``skipped``,
+  even if a worker happened to finish it first.  Because units are
+  deterministic and independent, the parallel report is byte-identical
+  to the serial one modulo timing/pid fields.
 
 Persistent caching
 ------------------
@@ -54,16 +65,29 @@ Pass ``cache=`` (an :class:`~repro.tool.cache.AnalysisCache` or a
 directory path) and successful outcomes are stored content-addressed;
 a warm re-run of an unchanged corpus skips analysis entirely, marking
 each replayed outcome ``cached``.  Hit/miss counters land in the batch
-JSON and :meth:`BatchResult.batch_metrics`.  Note one scheduling
-artifact: with ``keep_going=False`` the parallel scheduler probes the
-cache for every unit up front, so the *counters* (not the per-unit
-results) can differ from a serial run that stopped early.
+JSON and :meth:`BatchResult.batch_metrics`.  The parallel scheduler
+probes the cache for every unit up front; when a ``keep_going=False``
+sweep stops early it retracts the probes past the failure point
+(:meth:`AnalysisCache.uncount`), so reported counters match the serial
+sweep's exactly.
+
+Cache writes follow serial semantics under early stops: with
+``keep_going=False``, results that in-flight workers deliver after the
+earliest hard failure are relabelled ``skipped`` in the report, and
+their outcomes are **not** persisted -- a serial run would never have
+analyzed them, so caching them would let a warm re-run resurrect
+results the batch report never produced.  Parallel stores are therefore
+deferred until the sweep drains and flushed only for units *before* the
+earliest hard failure (all of them when no hard failure occurred).
 """
 
 from __future__ import annotations
 
+import gc
 import json
+import math
 import os
+import time
 import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -169,6 +193,16 @@ class UnitOutcome:
     fingerprints: List[str] = field(default_factory=list)
     #: True when this outcome was replayed from the persistent cache.
     cached: bool = False
+    #: CPU seconds this unit's analysis took in its process (0.0 for
+    #: cache replays and skips).  CPU time, not wall time, so the
+    #: reading stays meaningful when pool workers contend for cores.
+    #: In-memory telemetry only -- deliberately kept out of
+    #: :meth:`to_dict` so serial and parallel batch JSON stay
+    #: byte-identical.
+    elapsed: float = 0.0
+    #: The pid of the pool worker that analyzed this unit (None when
+    #: analyzed in-process).  In-memory only, like ``elapsed``.
+    worker_pid: Optional[int] = None
     error: Optional[str] = None
     error_type: Optional[str] = None
     error_detail: Optional[Dict[str, Any]] = None
@@ -405,6 +439,7 @@ def _analyze_unit(
     max_retries: int,
 ) -> UnitOutcome:
     with trace_span("batch.unit", unit=unit.name) as span:
+        started = time.process_time()
         outcome = _analyze_unit_isolated(
             unit,
             options,
@@ -415,6 +450,7 @@ def _analyze_unit(
             registry,
             max_retries,
         )
+        outcome.elapsed = time.process_time() - started
         span.set(
             status=outcome.status,
             exit_code=outcome.exit_code,
@@ -572,10 +608,13 @@ def _cache_store(
 # The process-pool shard scheduler
 # ---------------------------------------------------------------------------
 
-#: Task payload shipped to a pool worker, one per dispatched unit.
-_WorkerTask = Tuple[
-    int,  # submission index
-    BatchUnit,
+#: The per-batch invariant state: everything every unit's analysis
+#: needs but that never varies within one sweep.  Shipped to each pool
+#: worker exactly once, through the pool ``initializer`` -- the old
+#: dispatch re-pickled all of it (options, budget, registry, fault
+#: specs, epochs) into every per-unit task, which is pure overhead on
+#: corpora of hundreds of units.
+_WorkerConfig = Tuple[
     Optional[AnalysisOptions],
     Optional[ResourceBudget],
     bool,  # degrade
@@ -587,11 +626,14 @@ _WorkerTask = Tuple[
     Optional[float],  # parent tracer epoch (None: tracing off)
     Optional[str],  # parent event-log path (None: event logging off)
     Optional[float],  # parent event-log epoch
+    bool,  # keep_going
 ]
 
+#: This worker's copy of the batch config, set by :func:`_worker_init`.
+_WORKER_CONFIG: Optional[_WorkerConfig] = None
 
 #: The worker's event log, cached per process: a pool worker handles
-#: many tasks, and reopening the log per task would restart its seq
+#: many chunks, and reopening the log per chunk would restart its seq
 #: counter -- seq must stay monotonic per *process* for the global
 #: (t_ms, pid, seq) ordering to hold.
 _WORKER_EVENT_LOG: Optional[EventLog] = None
@@ -606,19 +648,56 @@ def _worker_event_log(path: str, epoch: Optional[float]) -> EventLog:
     return _WORKER_EVENT_LOG
 
 
-def _worker_analyze(
-    task: _WorkerTask,
-) -> Tuple[int, UnitOutcome, List[SpanRecord], int]:
-    """Analyze one unit inside a pool worker.
+def _worker_init(config: _WorkerConfig) -> None:
+    """Pool initializer: receive the batch config once, warm the worker.
 
-    Installs the parent's fault-spec snapshot and (when the parent is
-    tracing) a fresh tracer pinned to the parent's epoch, so spans and
-    injections behave exactly as in-process; ships back the slimmed
-    outcome, the recorded span roots, and this worker's pid.
+    Runs once per worker process at spawn.  Freezes the inherited heap
+    out of the cyclic GC: a forked worker inherits everything the
+    parent retained (on a fork start-method, possibly whole prior batch
+    reports), and the first full collection in the child would walk all
+    of it -- touching every object's header, copy-on-write-faulting the
+    shared pages, and billing seconds of CPU to whatever unit happened
+    to run first.  None of that inherited state is garbage the worker
+    could free, so ``gc.freeze`` moves it to the permanent generation.
+
+    Also opens the parent's event log (appending on the parent's
+    timeline; each record is one short write, so parent and worker
+    lines interleave cleanly) and drops any tracer or event log
+    inherited through ``fork`` when the parent has them disabled.
     """
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+    gc.freeze()
+    events_path, events_epoch = config[9], config[10]
+    if events_path is not None:
+        install_event_log(_worker_event_log(events_path, events_epoch))
+    else:
+        uninstall_event_log(None)  # drop any log inherited through fork
+    if config[8] is None:
+        uninstall_tracer(None)  # drop any tracer inherited through fork
+
+
+#: One dispatched task: a contiguous run of ``(index, unit)`` pairs.
+_WorkerChunk = List[Tuple[int, BatchUnit]]
+
+
+def _worker_analyze_chunk(
+    chunk: _WorkerChunk,
+) -> Tuple[List[Tuple[int, UnitOutcome]], List[SpanRecord], int]:
+    """Analyze one chunk of units inside a warm pool worker.
+
+    Re-arms the fault-spec snapshot from the worker-local config (one
+    dispatch = one chunk, preserving the documented per-dispatch scope
+    of bare ``times=`` specs) and, when the parent is tracing, records
+    the chunk under a fresh tracer pinned to the parent's epoch.  Ships
+    back the slimmed outcomes, the recorded span roots, and this
+    worker's pid.  Under ``keep_going=False`` the rest of the chunk is
+    abandoned after a hard failure -- the parent would relabel those
+    units ``skipped`` anyway, exactly as a serial run never reaches
+    them.
+    """
+    assert _WORKER_CONFIG is not None, "worker used without initializer"
     (
-        index,
-        unit,
         options,
         budget,
         degrade,
@@ -628,42 +707,38 @@ def _worker_analyze(
         max_retries,
         fault_specs,
         trace_epoch,
-        events_path,
-        events_epoch,
-    ) = task
+        _events_path,
+        _events_epoch,
+        keep_going,
+    ) = _WORKER_CONFIG
     faults.install(fault_specs)
     tracer = Tracer(epoch=trace_epoch) if trace_epoch is not None else None
     if tracer is not None:
         install_tracer(tracer)
-    else:
-        uninstall_tracer(None)  # drop any tracer inherited through fork
-    if events_path is not None:
-        # Append to the parent's file on the parent's timeline; each
-        # record is one short write, so lines interleave cleanly.  The
-        # log itself is cached per process (see _worker_event_log) and
-        # left open: buffering is per line, so nothing is lost when the
-        # pool tears the worker down.
-        install_event_log(_worker_event_log(events_path, events_epoch))
-    else:
-        uninstall_event_log(None)  # drop any log inherited through fork
+    results: List[Tuple[int, UnitOutcome]] = []
     try:
-        outcome = _analyze_unit(
-            unit,
-            options,
-            budget,
-            degrade,
-            refine,
-            solver_stats,
-            registry,
-            max_retries,
-        )
+        for index, unit in chunk:
+            outcome = _analyze_unit(
+                unit,
+                options,
+                budget,
+                degrade,
+                refine,
+                solver_stats,
+                registry,
+                max_retries,
+            )
+            outcome.report = None  # the full report does not cross the pool
+            outcome.worker_pid = os.getpid()
+            results.append((index, outcome))
+            if not keep_going and outcome.exit_code in _HARD_FAILURES:
+                break
     finally:
-        uninstall_event_log(None)
-        uninstall_tracer(None)
+        if tracer is not None:
+            uninstall_tracer(None)
         faults.clear()
-    outcome.report = None  # the full report does not cross the pool
     roots = tracer.roots if tracer is not None else []
-    return index, outcome, roots, os.getpid()
+    return results, roots, os.getpid()
 
 
 def _pool_failure_outcome(unit: BatchUnit, error: BaseException) -> UnitOutcome:
@@ -676,6 +751,27 @@ def _pool_failure_outcome(unit: BatchUnit, error: BaseException) -> UnitOutcome:
         error=f"worker process failed: {error}",
         error_type=type(error).__name__,
     )
+
+
+def _chunked(indices: List[int], workers: int, chunk_size: Optional[int]) -> List[List[int]]:
+    """Contiguous chunks of submission indices, FIFO order.
+
+    Contiguity + FIFO dispatch is what makes early-stop normalization
+    sound: whenever a chunk is cancelled before starting, every unit in
+    it has a higher submission index than every unit already completed
+    or in flight, so the "earliest hard failure" scan never misses a
+    unit a serial run would have reached first.
+
+    The default size targets ~4 chunks per worker: large enough that
+    small units amortize the submit/result round trip, small enough
+    that the tail of the sweep still load-balances.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, min(8, math.ceil(len(indices) / (workers * 4))))
+    return [
+        indices[start:start + chunk_size]
+        for start in range(0, len(indices), chunk_size)
+    ]
 
 
 def _run_batch_parallel(
@@ -691,12 +787,20 @@ def _run_batch_parallel(
     jobs: int,
     cache: Optional[AnalysisCache],
     cache_keys: List[Optional[str]],
+    chunk_size: Optional[int] = None,
 ) -> List[Optional[UnitOutcome]]:
-    """Fan units out to a process pool; returns outcome slots by index.
+    """Fan unit chunks out to a warm process pool; returns outcome slots.
 
     A ``None`` slot means the unit never ran (cancelled after an early
     stop); the caller turns those -- and, without ``keep_going``, every
     slot after the earliest hard failure -- into ``skipped`` outcomes.
+
+    Without ``keep_going``, cache stores are deferred until the pool
+    drains and flushed only for units *before* the earliest hard
+    failure: an in-flight worker may deliver a result after the stop,
+    and persisting it would let a warm re-run resurrect an outcome the
+    batch report relabelled ``skipped`` (diverging from the serial
+    cache state).
     """
     slots: List[Optional[UnitOutcome]] = [None] * len(units)
     to_run: List[int] = []
@@ -714,44 +818,77 @@ def _run_batch_parallel(
     event_log = current_event_log()
     events_path = event_log.path if event_log is not None else None
     events_epoch = event_log.epoch if event_log is not None else None
-    spec_snapshot = faults.snapshot()
+    config: _WorkerConfig = (
+        options,
+        budget,
+        degrade,
+        refine,
+        solver_stats,
+        registry,
+        max_retries,
+        faults.snapshot(),
+        epoch,
+        events_path,
+        events_epoch,
+        keep_going,
+    )
     workers = min(jobs, len(to_run))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    if keep_going:
+        # Throughput mode: every unit runs regardless of order, so the
+        # dispatch order is free -- schedule biggest units first (source
+        # size as the cost proxy), the classic longest-processing-time
+        # heuristic, so the heaviest unit can't land last and stretch
+        # the sweep's tail.  Slots still fill by submission index, so
+        # the report is order-independent.  Without keep_going the
+        # contiguous FIFO order is load-bearing (see _chunked) and LPT
+        # would break early-stop normalization.
+        to_run = sorted(to_run, key=lambda i: -len(units[i].source))
+    #: (index, key, outcome) stores held back until the sweep drains.
+    deferred_stores: List[Tuple[int, Optional[str], UnitOutcome]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(config,)
+    ) as pool:
         futures = {}
-        for index in to_run:
-            task: _WorkerTask = (
-                index,
-                units[index],
-                options,
-                budget,
-                degrade,
-                refine,
-                solver_stats,
-                registry,
-                max_retries,
-                spec_snapshot,
-                epoch,
-                events_path,
-                events_epoch,
-            )
-            futures[pool.submit(_worker_analyze, task)] = index
+        for indices in _chunked(to_run, workers, chunk_size):
+            task: _WorkerChunk = [(index, units[index]) for index in indices]
+            futures[pool.submit(_worker_analyze_chunk, task)] = indices
+        stopping = False
         for future in as_completed(futures):
-            index = futures[future]
+            indices = futures[future]
             try:
-                _, outcome, roots, pid = future.result()
+                results, roots, pid = future.result()
             except CancelledError:
                 continue  # early stop already cancelled it: stays skipped
             except Exception as error:  # worker/pool death, pickling, ...
-                outcome, roots, pid = (
-                    _pool_failure_outcome(units[index], error), [], 0
-                )
-            slots[index] = outcome
+                results = [
+                    (index, _pool_failure_outcome(units[index], error))
+                    for index in indices
+                ]
+                roots, pid = [], 0
             if tracer is not None and roots:
                 tracer.adopt(roots, pid=pid)
-            _cache_store(cache, cache_keys[index], outcome)
-            if not keep_going and outcome.exit_code in _HARD_FAILURES:
+            for index, outcome in results:
+                slots[index] = outcome
+                if keep_going:
+                    _cache_store(cache, cache_keys[index], outcome)
+                else:
+                    deferred_stores.append(
+                        (index, cache_keys[index], outcome)
+                    )
+                if not keep_going and outcome.exit_code in _HARD_FAILURES:
+                    stopping = True
+            if stopping:
                 for pending in futures:
                     pending.cancel()
+    if deferred_stores:
+        first_failure: Optional[int] = None
+        for index, outcome in enumerate(slots):
+            if outcome is not None and outcome.exit_code in _HARD_FAILURES:
+                first_failure = index
+                break
+        for index, key, outcome in deferred_stores:
+            if first_failure is None or index < first_failure:
+                _cache_store(cache, key, outcome)
     return slots
 
 
@@ -767,6 +904,7 @@ def run_batch(
     registry: Optional[ImplicitCallRegistry] = None,
     jobs: int = 1,
     cache: Optional[Union[AnalysisCache, str]] = None,
+    chunk_size: Optional[int] = None,
 ) -> BatchResult:
     """Analyze every unit with per-unit fault isolation.
 
@@ -775,9 +913,11 @@ def run_batch(
     first hard failure (exit code 2/3/4) stops the sweep and the
     remaining units are recorded as ``skipped`` (``exit_code=None``).
 
-    ``jobs > 1`` shards the sweep over that many worker processes;
+    ``jobs > 1`` shards the sweep over that many warm worker processes;
     outcomes come back in submission order either way (see the module
-    docstring for the full equivalence argument).  ``cache`` (an
+    docstring for the full equivalence argument).  ``chunk_size`` pins
+    how many units ride in one dispatched chunk (default: sized for ~4
+    chunks per worker).  ``cache`` (an
     :class:`~repro.tool.cache.AnalysisCache` or a directory path)
     enables the persistent result cache.
     """
@@ -810,6 +950,7 @@ def run_batch(
             jobs,
             cache,
             cache_keys,
+            chunk_size,
         )
         first_failure: Optional[int] = None
         if not keep_going:
@@ -822,6 +963,13 @@ def run_batch(
                 first_failure is not None and index > first_failure
             ):
                 result.outcomes.append(_skipped(unit.name))
+                # The scheduler probed the cache for this unit up front,
+                # but a serial run stopping at first_failure never would
+                # have: uncount that lookup so the reported counters
+                # match the serial sweep's exactly.
+                if cache is not None and cache_keys[index] is not None:
+                    was_hit = outcome is not None and outcome.cached
+                    cache.uncount(hit=was_hit)
             else:
                 result.outcomes.append(outcome)
     else:

@@ -147,3 +147,17 @@ class AnalysisCache:
     def counters(self) -> Dict[str, int]:
         """``{"hits": ..., "misses": ...}`` for this cache's lifetime."""
         return {"hits": self.hits, "misses": self.misses}
+
+    def uncount(self, hit: bool) -> None:
+        """Retract one counted lookup (a hit or a miss).
+
+        The parallel batch scheduler probes the cache for every unit up
+        front; when a ``keep_going=False`` sweep stops early, the probes
+        past the failure point correspond to lookups a serial run never
+        performs, and the scheduler retracts them so reported counters
+        are mode-independent.
+        """
+        if hit:
+            self.hits = max(0, self.hits - 1)
+        else:
+            self.misses = max(0, self.misses - 1)

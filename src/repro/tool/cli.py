@@ -207,6 +207,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     batch.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        dest="chunk_size",
+        help=(
+            "in parallel batch mode, dispatch N units per worker task"
+            " (default: sized for ~4 chunks per worker)"
+        ),
+    )
+    batch.add_argument(
         "--cache",
         metavar="DIR",
         default=None,
@@ -416,6 +427,7 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         solver_stats=args.solver_stats,
         jobs=args.jobs,
         cache=cache,
+        chunk_size=args.chunk_size,
     )
     merged: Optional[WarningDiff] = None
     if args.baseline:

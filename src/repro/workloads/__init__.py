@@ -6,15 +6,18 @@ from repro.workloads.generator import (
     GeneratedWorkload,
     WorkloadSpec,
     generate_workload,
+    scale_to_kloc,
 )
 from repro.workloads.packages import (
     PACKAGES,
+    PAPER_SCALE_KLOC,
     ExecutableModel,
     PackageModel,
     all_package_units,
     generate_package,
     package,
     package_units,
+    paper_scale_units,
 )
 
 __all__ = [
@@ -25,6 +28,7 @@ __all__ = [
     "FigureProgram",
     "GeneratedWorkload",
     "PACKAGES",
+    "PAPER_SCALE_KLOC",
     "PackageModel",
     "WorkloadSpec",
     "figure",
@@ -33,4 +37,6 @@ __all__ = [
     "generate_workload",
     "package",
     "package_units",
+    "paper_scale_units",
+    "scale_to_kloc",
 ]

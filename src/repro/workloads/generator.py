@@ -20,12 +20,20 @@ numbers are reproducible run to run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
 from repro.interfaces import APR_HEADER, RC_HEADER
+from repro.util.errors import InputError
 
-__all__ = ["BUG_KINDS", "WorkloadSpec", "GeneratedWorkload", "generate_workload"]
+__all__ = [
+    "BUG_KINDS",
+    "WorkloadSpec",
+    "GeneratedWorkload",
+    "generate_workload",
+    "scale_to_kloc",
+]
 
 
 # Bug taxonomy: (kind, truly_inconsistent, expected_high_rank).
@@ -52,7 +60,21 @@ BUG_KINDS: Dict[str, Tuple[bool, bool]] = {
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """Size and bug-mix parameters for one synthetic executable."""
+    """Size and bug-mix parameters for one synthetic executable.
+
+    ``modules`` is the paper-scale knob: each module is a *disjoint*
+    replica of the whole stage family (its own ``m<k>_stage_*`` /
+    ``m<k>_util_chain_*`` call tree rooted at ``main``).  Disjoint
+    replicas scale source size and analysis cost linearly -- unlike
+    ``stages``/``fanout``, which multiply calling contexts exponentially
+    -- which is exactly how real packages reach 37-240 KLOC: many
+    independent features, not one enormously deep call chain.
+
+    Construction validates the structural fields (non-empty ``name``,
+    ``stages >= 1``, ``fanout >= 1``, ``modules >= 1``, no negative
+    counts) and raises :class:`~repro.util.errors.InputError` rather
+    than emitting a degenerate or empty source.
+    """
 
     name: str
     interface: str = "apr"  # 'apr' | 'rc'
@@ -62,7 +84,40 @@ class WorkloadSpec:
     objects_per_stage: int = 3  # allocations per stage body
     utility_functions: int = 2  # shared helpers (context multiplication)
     utility_call_sites: int = 2  # calls to each utility per stage
+    modules: int = 1  # disjoint stage-family replicas (linear scaling)
     bugs: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InputError("workload spec needs a non-empty name")
+        if self.interface not in ("apr", "rc"):
+            raise InputError(
+                f"workload {self.name!r}: unknown interface"
+                f" {self.interface!r} (expected 'apr' or 'rc')"
+            )
+        for field_name, minimum in (
+            ("stages", 1),
+            ("fanout", 1),
+            ("modules", 1),
+            ("helpers_per_stage", 0),
+            # Stage helpers always chain item_0 into the utilities, so a
+            # stage body needs at least one allocation.
+            ("objects_per_stage", 1),
+            ("utility_functions", 0),
+            ("utility_call_sites", 0),
+        ):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or value < minimum:
+                raise InputError(
+                    f"workload {self.name!r}: {field_name} must be an"
+                    f" integer >= {minimum}, got {value!r}"
+                )
+        for kind, count in self.bugs.items():
+            if not isinstance(count, int) or count < 0:
+                raise InputError(
+                    f"workload {self.name!r}: bug count for {kind!r}"
+                    f" must be an integer >= 0, got {count!r}"
+                )
 
     def expected_high(self) -> int:
         return sum(
@@ -120,6 +175,9 @@ class _Emitter:
         self.spec = spec
         self.lines: List[str] = []
         self.is_apr = spec.interface == "apr"
+        #: Symbol prefix of the module being emitted; empty for the
+        #: single-module case so existing corpora stay byte-identical.
+        self.prefix = ""
 
     # -- interface-neutral snippets --------------------------------------
 
@@ -162,7 +220,7 @@ class _Emitter:
         """Shared helpers: linked from every stage, multiplying contexts."""
         for index in range(self.spec.utility_functions):
             self.emit(
-                f"struct payload *util_chain_{index}("
+                f"struct payload *{self.prefix}util_chain_{index}("
                 f"{self.pool_type}pool, struct payload *prev) {{"
             )
             self.emit(self.alloc("node", "pool"))
@@ -176,7 +234,7 @@ class _Emitter:
         spec = self.spec
         if index + 1 < spec.stages:
             next_call = "\n".join(
-                f"    stage_{index + 1}(pool, local);"
+                f"    {self.prefix}stage_{index + 1}(pool, local);"
                 for _ in range(max(spec.fanout, 1))
             )
         else:
@@ -184,7 +242,7 @@ class _Emitter:
         # Per-stage helpers deepen call paths.
         for helper in range(spec.helpers_per_stage):
             self.emit(
-                f"void stage_{index}_helper_{helper}("
+                f"void {self.prefix}stage_{index}_helper_{helper}("
                 f"{self.pool_type}pool, struct payload *carry) {{"
             )
             for obj in range(spec.objects_per_stage):
@@ -197,20 +255,22 @@ class _Emitter:
             for util in range(spec.utility_functions):
                 for _ in range(spec.utility_call_sites):
                     self.emit(
-                        f"    util_chain_{util}(pool, item_0);"
+                        f"    {self.prefix}util_chain_{util}(pool, item_0);"
                     )
             self.emit("}")
             self.emit()
 
         self.emit(
-            f"void stage_{index}({self.pool_type}parent,"
+            f"void {self.prefix}stage_{index}({self.pool_type}parent,"
             " struct payload *up) {"
         )
         self.emit(self.create("pool", "parent"))
         self.emit(self.alloc("local", "pool"))
         self.emit("    local->link = up;  /* child -> parent: safe */")
         for helper in range(spec.helpers_per_stage):
-            self.emit(f"    stage_{index}_helper_{helper}(pool, local);")
+            self.emit(
+                f"    {self.prefix}stage_{index}_helper_{helper}(pool, local);"
+            )
         self.emit(next_call)
         self.emit(self.destroy("pool"))
         self.emit("}")
@@ -333,7 +393,9 @@ class _Emitter:
             self.emit("    region top = newregion();")
         if spec.stages:
             self.emit(self.alloc("boot", "top"))
-            self.emit("    stage_0(top, boot);")
+            for module in range(spec.modules):
+                prefix = f"m{module}_" if spec.modules > 1 else ""
+                self.emit(f"    {prefix}stage_0(top, boot);")
         for kind, count in sorted(spec.bugs.items()):
             for index in range(count):
                 if kind == "intra_fp":
@@ -360,10 +422,15 @@ class _Emitter:
         self.emit(_APR_PRELUDE if self.is_apr else _RC_PRELUDE)
         if "conditional_pool" in self.spec.bugs:
             self.conditional_pool_support()
-        self.utilities()
-        # Leaf stages first so calls target already-defined functions.
-        for index in reversed(range(self.spec.stages)):
-            self.stage(index)
+        # Each module is a self-contained stage family; bugs and main
+        # stay global so the seeded ground truth is scale-invariant.
+        for module in range(self.spec.modules):
+            self.prefix = f"m{module}_" if self.spec.modules > 1 else ""
+            self.utilities()
+            # Leaf stages first so calls target already-defined functions.
+            for index in reversed(range(self.spec.stages)):
+                self.stage(index)
+        self.prefix = ""
         for kind, count in sorted(self.spec.bugs.items()):
             emitter = getattr(self, f"bug_{kind}")
             for index in range(count):
@@ -378,3 +445,25 @@ def generate_workload(spec: WorkloadSpec) -> GeneratedWorkload:
     if unknown:
         raise ValueError(f"unknown bug kinds: {sorted(unknown)}")
     return GeneratedWorkload(spec=spec, source=_Emitter(spec).build())
+
+
+def scale_to_kloc(spec: WorkloadSpec, kloc: float) -> WorkloadSpec:
+    """The spec resized (via ``modules``) to roughly ``kloc`` KLOC.
+
+    Probes the generator at one and two modules to learn the fixed and
+    per-module line counts, then solves for the module count closest to
+    the target.  Deterministic -- the probe is the generator itself --
+    and linear in cost downstream: modules are disjoint call trees, so
+    analysis time scales with KLOC instead of exploding with context
+    depth.  Never scales *down* below one module.
+    """
+    if kloc <= 0:
+        raise InputError(
+            f"workload {spec.name!r}: kloc target must be > 0, got {kloc!r}"
+        )
+    one = len(generate_workload(replace(spec, modules=1)).source.splitlines())
+    two = len(generate_workload(replace(spec, modules=2)).source.splitlines())
+    per_module = max(two - one, 1)
+    fixed = one - per_module
+    modules = max(1, math.ceil((kloc * 1000.0 - fixed) / per_module))
+    return replace(spec, modules=modules)

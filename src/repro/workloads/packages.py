@@ -29,19 +29,27 @@ Seeding rationale per package:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.workloads.generator import GeneratedWorkload, WorkloadSpec, generate_workload
+from repro.workloads.generator import (
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    scale_to_kloc,
+)
 
 __all__ = [
     "ExecutableModel",
     "PackageModel",
     "PACKAGES",
+    "PAPER_SCALE_KLOC",
     "package",
     "generate_package",
     "package_units",
     "all_package_units",
+    "paper_scale_units",
 ]
 
 
@@ -317,10 +325,83 @@ def package_units(model: PackageModel):
 def all_package_units():
     """Every executable of every package, in Figure 7 order.
 
-    The full 22-unit evaluation corpus in one list -- what the parallel
-    batch benchmark and the CI cache smoke sweep.
+    The 22-unit shape-comparison corpus in one list -- what the CI cache
+    smoke and the figure-level sweeps use.
     """
     units = []
     for model in PACKAGES:
         units.extend(package_units(model))
+    return units
+
+
+#: Target corpus size per package, in KLOC of *generated* source, for
+#: the paper-scale profile family.  Chosen so the total (~83 KLOC) sits
+#: in the paper's per-package range (37-240 KLOC) while one serial sweep
+#: stays under a CI minute; packages keep their relative ordering from
+#: Figure 7 (subversion largest, lklftpd smallest).
+PAPER_SCALE_KLOC: Dict[str, float] = {
+    "rcc": 10.0,
+    "apache": 12.0,
+    "freeswitch": 14.0,
+    "jxta-c": 14.0,
+    "lklftpd": 3.0,
+    "subversion": 30.0,
+}
+
+
+def paper_scale_units(
+    names: Optional[Sequence[str]] = None, scale: float = 1.0
+):
+    """The paper-scale corpus: packages blown up to tens of KLOC each.
+
+    Each package's :data:`PAPER_SCALE_KLOC` budget is split over its
+    executables by ``log2(paper_objects)`` weight -- heap-heavy
+    executables (Figure 11) get proportionally more generated source,
+    so the corpus keeps the paper's *shape* while reaching its scale.
+    The blow-up itself is :func:`~repro.workloads.generator.scale_to_kloc`
+    module replication, which grows analysis cost linearly rather than
+    exploding the context tree.
+
+    ``names`` restricts to those packages (default: all six);
+    ``scale`` multiplies every KLOC budget (e.g. ``0.01`` for tests).
+    """
+    from repro.tool.batch import BatchUnit  # local: tool layers on workloads
+
+    models = (
+        PACKAGES if names is None else [package(name) for name in names]
+    )
+    units = []
+    for model in models:
+        kloc = PAPER_SCALE_KLOC[model.name] * scale
+        weights = [
+            # log2 compresses the 15..240k paper_objects spread so small
+            # executables still get a meaningful share; the +2 floor
+            # covers executables with no Figure 11 row.
+            math.log2(max(exe.paper_objects, 2))
+            for exe in model.executables
+        ]
+        total = sum(weights)
+        for exe, weight in zip(model.executables, weights):
+            # Normalize the replicated call-tree shape: analysis cost
+            # per context grows ~fanout**stages, so replicating an
+            # extreme base spec (svn: fanout 3, depth 5) would make one
+            # unit's per-line cost dwarf the rest and the corpus
+            # useless for load-balance measurements.  Paper-scale
+            # carries its size in *modules*; depth 4 / fanout 2 per
+            # module is the realistic per-translation-unit shape.
+            base = replace(
+                exe.spec,
+                stages=min(exe.spec.stages, 4),
+                fanout=min(exe.spec.fanout, 2),
+            )
+            spec = scale_to_kloc(base, max(kloc * weight / total, 0.001))
+            workload = generate_workload(spec)
+            units.append(
+                BatchUnit(
+                    name=f"{model.name}/{exe.name}",
+                    source=workload.source,
+                    filename=f"<{exe.name}>",
+                    interface=spec.interface,
+                )
+            )
     return units

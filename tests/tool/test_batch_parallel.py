@@ -8,6 +8,8 @@ under injected faults firing *inside* worker processes.
 """
 
 import json
+import os
+import tempfile
 
 import pytest
 
@@ -126,6 +128,73 @@ class TestSerialParallelEquivalence:
             run_batch(figure_units(["fig1"]), jobs=0)
 
 
+class TestEarlyStopCacheState:
+    """The early-stop cache-leak regression (the headline bugfix).
+
+    With ``keep_going=False``, in-flight workers may finish units past
+    the failure point before the cancel lands.  Those results must NOT
+    reach the persistent cache: the batch report relabels them
+    ``skipped``, and a warm re-run that replayed them would resurrect
+    outcomes the report never produced -- diverging from serial cache
+    state.
+    """
+
+    def test_no_cache_entries_past_the_failure(self, tmp_path):
+        units = [
+            *figure_units(["fig1"]),
+            poison_unit("bad"),
+            *figure_units(["fig2a", "fig2c"]),
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial = run_batch(units, keep_going=False, cache=str(serial_dir))
+        parallel = run_batch(
+            units, keep_going=False, jobs=2, cache=str(parallel_dir)
+        )
+        assert_equivalent(serial, parallel)
+        # fig1 precedes the failure, so both modes persist exactly it;
+        # fig2a/fig2c may have completed in a worker but must not leak.
+        assert sorted(os.listdir(serial_dir)) == sorted(
+            os.listdir(parallel_dir)
+        )
+        assert len(os.listdir(parallel_dir)) == 1
+
+    def test_warm_rerun_does_not_resurrect_skipped_outcomes(self, tmp_path):
+        units = [
+            poison_unit("bad"),
+            *figure_units(["fig1", "fig2a", "fig2c"]),
+        ]
+        cache_dir = tmp_path / "cache"
+        cold = run_batch(units, keep_going=False, jobs=2, cache=str(cache_dir))
+        assert [o.status for o in cold.outcomes] == [
+            "input-error", "skipped", "skipped", "skipped"
+        ]
+        # Nothing precedes the failure, so the cache must stay empty
+        # even though workers may have finished fig* units in flight.
+        assert os.listdir(cache_dir) == []
+        # A warm serial re-run therefore replays nothing: same report,
+        # no cached=True outcomes masquerading as fresh results.
+        warm = run_batch(units, keep_going=False, cache=str(cache_dir))
+        assert [o.status for o in warm.outcomes] == [
+            "input-error", "skipped", "skipped", "skipped"
+        ]
+        assert not any(o.cached for o in warm.outcomes)
+
+    def test_keep_going_still_caches_everything(self, tmp_path):
+        units = [
+            poison_unit("bad"),
+            *figure_units(["fig1", "fig2a"]),
+        ]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        run_batch(units, keep_going=True, cache=str(serial_dir))
+        run_batch(units, keep_going=True, jobs=2, cache=str(parallel_dir))
+        assert sorted(os.listdir(serial_dir)) == sorted(
+            os.listdir(parallel_dir)
+        )
+        assert len(os.listdir(parallel_dir)) == 2  # poison is never cached
+
+
 class TestWorkerObservability:
     def test_worker_spans_merge_into_parent_lanes(self):
         import os
@@ -196,22 +265,39 @@ if HAVE_HYPOTHESIS:
         )
         @given(corpora())
         def test_serial_equals_parallel(self, corpus):
+            """Reports AND post-run cache state match across modes.
+
+            ``keep_going`` is drawn at random, so the ``False`` draws
+            exercise early stops with poison/fault units anywhere in
+            the corpus -- exactly the window where in-flight workers
+            used to leak results into the cache past the failure.
+            """
             units, keep_going = corpus
             faults.clear()
-            # Every 'fault' unit crashes mid-analysis, inside the worker
-            # when parallel: identical structured outcomes either way.
-            for unit in units:
-                if "-fault" in unit.name:
-                    faults.inject("correlation", unit=unit.name)
-            try:
-                serial = run_batch(units, keep_going=keep_going)
-            finally:
-                faults.clear()
-            for unit in units:
-                if "-fault" in unit.name:
-                    faults.inject("correlation", unit=unit.name)
-            try:
-                parallel = run_batch(units, keep_going=keep_going, jobs=2)
-            finally:
-                faults.clear()
-            assert_equivalent(serial, parallel)
+
+            def run(jobs, cache_dir):
+                # Every 'fault' unit crashes mid-analysis, inside the
+                # worker when parallel: identical structured outcomes
+                # either way.
+                for unit in units:
+                    if "-fault" in unit.name:
+                        faults.inject("correlation", unit=unit.name)
+                try:
+                    return run_batch(
+                        units,
+                        keep_going=keep_going,
+                        jobs=jobs,
+                        cache=cache_dir,
+                    )
+                finally:
+                    faults.clear()
+
+            with tempfile.TemporaryDirectory() as tmp:
+                serial_dir = os.path.join(tmp, "serial")
+                parallel_dir = os.path.join(tmp, "parallel")
+                serial = run(1, serial_dir)
+                parallel = run(2, parallel_dir)
+                assert_equivalent(serial, parallel)
+                assert sorted(os.listdir(serial_dir)) == sorted(
+                    os.listdir(parallel_dir)
+                )

@@ -158,6 +158,19 @@ class TestBatchCli:
         assert main(["--batch", "--jobs", "0", *paths]) == 2
         assert "--jobs" in capsys.readouterr().err
 
+    def test_chunk_flag_matches_serial_output(self, tmp_path, capsys):
+        paths = self.write_figures(tmp_path, ["fig1", "fig2c", "fig2a"])
+        code_serial, serial = self.batch_json(
+            capsys, ["--batch", "--keep-going", "--json", *paths]
+        )
+        code_chunked, chunked = self.batch_json(
+            capsys,
+            ["--batch", "--keep-going", "--json", "--jobs", "2",
+             "--chunk", "2", *paths],
+        )
+        assert code_serial == code_chunked == 1
+        assert serial == chunked
+
     def test_cache_flag_warm_run_hits(self, tmp_path, capsys):
         paths = self.write_figures(tmp_path, ["fig1", "fig2c"])
         cache_dir = str(tmp_path / "cache")

@@ -4,10 +4,12 @@ import pytest
 
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.tool import run_regionwiz
+from repro.util.errors import InputError
 from repro.workloads.generator import (
     BUG_KINDS,
     WorkloadSpec,
     generate_workload,
+    scale_to_kloc,
 )
 
 
@@ -56,6 +58,97 @@ class TestGeneration:
         module = lower(analyze(parse(generate_workload(spec).source)))
         cfgs = verify_module(module)
         assert set(cfgs) == set(module.functions)
+
+
+class TestSpecValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(InputError):
+            WorkloadSpec(name="")
+
+    def test_unknown_interface_rejected(self):
+        with pytest.raises(InputError):
+            WorkloadSpec(name="w", interface="glib")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stages": 0},
+            {"fanout": 0},
+            {"modules": 0},
+            {"helpers_per_stage": -1},
+            {"objects_per_stage": 0},
+            {"utility_functions": -2},
+            {"utility_call_sites": -1},
+            {"stages": 2.5},
+        ],
+    )
+    def test_degenerate_structure_rejected(self, kwargs):
+        with pytest.raises(InputError):
+            WorkloadSpec(name="w", **kwargs)
+
+    def test_negative_bug_count_rejected(self):
+        with pytest.raises(InputError):
+            WorkloadSpec(name="w", bugs={"cross_sibling": -1})
+
+    def test_minimal_spec_is_valid(self):
+        spec = WorkloadSpec(name="w", stages=1, fanout=1, modules=1)
+        assert generate_workload(spec).source
+
+
+class TestModules:
+    def test_single_module_output_has_no_prefix(self):
+        source = generate_workload(WorkloadSpec(name="w", stages=2)).source
+        assert "m0_" not in source
+        assert "stage_0" in source
+
+    def test_modules_replicate_the_stage_family(self):
+        spec = WorkloadSpec(name="w", stages=2, modules=3)
+        source = generate_workload(spec).source
+        for module in range(3):
+            assert f"m{module}_stage_0" in source
+            assert f"m{module}_util_chain_0" in source
+
+    def test_modules_scale_linearly(self):
+        def lines(modules):
+            spec = WorkloadSpec(name="w", stages=2, modules=modules)
+            return len(generate_workload(spec).source.splitlines())
+
+        one, two, four = lines(1), lines(2), lines(4)
+        per_module = two - one
+        assert per_module > 0
+        assert four - two == 2 * per_module
+
+    def test_multi_module_source_analyzes_cleanly(self):
+        report = analyze_spec(WorkloadSpec(name="w", stages=2, modules=3))
+        assert report.is_consistent
+
+    def test_bugs_are_seeded_once_not_per_module(self):
+        spec = WorkloadSpec(
+            name="w", stages=1, modules=3, bugs={"cross_sibling": 1}
+        )
+        report = analyze_spec(spec)
+        assert len(report.high_warnings) == 1
+
+
+class TestScaleToKloc:
+    def test_reaches_the_requested_size(self):
+        spec = WorkloadSpec(name="w", stages=2)
+        scaled = scale_to_kloc(spec, 5.0)
+        lines = len(generate_workload(scaled).source.splitlines())
+        assert lines >= 5000
+        # per-module granularity: no more than one module of overshoot
+        one_module = len(
+            generate_workload(WorkloadSpec(name="w", stages=2)).source.splitlines()
+        )
+        assert lines < 5000 + 2 * one_module
+
+    def test_tiny_target_keeps_one_module(self):
+        spec = WorkloadSpec(name="w", stages=2)
+        assert scale_to_kloc(spec, 0.001).modules == 1
+
+    def test_nonpositive_target_rejected(self):
+        with pytest.raises(InputError):
+            scale_to_kloc(WorkloadSpec(name="w"), 0)
 
 
 class TestCleanWorkloads:

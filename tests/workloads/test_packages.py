@@ -114,3 +114,60 @@ class TestEndToEnd:
                 rows[exe.name] = report.fig11_row()
         assert rows["svn"].regions > rows["svnserve"].regions > rows["diff"].regions
         assert rows["svn"].r_pairs > rows["svnserve"].r_pairs > rows["diff"].r_pairs
+
+
+class TestPaperScaleUnits:
+    """The paper-scale corpus helper (tiny ``scale`` keeps tests fast)."""
+
+    def test_covers_all_packages_in_figure7_order(self):
+        from repro.workloads.packages import paper_scale_units
+
+        units = paper_scale_units(scale=0.01)
+        assert len(units) == 22
+        packages_seen = []
+        for unit in units:
+            pkg = unit.name.split("/")[0]
+            if pkg not in packages_seen:
+                packages_seen.append(pkg)
+        assert packages_seen == [p.name for p in PACKAGES]
+
+    def test_name_filter_and_unit_naming(self):
+        from repro.workloads.packages import paper_scale_units
+
+        units = paper_scale_units(["lklftpd"], scale=0.01)
+        assert [u.name for u in units] == ["lklftpd/lklftpd"]
+
+    def test_unknown_package_rejected(self):
+        from repro.workloads.packages import paper_scale_units
+
+        with pytest.raises(KeyError):
+            paper_scale_units(["httpd2"], scale=0.01)
+
+    def test_full_scale_reaches_paper_kloc(self):
+        from repro.workloads.packages import PAPER_SCALE_KLOC, paper_scale_units
+
+        units = paper_scale_units(["subversion"])
+        total = sum(len(u.source.splitlines()) for u in units)
+        assert total >= PAPER_SCALE_KLOC["subversion"] * 1000
+
+    def test_heap_heavy_executables_get_more_source(self):
+        from repro.workloads.packages import paper_scale_units
+
+        units = {
+            u.name.split("/")[1]: len(u.source.splitlines())
+            for u in paper_scale_units(["subversion"], scale=0.2)
+        }
+        # log2(paper_objects) weighting: svn (238k objects) outweighs
+        # diff (1.9k objects).
+        assert units["svn"] > units["diff"]
+
+    def test_units_analyze_identically_to_their_specs(self):
+        from repro.tool.batch import run_batch
+        from repro.workloads.packages import paper_scale_units
+
+        units = paper_scale_units(["lklftpd"], scale=0.01)
+        result = run_batch(units, keep_going=True)
+        outcome = result.outcomes[0]
+        # lklftpd seeds cross_sibling + into_subregion: both high-rank.
+        assert outcome.status == "warnings"
+        assert outcome.exit_code == 1
