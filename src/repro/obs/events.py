@@ -11,7 +11,18 @@ event:
   (resource, limit, used, phase);
 * ``cache.hit`` / ``cache.miss`` -- persistent-cache probes;
 * ``batch.unit`` -- one unit's final outcome in a sweep;
-* ``warning`` -- one warning emitted (fingerprint, rank, unit).
+* ``warning`` -- one warning emitted (fingerprint, rank, unit);
+* supervisor events (see :mod:`repro.tool.supervise`):
+  ``supervisor.worker-lost`` (a pool worker died with the unit in
+  flight), ``supervisor.respawn`` (fresh pool after backoff),
+  ``supervisor.watchdog-kill`` (unit SIGKILLed past the hard
+  deadline), ``supervisor.bisect`` / ``supervisor.quarantine``
+  (poison-pill isolation), ``supervisor.journal-recovered`` (outcome
+  adopted from the run journal instead of re-run),
+  ``supervisor.gave-up`` (respawn budget exhausted),
+  ``supervisor.interrupted`` / ``batch.interrupted`` (SIGINT/SIGTERM
+  drain), and ``journal.replay`` (a ``--resume`` run adopted a
+  completed outcome).
 
 Every record carries a monotonic per-process sequence number (``seq``),
 the emitting ``pid``, and a timestamp (``t_ms``) measured against the

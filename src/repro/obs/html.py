@@ -56,6 +56,11 @@ details > pre { margin: 0.3rem 0 0 0; }
 .cell-cached { outline: 2px dashed #88a; }
 .cell-input-error, .cell-internal-error, .cell-budget-exhausted
   { background: #ffd6d6; }
+/* Supervisor-recorded outcomes: a quarantined poison pill (the worker
+   process died) and a hard-timeout kill.  Darker than in-process
+   failures -- these units never got to report anything. */
+.cell-crashed { background: #f3c2c2; border: 1px solid #b55; }
+.cell-timeout { background: #ffe0c2; border: 1px solid #b85; }
 .cell-skipped { background: #eee; color: #888; }
 .summary-line { color: #444; }
 footer { margin-top: 2.5rem; color: #999; font-size: 0.75rem; }

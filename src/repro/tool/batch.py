@@ -58,6 +58,25 @@ The dispatch is built so parallelism *pays* on paper-scale corpora:
   deterministic and independent, the parallel report is byte-identical
   to the serial one modulo timing/pid fields.
 
+Supervision (crash-proofing)
+----------------------------
+
+With ``jobs > 1`` the pool runs under a
+:class:`~repro.tool.supervise.BatchSupervisor` by default (see that
+module for the full design): a SIGKILL'd/OOM'd worker no longer takes
+the sweep down -- its units are retried on a respawned pool and a unit
+that repeatedly kills workers is bisected solo and quarantined with a
+``crashed`` outcome (exit 3); a hard per-unit wall-clock deadline
+(``hard_timeout``, or budget wall clock x grace factor) SIGKILLs hung
+units and records ``timeout`` outcomes (exit 4); a JSONL run
+``journal`` of completed outcomes makes sweeps resumable
+(``resume=True``) after even the parent dies; and SIGINT/SIGTERM drain
+in-flight results into a partial report (``BatchResult.interrupted``).
+Supervision keeps the serial-equivalence contract: a fault-free
+supervised sweep produces byte-identical batch JSON, and transient
+kills/hangs converge to the fault-free report (modulo ``attempts`` and
+the ``supervision`` telemetry block).
+
 Persistent caching
 ------------------
 
@@ -87,9 +106,10 @@ import gc
 import json
 import math
 import os
+import signal as _signal_module
+import tempfile
 import time
 import traceback
-from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -121,6 +141,12 @@ from repro.obs.trace import (
 from repro.pointer import AnalysisOptions
 from repro.tool.cache import AnalysisCache
 from repro.tool.regionwiz import RegionWizReport, run_regionwiz
+from repro.tool.supervise import (
+    BatchSupervisor,
+    RunJournal,
+    SupervisePolicy,
+    interruptible,
+)
 from repro.util import faults
 from repro.util.budget import ResourceBudget
 from repro.util.errors import BudgetExceeded, InputError
@@ -132,6 +158,16 @@ SEVERITY_ORDER = (3, 4, 2, 1, 0)
 
 #: Unit exit codes that stop a ``keep_going=False`` sweep.
 _HARD_FAILURES = (2, 3, 4)
+
+#: Exponential backoff between ``max_retries`` attempts at a unit that
+#: failed with an *internal* error: ``min(cap, base * 2**(attempt-1))``
+#: seconds.  Retries exist for transient failures (resource spikes, OS
+#: hiccups); re-running a crash back-to-back re-creates the exact
+#: conditions that just failed.  Kept small: retried units hold a pool
+#: worker, and deterministic crashes (the common case) pay the full
+#: ladder before giving up.
+_RETRY_BACKOFF_BASE = 0.02
+_RETRY_BACKOFF_CAP = 0.5
 
 
 @dataclass(frozen=True)
@@ -174,7 +210,12 @@ class UnitOutcome:
     """
 
     unit: str
-    status: str  # clean|warnings|input-error|budget-exhausted|internal-error|skipped
+    #: clean|warnings|input-error|budget-exhausted|internal-error|skipped
+    #: plus two supervisor-recorded statuses: ``crashed`` (the worker
+    #: *process* died and the unit was quarantined as the poison pill;
+    #: exit 3) and ``timeout`` (SIGKILLed past the hard wall-clock
+    #: deadline; exit 4, a ``BudgetExceeded`` in ``error_detail``).
+    status: str
     exit_code: Optional[int]  # None for skipped units
     attempts: int = 1
     precision: str = "full"
@@ -193,6 +234,10 @@ class UnitOutcome:
     fingerprints: List[str] = field(default_factory=list)
     #: True when this outcome was replayed from the persistent cache.
     cached: bool = False
+    #: True when this outcome was replayed from a run journal by
+    #: ``resume=True`` (the unit was completed by an earlier, interrupted
+    #: sweep and was not re-analyzed).
+    resumed: bool = False
     #: CPU seconds this unit's analysis took in its process (0.0 for
     #: cache replays and skips).  CPU time, not wall time, so the
     #: reading stays meaningful when pool workers contend for cores.
@@ -234,6 +279,8 @@ class UnitOutcome:
                 payload["fingerprints"] = list(self.fingerprints)
             if self.cached:
                 payload["cached"] = True
+        if self.resumed:
+            payload["resumed"] = True
         if self.error is not None:
             payload["error"] = self.error
             payload["error_type"] = self.error_type
@@ -243,17 +290,35 @@ class UnitOutcome:
             payload["traceback"] = self.traceback
         return payload
 
-    # -- persistent-cache round trip ---------------------------------------
+    # -- payload round trip (persistent cache and run journal) -------------
 
     def to_cache_payload(self) -> Dict[str, Any]:
+        """The outcome as plain data, minus replay provenance.
+
+        One schema serves both the persistent cache and the supervisor's
+        run journal: ``cached``/``resumed`` are stripped because they
+        describe *how this copy was obtained*, which the replaying side
+        re-decides.
+        """
         payload = self.to_dict()
         payload.pop("cached", None)
+        payload.pop("resumed", None)
         payload["warning_lines"] = list(self.warning_lines)
         payload["fingerprints"] = list(self.fingerprints)
         return payload
 
     @classmethod
-    def from_cache_payload(cls, payload: Dict[str, Any]) -> "UnitOutcome":
+    def from_payload(
+        cls,
+        payload: Dict[str, Any],
+        cached: bool = False,
+        resumed: bool = False,
+    ) -> "UnitOutcome":
+        """Rebuild an outcome from a cache or journal payload.
+
+        Unlike the cache (which only ever stores ``ok`` outcomes), the
+        journal records failures too, so the error fields round-trip.
+        """
         return cls(
             unit=payload["unit"],
             status=payload["status"],
@@ -267,8 +332,17 @@ class UnitOutcome:
             metrics=payload.get("metrics"),
             warning_lines=list(payload.get("warning_lines", ())),
             fingerprints=list(payload.get("fingerprints", ())),
-            cached=True,
+            cached=cached,
+            resumed=resumed,
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            error_detail=payload.get("error_detail"),
+            traceback=payload.get("traceback"),
         )
+
+    @classmethod
+    def from_cache_payload(cls, payload: Dict[str, Any]) -> "UnitOutcome":
+        return cls.from_payload(payload, cached=True)
 
 
 def _skipped(unit_name: str) -> UnitOutcome:
@@ -287,6 +361,15 @@ class BatchResult:
     #: Per-unit baseline diffs (set by the CLI when ``--baseline`` is
     #: given; see :func:`repro.obs.history.diff_outcomes`).
     per_unit_diff: Optional[Dict[str, WarningDiff]] = None
+    #: True when the sweep was cut short by SIGINT/SIGTERM: everything
+    #: completed before the signal is present, the rest is ``skipped``,
+    #: and the CLI exits 130 regardless of :meth:`exit_code`.
+    interrupted: bool = False
+    #: Supervision telemetry (respawns / watchdog_kills / quarantined /
+    #: timeouts / journal_recovered / resumed ...), present only when the
+    #: supervisor actually intervened -- a fault-free sweep's JSON is
+    #: byte-identical with supervision on or off.
+    supervision: Optional[Dict[str, int]] = None
 
     def outcome(self, unit: str) -> UnitOutcome:
         for outcome in self.outcomes:
@@ -335,6 +418,21 @@ class BatchResult:
         registry.inc(
             "batch.cached", sum(1 for o in self.outcomes if o.cached)
         )
+        registry.inc(
+            "batch.attempts", sum(o.attempts for o in self.outcomes)
+        )
+        registry.inc(
+            "batch.retried",
+            sum(1 for o in self.outcomes if o.attempts > 1),
+        )
+        registry.inc(
+            "batch.resumed", sum(1 for o in self.outcomes if o.resumed)
+        )
+        if self.supervision:
+            for key in sorted(self.supervision):
+                registry.inc(
+                    f"supervision.{key}", self.supervision[key]
+                )
         if self.cache_counters is not None:
             # .get(): a zero-unit sweep (or a cache that never probed)
             # may carry partial counters; missing keys read as 0.
@@ -358,6 +456,10 @@ class BatchResult:
             "skipped": len(self.skipped),
             "results": [o.to_dict() for o in self.outcomes],
         }
+        if self.interrupted:
+            payload["interrupted"] = True
+        if self.supervision:
+            payload["supervision"] = dict(self.supervision)
         if self.cache_counters is not None:
             payload["cache"] = dict(self.cache_counters)
         fleet = self.fleet_metrics()
@@ -401,8 +503,13 @@ class BatchResult:
         """Human-readable one-line-per-unit account."""
         lines = [
             f"batch: {len(self.succeeded)}/{len(self.outcomes)} unit(s)"
-            f" analyzed, exit {self.exit_code()}"
+            f" analyzed, exit {130 if self.interrupted else self.exit_code()}"
         ]
+        if self.interrupted:
+            lines.append(
+                "  sweep interrupted: partial results below, resume with"
+                " --journal/--resume"
+            )
         for o in self.outcomes:
             if o.ok:
                 extra = (
@@ -412,6 +519,8 @@ class BatchResult:
                 )
                 if o.cached:
                     extra += " (cached)"
+                if o.resumed:
+                    extra += " (resumed)"
                 lines.append(
                     f"  {o.unit}: {o.status} ({o.warnings} warning(s),"
                     f" {o.high} high){extra}"
@@ -511,6 +620,12 @@ def _analyze_unit_isolated(
             )
         except Exception as error:  # internal crash: isolate, maybe retry
             if attempts <= max_retries:
+                time.sleep(
+                    min(
+                        _RETRY_BACKOFF_CAP,
+                        _RETRY_BACKOFF_BASE * (2 ** (attempts - 1)),
+                    )
+                )
                 continue
             return UnitOutcome(
                 unit=unit.name,
@@ -608,29 +723,78 @@ def _cache_store(
 # The process-pool shard scheduler
 # ---------------------------------------------------------------------------
 
-#: The per-batch invariant state: everything every unit's analysis
-#: needs but that never varies within one sweep.  Shipped to each pool
-#: worker exactly once, through the pool ``initializer`` -- the old
-#: dispatch re-pickled all of it (options, budget, registry, fault
-#: specs, epochs) into every per-unit task, which is pure overhead on
-#: corpora of hundreds of units.
-_WorkerConfig = Tuple[
-    Optional[AnalysisOptions],
-    Optional[ResourceBudget],
-    bool,  # degrade
-    bool,  # refine
-    bool,  # solver_stats
-    Optional[ImplicitCallRegistry],
-    int,  # max_retries
-    List[faults.FaultSpec],
-    Optional[float],  # parent tracer epoch (None: tracing off)
-    Optional[str],  # parent event-log path (None: event logging off)
-    Optional[float],  # parent event-log epoch
-    bool,  # keep_going
-]
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """The per-batch invariant state: everything every unit's analysis
+    needs but that never varies within one sweep.  Shipped to each pool
+    worker exactly once, through the pool ``initializer`` -- the old
+    dispatch re-pickled all of it (options, budget, registry, fault
+    specs, epochs) into every per-unit task, which is pure overhead on
+    corpora of hundreds of units.
+    """
+
+    options: Optional[AnalysisOptions]
+    budget: Optional[ResourceBudget]
+    degrade: bool
+    refine: bool
+    solver_stats: bool
+    registry: Optional[ImplicitCallRegistry]
+    max_retries: int
+    fault_specs: List[faults.FaultSpec]
+    #: Parent tracer epoch (None: tracing off).
+    trace_epoch: Optional[float]
+    #: Parent event-log path/epoch (None: event logging off).
+    events_path: Optional[str]
+    events_epoch: Optional[float]
+    keep_going: bool
+    #: The supervisor's run journal (None: supervision off) -- workers
+    #: heartbeat ``unit.start``, append completed ``unit.done`` payloads,
+    #: and record destructive fault firings into it.
+    journal_path: Optional[str] = None
+
 
 #: This worker's copy of the batch config, set by :func:`_worker_init`.
 _WORKER_CONFIG: Optional[_WorkerConfig] = None
+
+#: The worker's journal append handle, opened lazily per process (same
+#: one-line-per-write discipline as the event log, so parent and worker
+#: appends interleave at line granularity).
+_WORKER_JOURNAL = None
+
+
+def _worker_journal_append(payload: Dict[str, Any]) -> None:
+    global _WORKER_JOURNAL
+    assert _WORKER_CONFIG is not None and _WORKER_CONFIG.journal_path
+    if _WORKER_JOURNAL is None or _WORKER_JOURNAL.closed:
+        _WORKER_JOURNAL = open(
+            _WORKER_CONFIG.journal_path, "a", buffering=1
+        )
+    _WORKER_JOURNAL.write(json.dumps(payload, sort_keys=True) + "\n")
+
+
+def _worker_fault_hook(
+    spec: faults.FaultSpec, unit: Optional[str]
+) -> None:
+    """Journal a destructive fault firing *before* it executes.
+
+    A ``kill``/``hang`` takes the worker down with it, so this journal
+    line is the only record the parent ever gets that the armed
+    ``times=`` count was consumed; the supervisor replays it against its
+    master snapshot (see
+    :meth:`repro.tool.supervise.BatchSupervisor._consume_fault`).
+    """
+    if spec.action not in ("kill", "hang"):
+        return
+    _worker_journal_append(
+        {
+            "kind": "fault.fired",
+            "point": spec.point,
+            "action": spec.action,
+            "unit": unit,
+            "pid": os.getpid(),
+            "t": time.time(),
+        }
+    )
 
 #: The worker's event log, cached per process: a pool worker handles
 #: many chunks, and reopening the log per chunk would restart its seq
@@ -668,17 +832,33 @@ def _worker_init(config: _WorkerConfig) -> None:
     global _WORKER_CONFIG
     _WORKER_CONFIG = config
     gc.freeze()
-    events_path, events_epoch = config[9], config[10]
-    if events_path is not None:
-        install_event_log(_worker_event_log(events_path, events_epoch))
+    try:
+        # The parent runs sweeps under interruptible() (SIGTERM ->
+        # KeyboardInterrupt) and workers fork while it is installed; a
+        # worker must just die on SIGTERM (pool teardown terminates
+        # idle workers), not raise a phantom interrupt into the
+        # executor plumbing.
+        _signal_module.signal(_signal_module.SIGTERM, _signal_module.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    if config.events_path is not None:
+        install_event_log(
+            _worker_event_log(config.events_path, config.events_epoch)
+        )
     else:
         uninstall_event_log(None)  # drop any log inherited through fork
-    if config[8] is None:
+    if config.trace_epoch is None:
         uninstall_tracer(None)  # drop any tracer inherited through fork
+    if config.journal_path is not None:
+        faults.set_fire_hook(_worker_fault_hook)
+    else:
+        faults.set_fire_hook(None)  # drop a hook inherited through fork
 
 
-#: One dispatched task: a contiguous run of ``(index, unit)`` pairs.
-_WorkerChunk = List[Tuple[int, BatchUnit]]
+#: One dispatched task: a contiguous run of ``(index, unit, key)``
+#: triples -- ``key`` is the unit's content key (journal identity; None
+#: when neither journal nor cache is configured).
+_WorkerChunk = List[Tuple[int, BatchUnit, Optional[str]]]
 
 
 def _worker_analyze_chunk(
@@ -695,43 +875,63 @@ def _worker_analyze_chunk(
     abandoned after a hard failure -- the parent would relabel those
     units ``skipped`` anyway, exactly as a serial run never reaches
     them.
+
+    Under supervision each unit is bracketed by journal heartbeats: a
+    ``unit.start`` before analysis (the parent's watchdog clock and, if
+    this process dies, the crash attribution) and a ``unit.done``
+    carrying the full outcome payload after (so results that completed
+    before a later unit killed the worker are adopted, not re-run).
     """
     assert _WORKER_CONFIG is not None, "worker used without initializer"
-    (
-        options,
-        budget,
-        degrade,
-        refine,
-        solver_stats,
-        registry,
-        max_retries,
-        fault_specs,
-        trace_epoch,
-        _events_path,
-        _events_epoch,
-        keep_going,
-    ) = _WORKER_CONFIG
-    faults.install(fault_specs)
-    tracer = Tracer(epoch=trace_epoch) if trace_epoch is not None else None
+    config = _WORKER_CONFIG
+    journaling = config.journal_path is not None
+    faults.install(config.fault_specs)
+    tracer = (
+        Tracer(epoch=config.trace_epoch)
+        if config.trace_epoch is not None
+        else None
+    )
     if tracer is not None:
         install_tracer(tracer)
     results: List[Tuple[int, UnitOutcome]] = []
     try:
-        for index, unit in chunk:
+        for index, unit, key in chunk:
+            if journaling:
+                _worker_journal_append(
+                    {
+                        "kind": "unit.start",
+                        "index": index,
+                        "unit": unit.name,
+                        "pid": os.getpid(),
+                        "t": time.time(),
+                    }
+                )
             outcome = _analyze_unit(
                 unit,
-                options,
-                budget,
-                degrade,
-                refine,
-                solver_stats,
-                registry,
-                max_retries,
+                config.options,
+                config.budget,
+                config.degrade,
+                config.refine,
+                config.solver_stats,
+                config.registry,
+                config.max_retries,
             )
             outcome.report = None  # the full report does not cross the pool
             outcome.worker_pid = os.getpid()
             results.append((index, outcome))
-            if not keep_going and outcome.exit_code in _HARD_FAILURES:
+            if journaling:
+                _worker_journal_append(
+                    {
+                        "kind": "unit.done",
+                        "index": index,
+                        "unit": unit.name,
+                        "key": key,
+                        "pid": os.getpid(),
+                        "t": time.time(),
+                        "outcome": outcome.to_cache_payload(),
+                    }
+                )
+            if not config.keep_going and outcome.exit_code in _HARD_FAILURES:
                 break
     finally:
         if tracer is not None:
@@ -739,6 +939,30 @@ def _worker_analyze_chunk(
         faults.clear()
     roots = tracer.roots if tracer is not None else []
     return results, roots, os.getpid()
+
+
+def _solo_entry(
+    config: _WorkerConfig,
+    index: int,
+    unit: BatchUnit,
+    key: Optional[str],
+    conn,
+) -> None:
+    """Bisection child: one unit, one fresh process, result via pipe.
+
+    Reuses the full chunk path (journal heartbeats, fault snapshot,
+    event log) so a solo run is observably identical to a pool run of a
+    single-unit chunk.  If the unit kills this process too, the parent
+    reads the exitcode/signal off the dead child and quarantines the
+    unit; trace spans are not shipped (the pool path's tracer adoption
+    needs the executor plumbing, and a bisection rerun's spans are not
+    worth a second IPC channel).
+    """
+    _worker_init(config)
+    results, _roots, _pid = _worker_analyze_chunk([(index, unit, key)])
+    _, outcome = results[0]
+    conn.send(outcome.to_cache_payload())
+    conn.close()
 
 
 def _pool_failure_outcome(unit: BatchUnit, error: BaseException) -> UnitOutcome:
@@ -788,108 +1012,137 @@ def _run_batch_parallel(
     cache: Optional[AnalysisCache],
     cache_keys: List[Optional[str]],
     chunk_size: Optional[int] = None,
-) -> List[Optional[UnitOutcome]]:
-    """Fan unit chunks out to a warm process pool; returns outcome slots.
+    journal: Optional[RunJournal] = None,
+    journal_keys: Optional[List[Optional[str]]] = None,
+    policy: Optional[SupervisePolicy] = None,
+    resumed_slots: Optional[Dict[int, UnitOutcome]] = None,
+) -> Tuple[List[Optional[UnitOutcome]], Dict[str, int], bool]:
+    """Fan unit chunks out to a supervised warm process pool.
 
-    A ``None`` slot means the unit never ran (cancelled after an early
-    stop); the caller turns those -- and, without ``keep_going``, every
-    slot after the earliest hard failure -- into ``skipped`` outcomes.
+    Returns ``(slots, supervision_stats, interrupted)``.  A ``None``
+    slot means the unit never ran (cancelled after an early stop, or
+    still in flight when the sweep was interrupted); the caller turns
+    those -- and, without ``keep_going``, every slot after the earliest
+    hard failure -- into ``skipped`` outcomes.
+
+    The :class:`~repro.tool.supervise.BatchSupervisor` owns the pool
+    lifecycle: with a journal it recovers from dead workers, enforces
+    the hard per-unit deadline, and drains on SIGINT/SIGTERM; without
+    one (supervision disabled) the same loop degrades to fail-the-chunk
+    semantics with zero extra machinery on the unit path.
 
     Without ``keep_going``, cache stores are deferred until the pool
     drains and flushed only for units *before* the earliest hard
     failure: an in-flight worker may deliver a result after the stop,
     and persisting it would let a warm re-run resurrect an outcome the
     batch report relabelled ``skipped`` (diverging from the serial
-    cache state).
+    cache state).  The same deferral covers interrupted sweeps -- only
+    outcomes the partial report actually carries are persisted.
     """
+    policy = policy or SupervisePolicy()
     slots: List[Optional[UnitOutcome]] = [None] * len(units)
     to_run: List[int] = []
     for index, unit in enumerate(units):
+        if resumed_slots and index in resumed_slots:
+            slots[index] = resumed_slots[index]
+            continue
         hit = _cache_lookup(cache, cache_keys[index], unit)
         if hit is not None:
             slots[index] = hit
         else:
             to_run.append(index)
     if not to_run:
-        return slots
+        return slots, {}, False
 
     tracer = current_tracer()
-    epoch = tracer.epoch if tracer is not None else None
     event_log = current_event_log()
-    events_path = event_log.path if event_log is not None else None
-    events_epoch = event_log.epoch if event_log is not None else None
-    config: _WorkerConfig = (
-        options,
-        budget,
-        degrade,
-        refine,
-        solver_stats,
-        registry,
-        max_retries,
-        faults.snapshot(),
-        epoch,
-        events_path,
-        events_epoch,
-        keep_going,
+    keys = journal_keys if journal_keys is not None else cache_keys
+
+    def make_config(fault_specs: List[faults.FaultSpec]) -> _WorkerConfig:
+        return _WorkerConfig(
+            options=options,
+            budget=budget,
+            degrade=degrade,
+            refine=refine,
+            solver_stats=solver_stats,
+            registry=registry,
+            max_retries=max_retries,
+            fault_specs=fault_specs,
+            trace_epoch=tracer.epoch if tracer is not None else None,
+            events_path=event_log.path if event_log is not None else None,
+            events_epoch=event_log.epoch if event_log is not None else None,
+            keep_going=keep_going,
+            journal_path=journal.path if journal is not None else None,
+        )
+
+    def adopt(roots: List[SpanRecord], pid: int) -> None:
+        if tracer is not None and roots:
+            tracer.adopt(roots, pid=pid)
+
+    supervisor = BatchSupervisor(
+        units=units,
+        to_run=to_run,
+        jobs=jobs,
+        keep_going=keep_going,
+        policy=policy,
+        deadline=policy.deadline(budget),
+        journal=journal,
+        keys=keys,
+        fault_specs=faults.snapshot(),
+        make_config=make_config,
+        worker_init=_worker_init,
+        worker_chunk=_worker_analyze_chunk,
+        solo_entry=_solo_entry,
+        chunk_fn=lambda indices, workers: _chunked(
+            indices, workers, chunk_size
+        ),
+        adopt=adopt,
+        pool_failure=_pool_failure_outcome,
     )
-    workers = min(jobs, len(to_run))
-    if keep_going:
-        # Throughput mode: every unit runs regardless of order, so the
-        # dispatch order is free -- schedule biggest units first (source
-        # size as the cost proxy), the classic longest-processing-time
-        # heuristic, so the heaviest unit can't land last and stretch
-        # the sweep's tail.  Slots still fill by submission index, so
-        # the report is order-independent.  Without keep_going the
-        # contiguous FIFO order is load-bearing (see _chunked) and LPT
-        # would break early-stop normalization.
-        to_run = sorted(to_run, key=lambda i: -len(units[i].source))
-    #: (index, key, outcome) stores held back until the sweep drains.
-    deferred_stores: List[Tuple[int, Optional[str], UnitOutcome]] = []
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=(config,)
-    ) as pool:
-        futures = {}
-        for indices in _chunked(to_run, workers, chunk_size):
-            task: _WorkerChunk = [(index, units[index]) for index in indices]
-            futures[pool.submit(_worker_analyze_chunk, task)] = indices
-        stopping = False
-        for future in as_completed(futures):
-            indices = futures[future]
-            try:
-                results, roots, pid = future.result()
-            except CancelledError:
-                continue  # early stop already cancelled it: stays skipped
-            except Exception as error:  # worker/pool death, pickling, ...
-                results = [
-                    (index, _pool_failure_outcome(units[index], error))
-                    for index in indices
-                ]
-                roots, pid = [], 0
-            if tracer is not None and roots:
-                tracer.adopt(roots, pid=pid)
-            for index, outcome in results:
-                slots[index] = outcome
-                if keep_going:
-                    _cache_store(cache, cache_keys[index], outcome)
-                else:
-                    deferred_stores.append(
-                        (index, cache_keys[index], outcome)
-                    )
-                if not keep_going and outcome.exit_code in _HARD_FAILURES:
-                    stopping = True
-            if stopping:
-                for pending in futures:
-                    pending.cancel()
-    if deferred_stores:
-        first_failure: Optional[int] = None
+    for index, outcome in supervisor.run().items():
+        slots[index] = outcome
+
+    first_failure: Optional[int] = None
+    if not keep_going:
         for index, outcome in enumerate(slots):
             if outcome is not None and outcome.exit_code in _HARD_FAILURES:
                 first_failure = index
                 break
-        for index, key, outcome in deferred_stores:
-            if first_failure is None or index < first_failure:
-                _cache_store(cache, key, outcome)
-    return slots
+    for index in to_run:
+        outcome = slots[index]
+        if outcome is None:
+            continue
+        if first_failure is None or index < first_failure:
+            _cache_store(cache, cache_keys[index], outcome)
+    return slots, dict(supervisor.stats), supervisor.interrupted
+
+
+def _journal_key(
+    unit: BatchUnit,
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    refine: bool,
+    solver_stats: bool,
+) -> str:
+    """The unit's content key for journal identity.
+
+    Deliberately the same key material as the persistent cache
+    (:meth:`AnalysisCache.key` is static, so no cache directory is
+    needed): a resumed sweep must only replay an outcome if the unit's
+    source *and* the analysis configuration are unchanged.
+    """
+    return AnalysisCache.key(
+        source=unit.source,
+        filename=unit.filename,
+        interface=unit.effective_interface,
+        entry=unit.entry,
+        options=options,
+        budget=budget,
+        degrade=degrade,
+        refine=refine,
+        solver_stats=solver_stats,
+    )
 
 
 def run_batch(
@@ -905,6 +1158,11 @@ def run_batch(
     jobs: int = 1,
     cache: Optional[Union[AnalysisCache, str]] = None,
     chunk_size: Optional[int] = None,
+    hard_timeout: Optional[float] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    supervise: bool = True,
+    policy: Optional[SupervisePolicy] = None,
 ) -> BatchResult:
     """Analyze every unit with per-unit fault isolation.
 
@@ -920,11 +1178,28 @@ def run_batch(
     chunks per worker).  ``cache`` (an
     :class:`~repro.tool.cache.AnalysisCache` or a directory path)
     enables the persistent result cache.
+
+    ``supervise`` (default, effective with ``jobs > 1``) runs the sweep
+    under the crash-proofing supervisor (see :mod:`repro.tool.supervise`):
+    dead workers are respawned and their units retried/bisected, and
+    ``hard_timeout`` (or the budget's wall clock times the policy's
+    grace factor) arms a watchdog that SIGKILLs hung units.  ``journal``
+    names a JSONL run journal of completed outcomes; ``resume=True``
+    replays completed units from it instead of re-analyzing them (their
+    outcomes are marked ``resumed``).  SIGINT/SIGTERM drain in-flight
+    results into a partial :class:`BatchResult` with
+    ``interrupted=True`` (serial sweeps included).  ``policy`` overrides
+    the full :class:`~repro.tool.supervise.SupervisePolicy`
+    (``hard_timeout`` is ignored when a policy is given).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal path")
     if isinstance(cache, str):
         cache = AnalysisCache(cache)
+    if policy is None:
+        policy = SupervisePolicy(hard_timeout=hard_timeout)
     pending = list(units)
     cache_keys: List[Optional[str]] = [
         _unit_cache_key(
@@ -935,9 +1210,20 @@ def run_batch(
         for unit in pending
     ]
 
-    result = BatchResult()
-    if jobs > 1:
-        slots = _run_batch_parallel(
+    journal_obj: Optional[RunJournal] = None
+    ephemeral: Optional[str] = None
+    if journal is not None:
+        journal_obj = RunJournal(journal, resume=resume)
+    elif supervise and jobs > 1 and pending:
+        # Supervision needs the heartbeat/outcome channel even when the
+        # caller doesn't want a persistent journal: use a throwaway one.
+        fd, ephemeral = tempfile.mkstemp(
+            prefix="regionwiz-journal-", suffix=".jsonl"
+        )
+        os.close(fd)
+        journal_obj = RunJournal(ephemeral)
+    try:
+        return _run_batch_inner(
             pending,
             options,
             budget,
@@ -951,9 +1237,100 @@ def run_batch(
             cache,
             cache_keys,
             chunk_size,
+            policy,
+            journal_obj,
+            supervise,
         )
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+        if ephemeral is not None:
+            try:
+                os.unlink(ephemeral)
+            except OSError:
+                pass
+
+
+def _run_batch_inner(
+    pending: List[BatchUnit],
+    options: Optional[AnalysisOptions],
+    budget: Optional[ResourceBudget],
+    degrade: bool,
+    keep_going: bool,
+    max_retries: int,
+    refine: bool,
+    solver_stats: bool,
+    registry: Optional[ImplicitCallRegistry],
+    jobs: int,
+    cache: Optional[AnalysisCache],
+    cache_keys: List[Optional[str]],
+    chunk_size: Optional[int],
+    policy: SupervisePolicy,
+    journal_obj: Optional[RunJournal],
+    supervise: bool,
+) -> BatchResult:
+    journal_keys: List[Optional[str]] = [None] * len(pending)
+    if journal_obj is not None:
+        journal_keys = [
+            _journal_key(
+                unit, options, budget, degrade, refine, solver_stats
+            )
+            for unit in pending
+        ]
+
+    # Resume replay: adopt completed outcomes from the journal's prior
+    # run(s), keyed by (unit name, content key) so a unit whose source
+    # or configuration changed re-analyzes.
+    resumed_slots: Dict[int, UnitOutcome] = {}
+    if journal_obj is not None and journal_obj.completed:
+        for index, unit in enumerate(pending):
+            key = journal_keys[index]
+            payload = (
+                journal_obj.completed.get((unit.name, key)) if key else None
+            )
+            if payload is None:
+                continue
+            try:
+                outcome = UnitOutcome.from_payload(payload, resumed=True)
+            except (KeyError, TypeError, ValueError):
+                continue
+            resumed_slots[index] = outcome
+            emit_event("journal.replay", unit=unit.name, key=key)
+
+    result = BatchResult()
+    supervision: Dict[str, int] = {}
+    interrupted = False
+    if jobs > 1:
+        try:
+            with interruptible():
+                slots, supervision, interrupted = _run_batch_parallel(
+                    pending,
+                    options,
+                    budget,
+                    degrade,
+                    keep_going,
+                    max_retries,
+                    refine,
+                    solver_stats,
+                    registry,
+                    jobs,
+                    cache,
+                    cache_keys,
+                    chunk_size,
+                    journal=journal_obj if supervise else None,
+                    journal_keys=journal_keys,
+                    policy=policy,
+                    resumed_slots=resumed_slots,
+                )
+        except KeyboardInterrupt:
+            # Interrupted outside the supervised pool loop (cache probe,
+            # resume replay): nothing in flight, keep what's filled.
+            interrupted = True
+            slots = [None] * len(pending)
+            for index, outcome in resumed_slots.items():
+                slots[index] = outcome
         first_failure: Optional[int] = None
-        if not keep_going:
+        if not keep_going and not interrupted:
             for index, outcome in enumerate(slots):
                 if outcome is not None and outcome.exit_code in _HARD_FAILURES:
                     first_failure = index
@@ -967,31 +1344,83 @@ def run_batch(
                 # but a serial run stopping at first_failure never would
                 # have: uncount that lookup so the reported counters
                 # match the serial sweep's exactly.
-                if cache is not None and cache_keys[index] is not None:
+                if (
+                    not interrupted
+                    and cache is not None
+                    and cache_keys[index] is not None
+                ):
                     was_hit = outcome is not None and outcome.cached
                     cache.uncount(hit=was_hit)
             else:
                 result.outcomes.append(outcome)
     else:
-        for index, unit in enumerate(pending):
-            outcome = _cache_lookup(cache, cache_keys[index], unit)
-            if outcome is None:
-                outcome = _analyze_unit(
-                    unit,
-                    options,
-                    budget,
-                    degrade,
-                    refine,
-                    solver_stats,
-                    registry,
-                    max_retries,
-                )
-                _cache_store(cache, cache_keys[index], outcome)
-            result.outcomes.append(outcome)
-            if not keep_going and outcome.exit_code in _HARD_FAILURES:
-                for skipped in pending[index + 1:]:
-                    result.outcomes.append(_skipped(skipped.name))
-                break
+        try:
+            with interruptible():
+                for index, unit in enumerate(pending):
+                    outcome = resumed_slots.get(index)
+                    if outcome is None:
+                        outcome = _cache_lookup(
+                            cache, cache_keys[index], unit
+                        )
+                    if outcome is None:
+                        if journal_obj is not None:
+                            journal_obj.append(
+                                {
+                                    "kind": "unit.start",
+                                    "index": index,
+                                    "unit": unit.name,
+                                    "pid": os.getpid(),
+                                    "t": time.time(),
+                                }
+                            )
+                        outcome = _analyze_unit(
+                            unit,
+                            options,
+                            budget,
+                            degrade,
+                            refine,
+                            solver_stats,
+                            registry,
+                            max_retries,
+                        )
+                        _cache_store(cache, cache_keys[index], outcome)
+                        if journal_obj is not None:
+                            journal_obj.append(
+                                {
+                                    "kind": "unit.done",
+                                    "index": index,
+                                    "unit": unit.name,
+                                    "key": journal_keys[index],
+                                    "pid": os.getpid(),
+                                    "t": time.time(),
+                                    "outcome": outcome.to_cache_payload(),
+                                }
+                            )
+                    result.outcomes.append(outcome)
+                    if (
+                        not keep_going
+                        and outcome.exit_code in _HARD_FAILURES
+                    ):
+                        for skipped in pending[len(result.outcomes):]:
+                            result.outcomes.append(_skipped(skipped.name))
+                        break
+        except KeyboardInterrupt:
+            # Satellite fix: everything completed before Ctrl-C used to
+            # be silently discarded in the serial path.
+            interrupted = True
+            emit_event(
+                "batch.interrupted",
+                completed=len(result.outcomes),
+                total=len(pending),
+            )
+            for skipped in pending[len(result.outcomes):]:
+                result.outcomes.append(_skipped(skipped.name))
+    result.interrupted = interrupted
+    resumed_count = sum(1 for o in result.outcomes if o.resumed)
+    if resumed_count:
+        supervision["resumed"] = resumed_count
+    if supervision:
+        result.supervision = supervision
     if cache is not None:
         result.cache_counters = cache.counters()
     for outcome in result.outcomes:

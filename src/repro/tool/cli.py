@@ -12,7 +12,14 @@ code  meaning
 3     internal error (a bug in RegionWiz -- traceback printed)
 4     resource budget exhausted, even after degradation if
       ``--degrade`` was given
+130   batch sweep interrupted (SIGINT/SIGTERM): partial results
+      were still written; resume with ``--journal``/``--resume``
 ====  =========================================================
+
+In batch mode two supervisor-recorded outcomes fold into the same
+codes: ``crashed`` (the worker *process* died repeatedly on one unit;
+counts as 3) and ``timeout`` (the unit blew the ``--hard-timeout``
+wall-clock deadline; counts as 4).
 
 With ``--fail-on-new`` (requires ``--baseline``), codes 0/1 are instead
 decided by the baseline diff: exit 1 only when *new* warnings appeared,
@@ -233,6 +240,37 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the result cache even if --cache was given",
     )
+    batch.add_argument(
+        "--hard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "in parallel batch mode, SIGKILL any unit still running"
+            " after SECONDS of wall clock and record a timeout outcome"
+            " (exit 4); default: budget wall clock x grace factor, or"
+            " no hard limit without a wall-clock budget"
+        ),
+    )
+    batch.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help=(
+            "in batch mode, append completed unit outcomes to a JSONL"
+            " run journal at FILE (enables --resume after a crashed or"
+            " interrupted sweep)"
+        ),
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay outcomes already completed in the --journal file"
+            " (matched by unit content + analysis configuration) and"
+            " re-analyze only the rest"
+        ),
+    )
     parser.add_argument(
         "--all",
         action="store_true",
@@ -401,6 +439,11 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("regionwiz: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.resume and not args.journal:
+        print(
+            "regionwiz: --resume requires --journal FILE", file=sys.stderr
+        )
+        return 2
     chunks = _read_sources(args.files)
     units = [
         BatchUnit(
@@ -428,6 +471,9 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache=cache,
         chunk_size=args.chunk_size,
+        hard_timeout=args.hard_timeout,
+        journal=args.journal,
+        resume=args.resume,
     )
     merged: Optional[WarningDiff] = None
     if args.baseline:
@@ -453,6 +499,10 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
             per_unit_diff=result.per_unit_diff,
             profile=_profile_tree(),
         )
+    if result.interrupted:
+        # Partial results were printed above; the conventional
+        # 128+SIGINT code tells callers the sweep did not finish.
+        return 130
     code = result.exit_code()
     if args.fail_on_new and code in (0, 1):
         assert merged is not None  # --fail-on-new requires --baseline

@@ -55,6 +55,27 @@ class ResourceBudget:
         """Begin one attempt: the wall clock starts ticking now."""
         return BudgetMeter(self, clock=clock)
 
+    def hard_deadline(self, grace_factor: float) -> Optional[float]:
+        """The supervisor's per-unit wall-clock ceiling, in seconds.
+
+        Cooperative checkpoints should always trip first; the hard
+        deadline is the budget's wall clock times ``grace_factor``
+        (covering every degradation-ladder rung retrying under a fresh
+        meter plus checkpoint latency), after which the batch
+        supervisor assumes the unit is *stuck between checkpoints* and
+        kills the worker outright.  ``None`` when the budget carries no
+        wall-clock limit -- there is nothing to scale a grace period
+        from, so only an explicit ``--hard-timeout`` can arm the
+        watchdog.
+        """
+        if self.wall_clock_seconds is None:
+            return None
+        if grace_factor <= 0:
+            raise ValueError(
+                f"grace_factor must be > 0, got {grace_factor}"
+            )
+        return self.wall_clock_seconds * grace_factor
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "wall_clock_seconds": self.wall_clock_seconds,

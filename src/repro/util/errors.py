@@ -22,9 +22,16 @@ contract without isinstance ladders.
 
 from __future__ import annotations
 
+import signal as _signal
 from typing import Any, Dict, Optional
 
-__all__ = ["AnalysisError", "InputError", "BudgetExceeded"]
+__all__ = [
+    "AnalysisError",
+    "InputError",
+    "BudgetExceeded",
+    "WorkerCrash",
+    "HardTimeout",
+]
 
 
 class AnalysisError(Exception):
@@ -85,3 +92,72 @@ class BudgetExceeded(AnalysisError):
             phase=self.phase,
         )
         return payload
+
+
+class WorkerCrash(AnalysisError):
+    """A batch pool worker *process* died while analyzing a unit.
+
+    Unlike an in-process exception, the unit never got to report
+    anything: the worker was SIGKILL'd, OOM-killed, or segfaulted out
+    from under it.  The batch supervisor
+    (:mod:`repro.tool.supervise`) raises/records this with the dead
+    worker's ``pid`` and, when the wait status is known, the ``signum``
+    that ended it.  Maps to exit code 3 (internal): a vanished worker
+    is indistinguishable from an analyzer bug from the caller's side.
+    """
+
+    def __init__(
+        self,
+        unit: str,
+        pid: Optional[int] = None,
+        signum: Optional[int] = None,
+    ) -> None:
+        self.unit = unit
+        self.pid = pid
+        self.signum = signum
+        where = f" (worker pid {pid})" if pid is not None else ""
+        how = (
+            f" by {self.signal_name or f'signal {signum}'}"
+            if signum is not None
+            else ""
+        )
+        super().__init__(
+            f"worker process analyzing {unit} died{how}{where}"
+        )
+
+    @property
+    def signal_name(self) -> Optional[str]:
+        if self.signum is None:
+            return None
+        try:
+            return _signal.Signals(self.signum).name
+        except ValueError:
+            return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = super().to_dict()
+        payload.update(
+            unit=self.unit,
+            pid=self.pid,
+            signal=self.signum,
+            signal_name=self.signal_name,
+        )
+        return payload
+
+
+class HardTimeout(BudgetExceeded):
+    """A unit blew through the supervisor's *hard* wall-clock deadline.
+
+    Cooperative :class:`~repro.util.budget.BudgetMeter` checkpoints can
+    only trip between fixpoint rounds; a worker stuck *inside* one (a
+    pathological loop, a blocked syscall, an injected ``hang``) never
+    reaches the next checkpoint.  The batch supervisor enforces the
+    deadline externally -- SIGKILLing the worker -- and records this,
+    a :class:`BudgetExceeded` subclass, so the outcome folds into the
+    existing exit-4 budget contract.
+    """
+
+    def __init__(self, limit: float, used: float) -> None:
+        super().__init__(
+            "hard_wall_clock", limit, used, phase="supervisor"
+        )

@@ -9,7 +9,13 @@ exercise the degradation and fault-isolation paths:
 * ``raise`` -- throw :class:`InjectedFault` (models an internal crash);
 * ``delay`` -- sleep, so wall-clock budgets trip on cue;
 * ``corrupt-budget`` -- poison the active :class:`~repro.util.budget.BudgetMeter`
-  so its next checkpoint raises ``BudgetExceeded``.
+  so its next checkpoint raises ``BudgetExceeded``;
+* ``kill`` -- SIGKILL the *current process* (models a segfault or the
+  OOM killer taking out a pool worker; in serial mode this kills the
+  parent itself, which is exactly what the journal-resume tests need);
+* ``hang`` -- sleep ``delay_seconds`` if set, otherwise effectively
+  forever (models a worker stuck between budget checkpoints; only the
+  supervisor's hard-timeout SIGKILL can end it).
 
 Injection points used by the pipeline: ``frontend``, ``call-graph``,
 ``context-cloning``, ``correlation``, ``post-processing`` (see
@@ -32,14 +38,24 @@ Because each dispatch carries its own copy, a ``times=`` count without a
 once in every worker) rather than globally; pair ``times=`` with
 ``unit=`` -- the documented way to poison one executable of a sweep --
 and the behaviour is exactly the serial one.
+
+``kill`` and ``hang`` are the exception to per-dispatch scoping: the
+worker that fires one never reports back, so its local ``times``
+decrement is lost with the process.  The supervisor closes the loop
+through :func:`set_fire_hook` -- workers journal each destructive
+firing *before* it executes, and the parent decrements its master
+snapshot from the journal, so a ``times=1`` kill fires exactly once
+per sweep and the retried unit runs fault-free.
 """
 
 from __future__ import annotations
 
+import os
+import signal as _signal
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
 
 from repro.obs.trace import trace_instant
 from repro.util.budget import BudgetMeter
@@ -54,9 +70,14 @@ __all__ = [
     "fire",
     "snapshot",
     "install",
+    "set_fire_hook",
 ]
 
-_ACTIONS = ("raise", "delay", "corrupt-budget")
+_ACTIONS = ("raise", "delay", "corrupt-budget", "kill", "hang")
+
+#: How long a ``hang`` with no explicit ``delay_seconds`` sleeps: long
+#: enough that only an external SIGKILL plausibly ends it.
+_HANG_SECONDS = 3600.0
 
 
 class InjectedFault(RuntimeError):
@@ -78,6 +99,23 @@ class FaultSpec:
 
 
 _ACTIVE: Dict[str, List[FaultSpec]] = {}
+
+#: Called with ``(spec, unit)`` just before a selected fault's action
+#: executes.  The batch supervisor installs a hook inside pool workers
+#: that journals ``kill``/``hang`` firings: those actions destroy the
+#: worker, so the journal line is the only record the parent ever gets
+#: that the armed count was consumed.
+_FIRE_HOOK: Optional[Callable[[FaultSpec, Optional[str]], None]] = None
+
+
+def set_fire_hook(
+    hook: Optional[Callable[[FaultSpec, Optional[str]], None]],
+) -> Optional[Callable[[FaultSpec, Optional[str]], None]]:
+    """Install ``hook`` (or ``None`` to clear); returns the previous one."""
+    global _FIRE_HOOK
+    previous = _FIRE_HOOK
+    _FIRE_HOOK = hook
+    return previous
 
 
 def inject(
@@ -175,6 +213,8 @@ def fire(
         trace_instant(
             "fault", point=point, action=spec.action, unit=unit or ""
         )
+        if _FIRE_HOOK is not None:
+            _FIRE_HOOK(spec, unit)
         if spec.action == "raise":
             raise InjectedFault(
                 spec.message or f"injected fault at {point}"
@@ -184,3 +224,7 @@ def fire(
             time.sleep(spec.delay_seconds)
         elif spec.action == "corrupt-budget" and meter is not None:
             meter.corrupt()
+        elif spec.action == "kill":
+            os.kill(os.getpid(), _signal.SIGKILL)
+        elif spec.action == "hang":
+            time.sleep(spec.delay_seconds or _HANG_SECONDS)

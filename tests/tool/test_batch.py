@@ -145,6 +145,27 @@ class TestRunBatch:
         result = run_batch([poison_unit("bad")], max_retries=5)
         assert result.outcome("bad").attempts == 1
 
+    def test_retries_back_off_exponentially(self, monkeypatch):
+        import repro.tool.batch as batch_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            batch_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        units = figure_units(["fig1"])
+        with faults.injected("batch-unit", unit="fig1"):  # always fires
+            run_batch(units, keep_going=True, max_retries=3)
+        assert sleeps == [0.02, 0.04, 0.08]
+
+    def test_batch_metrics_surface_attempts_and_retries(self):
+        units = figure_units(["fig1", "fig2a"])
+        with faults.injected("batch-unit", unit="fig1", times=1):
+            result = run_batch(units, keep_going=True, max_retries=1)
+        metrics = result.batch_metrics().to_dict()
+        assert metrics["batch.attempts"] == 3  # fig1 twice, fig2a once
+        assert metrics["batch.retried"] == 1
+        assert metrics["batch.resumed"] == 0
+
     def test_severity_order(self):
         units = [
             poison_unit("bad"),

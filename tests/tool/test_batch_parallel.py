@@ -224,6 +224,17 @@ class TestWorkerObservability:
         assert tracer.lanes == []
         assert len(tracer.find("batch.unit")) == 1
 
+    def test_pool_is_clamped_to_the_number_of_chunks(self):
+        # ``--jobs 64`` on a four-unit corpus with two-unit chunks must
+        # spawn at most two workers, not 64 idle ones.  The worker pids
+        # stamped on the outcomes are the observable.
+        units = figure_units(["fig1", "fig2a", "fig2c", "fig3"])
+        result = run_batch(units, keep_going=True, jobs=64, chunk_size=2)
+        assert all(o.ok for o in result.outcomes)
+        pids = {o.worker_pid for o in result.outcomes}
+        assert None not in pids
+        assert len(pids) <= 2
+
 
 if HAVE_HYPOTHESIS:
 

@@ -196,3 +196,29 @@ class TestBatchMode:
     def test_batch_missing_file_exit_two(self, tmp_path, capsys):
         assert main(["--batch", str(tmp_path / "nope.c")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+    def test_resume_requires_a_journal(self, tmp_path, capsys):
+        good = tmp_path / "fig1.c"
+        good.write_text(figure("fig1").full_source)
+        assert main(["--batch", "--resume", str(good)]) == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
+
+    def test_journal_resume_round_trip(self, tmp_path, capsys):
+        good1 = tmp_path / "fig1.c"
+        good1.write_text(figure("fig1").full_source)
+        good2 = tmp_path / "fig2a.c"
+        good2.write_text(figure("fig2a").full_source)
+        journal = tmp_path / "sweep.jsonl"
+        argv = [
+            "--batch", "--keep-going", "--json",
+            "--journal", str(journal),
+            str(good1), str(good2),
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert all(not r.get("resumed") for r in first["results"])
+        # A resumed run replays both outcomes from the journal.
+        assert main(argv[:2] + ["--resume"] + argv[2:]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert all(r.get("resumed") for r in second["results"])
+        assert second["supervision"]["resumed"] == 2

@@ -84,3 +84,62 @@ class TestRegistry:
             with faults.injected("frontend"):
                 raise RuntimeError("test error")
         assert not faults.active()
+
+
+class TestDestructiveActions:
+    """The supervisor-facing ``kill``/``hang`` actions and the fire hook."""
+
+    def test_kill_action_sigkills_the_process(self):
+        # Fired in a child process: the parent must observe SIGKILL.
+        import multiprocessing
+
+        def victim():
+            faults.inject("batch-unit", action="kill")
+            faults.fire("batch-unit")
+
+        proc = multiprocessing.get_context().Process(target=victim)
+        proc.start()
+        proc.join(30)
+        assert proc.exitcode == -9
+
+    def test_hang_action_sleeps_for_delay_seconds(self):
+        import time
+
+        faults.inject("correlation", action="hang", delay_seconds=0.05)
+        started = time.monotonic()
+        faults.fire("correlation")  # finite hang: returns after the delay
+        assert time.monotonic() - started >= 0.05
+
+    def test_fire_hook_sees_spec_and_unit_before_the_action(self):
+        seen = []
+        previous = faults.set_fire_hook(
+            lambda spec, unit: seen.append((spec.point, spec.action, unit))
+        )
+        try:
+            # hang with an explicit (tiny) delay: delay_seconds=0.0 is
+            # the unset default and means "hang forever".
+            faults.inject(
+                "batch-unit", action="hang", delay_seconds=0.001
+            )
+            faults.fire("batch-unit", unit="svn/commit")
+        finally:
+            faults.set_fire_hook(previous)
+        assert seen == [("batch-unit", "hang", "svn/commit")]
+
+    def test_fire_hook_runs_before_raise_actions_too(self):
+        seen = []
+        previous = faults.set_fire_hook(
+            lambda spec, unit: seen.append(spec.action)
+        )
+        try:
+            faults.inject("frontend")
+            with pytest.raises(InjectedFault):
+                faults.fire("frontend")
+        finally:
+            faults.set_fire_hook(previous)
+        assert seen == ["raise"]
+
+    def test_set_fire_hook_returns_previous(self):
+        first = lambda spec, unit: None
+        assert faults.set_fire_hook(first) is None
+        assert faults.set_fire_hook(None) is first
