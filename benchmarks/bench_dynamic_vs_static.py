@@ -7,17 +7,25 @@ all.  This bench runs Figure 3's program (whose bug manifests only when
 P && !Q) under every condition assignment on the region runtime, counting
 which runs the dynamic RC baseline catches, and compares with the static
 verdict that needs no execution at all.
+
+``test_validation_precision_over_figures`` turns the comparison into a
+real precision benchmark: every figure program is analyzed statically,
+then validated dynamically (``validate_report``: trace one execution,
+replay it, correlate), and the per-ranking-bucket confirmation rates
+over the whole corpus land in ``BENCH_dynamic_vs_static.json``.
 """
 
 import itertools
 
-from conftest import bench_seconds, record_bench, write_result
+from conftest import bench_seconds, interface_for, record_bench, write_result
 
 from repro.interfaces import apr_pools_interface
 from repro.lang import analyze, parse
 from repro.runtime import run_program
 from repro.tool import run_regionwiz
+from repro.tool.validate import validate_report
 from repro.workloads import figure
+from repro.workloads.figures import FIGURES
 
 
 def _dynamic_sweep():
@@ -80,6 +88,92 @@ def test_dynamic_coverage(benchmark):
     assert 0 < caught < 4
     # The static tool flags the program unconditionally.
     assert not report.is_consistent
+
+
+def _validate_corpus():
+    """Analyze + dynamically validate every figure program."""
+    results = []
+    for program in FIGURES:
+        report = run_regionwiz(
+            program.full_source,
+            interface=interface_for(program.interface),
+            entry=program.entry,
+            name=program.name,
+        )
+        validation = validate_report(report)
+        results.append((program, report, validation))
+    return results
+
+
+def test_validation_precision_over_figures(benchmark):
+    """Per-bucket confirmation rates for the whole figure corpus."""
+    results = benchmark(_validate_corpus)
+
+    buckets = {
+        "high": {"confirmed": 0, "unobserved": 0, "uncovered": 0},
+        "low": {"confirmed": 0, "unobserved": 0, "uncovered": 0},
+    }
+    lines = ["dynamic validation over the figure corpus:"]
+    validated = 0
+    for program, report, validation in results:
+        if validation.status == "ok":
+            validated += 1
+        for rank, label in zip(validation.ranks, validation.labels):
+            buckets[rank][label] += 1
+        lines.append(
+            f"  {program.name:10s} [{validation.status}]"
+            f" {len(report.warnings)} warning(s):"
+            f" {validation.confirmed} confirmed,"
+            f" {validation.unobserved} unobserved,"
+            f" {validation.uncovered} uncovered"
+        )
+        # Where the corpus records dangling faults as ground truth
+        # (runtime_faults=True), the traced execution must observe at
+        # least one fault.  The converse doesn't hold: figures marked
+        # False can still trip rc-violations (fig12b), and fig3's
+        # faults depend on P/Q (runtime_faults=None).
+        if program.runtime_faults and validation.status == "ok":
+            assert validation.faults > 0, (
+                f"{program.name}: corpus expects runtime faults,"
+                " traced run observed none"
+            )
+
+    headline = {"figures": len(results), "validated_ok": validated}
+    for bucket, counts in buckets.items():
+        observed = counts["confirmed"] + counts["unobserved"]
+        rate = counts["confirmed"] / observed if observed else None
+        lines.append(
+            f"{bucket}-ranked: {counts['confirmed']} confirmed"
+            f" / {counts['unobserved']} unobserved"
+            f" / {counts['uncovered']} uncovered"
+            + (f" (confirmation rate {rate:.2f})" if rate is not None else "")
+        )
+        headline[f"{bucket}_confirmed"] = counts["confirmed"]
+        headline[f"{bucket}_unobserved"] = counts["unobserved"]
+        headline[f"{bucket}_uncovered"] = counts["uncovered"]
+        headline[f"{bucket}_confirmation_rate"] = (
+            round(rate, 4) if rate is not None else None
+        )
+    write_result("validation_precision.txt", "\n".join(lines))
+    record_bench(
+        "dynamic_vs_static",
+        mean_s=bench_seconds(benchmark),
+        **headline,
+    )
+
+    # Every figure whose dynamic ground truth is a dangling fault and
+    # that warns statically must have at least one warning confirmed by
+    # the traced run -- that is the whole point of the correlator.
+    for program, report, validation in results:
+        if program.runtime_faults and report.warnings:
+            assert "confirmed" in validation.labels, (
+                f"{program.name}: faulting figure with no confirmed warning"
+            )
+    # At least one high-ranked warning across the corpus is confirmed,
+    # and every validated run's replay agrees with the runtime.
+    assert buckets["high"]["confirmed"] >= 1
+    for _, _, validation in results:
+        assert validation.replay_consistent in (True, None)
 
 
 def test_bench_interpreter_throughput(benchmark):

@@ -46,6 +46,13 @@ from repro.obs.history import (
 )
 from repro.obs.html import render_html_report, write_html_report
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
+from repro.obs.replay import ReplayResult, replay_trace
+from repro.obs.validate import (
+    VALIDATION_SCHEMA_VERSION,
+    ValidationResult,
+    correlate_warnings,
+    label_warning,
+)
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -62,10 +69,14 @@ __all__ = [
     "BaselineEntry",
     "EventLog",
     "MetricsRegistry",
+    "ReplayResult",
     "SpanRecord",
     "Tracer",
+    "VALIDATION_SCHEMA_VERSION",
+    "ValidationResult",
     "WarningDiff",
     "aggregate_metrics",
+    "correlate_warnings",
     "current_event_log",
     "current_tracer",
     "diff_entries",
@@ -74,9 +85,11 @@ __all__ = [
     "format_metrics",
     "install_event_log",
     "install_tracer",
+    "label_warning",
     "load_baseline",
     "pair_fingerprint",
     "render_html_report",
+    "replay_trace",
     "save_baseline",
     "trace_instant",
     "trace_span",

@@ -62,6 +62,14 @@ details > pre { margin: 0.3rem 0 0 0; }
 .cell-crashed { background: #f3c2c2; border: 1px solid #b55; }
 .cell-timeout { background: #ffe0c2; border: 1px solid #b85; }
 .cell-skipped { background: #eee; color: #888; }
+/* Dynamic-validation labels (--validate): a warning observed to bite,
+   one whose sites ran clean, and one the trace never reached. */
+.v-confirmed { background: #ffe3e3; color: #8a0000; border-radius: 3px;
+               padding: 0 0.3rem; font-weight: 600; }
+.v-unobserved { background: #e2f6e2; color: #0a5a0a; border-radius: 3px;
+                padding: 0 0.3rem; }
+.v-uncovered { background: #eee; color: #666; border-radius: 3px;
+               padding: 0 0.3rem; }
 .summary-line { color: #444; }
 footer { margin-top: 2.5rem; color: #999; font-size: 0.75rem; }
 """
@@ -90,10 +98,13 @@ def _warning_rows(
     rows: List[Dict[str, Any]],
     explanations: Optional[Mapping[str, str]],
 ) -> List[str]:
+    validated = any(row.get("validation") for row in rows)
     out: List[str] = []
     out.append(
         "<table><tr><th>#</th><th>unit</th><th>rank</th>"
-        "<th>fingerprint</th><th>status</th><th>warning</th></tr>"
+        "<th>fingerprint</th><th>status</th>"
+        + ("<th>dynamic</th>" if validated else "")
+        + "<th>warning</th></tr>"
     )
     for index, row in enumerate(rows, 1):
         status = row.get("status")
@@ -102,6 +113,15 @@ def _warning_rows(
             if status
             else "&mdash;"
         )
+        validation_html = ""
+        if validated:
+            label = row.get("validation")
+            rendered = (
+                f'<span class="v-{_esc(label)}">{_esc(label)}</span>'
+                if label
+                else "&mdash;"
+            )
+            validation_html = f"<td>{rendered}</td>"
         description = _esc(row["description"])
         explanation = (explanations or {}).get(row["fingerprint"])
         if explanation:
@@ -114,7 +134,7 @@ def _warning_rows(
             f"<tr><td>{index}</td><td><code>{_esc(row['unit'])}</code></td>"
             f'<td><span class="rank-{_esc(rank)}">{_esc(rank)}</span></td>'
             f"<td><code>{_esc(row['fingerprint'])}</code></td>"
-            f"<td>{status_html}</td><td>{description}</td></tr>"
+            f"<td>{status_html}</td>{validation_html}<td>{description}</td></tr>"
         )
     out.append("</table>")
     if not rows:
@@ -172,6 +192,74 @@ def _metrics_table(metrics: Mapping[str, Any], caption: str) -> List[str]:
     return out
 
 
+def _validation_section(validation: Mapping[str, Any]) -> List[str]:
+    """The dynamic-validation block (single-run payload or batch summary)."""
+    out = ["<h2>Dynamic validation</h2>"]
+    bits: List[str] = []
+    if "units" in validation:  # batch summary
+        bits.append(f"{validation['units']} unit(s) validated")
+        statuses = validation.get("statuses") or {}
+        if statuses:
+            bits.append(
+                ", ".join(
+                    f"{count} {_esc(status)}"
+                    for status, count in statuses.items()
+                )
+            )
+        mismatches = validation.get("replay_mismatches", 0)
+        bits.append(
+            "replay agrees with the runtime fault log"
+            if not mismatches
+            else f"replay DISAGREES on {mismatches} unit(s)"
+        )
+    else:  # single-run ValidationResult payload
+        bits.append(f"status <code>{_esc(validation.get('status'))}</code>")
+        if validation.get("error"):
+            bits.append(_esc(validation["error"]))
+        bits.append(
+            f"{validation.get('steps', 0)} step(s),"
+            f" {validation.get('events', 0)} trace event(s),"
+            f" {validation.get('faults', 0)} dynamic fault(s)"
+        )
+        consistent = validation.get("replay_consistent")
+        if consistent is not None:
+            bits.append(
+                "replay agrees with the runtime fault log"
+                if consistent
+                else "replay DISAGREES with the runtime fault log"
+            )
+    out.append(f'<p class="summary-line">{"; ".join(bits)}.</p>')
+    out.append(
+        '<p class="summary-line">'
+        f'<span class="v-confirmed">{validation.get("confirmed", 0)}'
+        " confirmed</span> "
+        f'<span class="v-unobserved">{validation.get("unobserved", 0)}'
+        " unobserved</span> "
+        f'<span class="v-uncovered">{validation.get("uncovered", 0)}'
+        " uncovered</span></p>"
+    )
+    buckets = validation.get("buckets") or {}
+    if buckets:
+        out.append("<table>")
+        out.append(
+            "<tr><th>bucket</th><th>confirmed</th><th>unobserved</th>"
+            "<th>uncovered</th><th>precision</th></tr>"
+        )
+        for bucket in sorted(buckets):
+            counts = buckets[bucket]
+            precision = counts.get("precision")
+            rendered = "&mdash;" if precision is None else f"{precision:.2f}"
+            out.append(
+                f"<tr><td>{_esc(bucket)}</td>"
+                f"<td>{counts.get('confirmed', 0)}</td>"
+                f"<td>{counts.get('unobserved', 0)}</td>"
+                f"<td>{counts.get('uncovered', 0)}</td>"
+                f"<td>{rendered}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 def _unit_grid(batch) -> List[str]:
     out = ["<h2>Batch units</h2>", '<div class="grid">']
     for outcome in batch.outcomes:
@@ -201,6 +289,7 @@ def render_html_report(
     per_unit_diff: Optional[Mapping[str, Any]] = None,
     profile: Optional[str] = None,
     explanations: Optional[Mapping[str, str]] = None,
+    validation: Optional[Mapping[str, Any]] = None,
 ) -> str:
     """Render the report as one self-contained HTML document string.
 
@@ -211,7 +300,9 @@ def render_html_report(
     baseline was supplied), ``per_unit_diff`` its per-unit breakdown,
     ``profile`` the tracer's text tree, and ``explanations`` a
     fingerprint -> derivation-chain mapping rendered as expandable
-    ``<details>`` blocks.
+    ``<details>`` blocks.  ``validation`` is the single-run dynamic
+    validation payload (``--validate``); in batch mode the per-unit
+    payloads on the outcomes are used instead.
     """
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
 
@@ -252,7 +343,8 @@ def render_html_report(
     status_index = _diff_status_index(diff)
     rows: List[Dict[str, Any]] = []
     if report is not None:
-        for warning in report.warnings:
+        labels = (validation or {}).get("labels") or []
+        for index, warning in enumerate(report.warnings):
             key = (report.name, warning.fingerprint)
             rows.append(
                 {
@@ -260,6 +352,9 @@ def render_html_report(
                     "rank": "high" if warning.high_ranked else "low",
                     "fingerprint": warning.fingerprint,
                     "status": status_index.get(key),
+                    "validation": (
+                        labels[index] if index < len(labels) else None
+                    ),
                     "description": warning.description,
                 }
             )
@@ -267,8 +362,11 @@ def render_html_report(
         for outcome in batch.outcomes:
             if not outcome.ok:
                 continue
-            for fingerprint, line in zip(
-                outcome.fingerprints, outcome.warning_lines
+            labels = (getattr(outcome, "validation", None) or {}).get(
+                "labels"
+            ) or []
+            for index, (fingerprint, line) in enumerate(
+                zip(outcome.fingerprints, outcome.warning_lines)
             ):
                 rows.append(
                     {
@@ -276,6 +374,9 @@ def render_html_report(
                         "rank": "high" if line.startswith("[HIGH]") else "low",
                         "fingerprint": fingerprint,
                         "status": status_index.get((outcome.unit, fingerprint)),
+                        "validation": (
+                            labels[index] if index < len(labels) else None
+                        ),
                         "description": (
                             line.split("] ", 1)[1] if "] " in line else line
                         ),
@@ -283,6 +384,15 @@ def render_html_report(
                 )
     body.extend(_warning_rows(rows, explanations))
     body.extend(_fixed_rows(diff))
+
+    # Dynamic validation (--validate): the single-run payload, or the
+    # batch result's fleet-wide aggregate.
+    if validation is None and batch is not None:
+        summary_fn = getattr(batch, "validation_summary", None)
+        if callable(summary_fn):
+            validation = summary_fn()
+    if validation is not None:
+        body.extend(_validation_section(validation))
 
     # Batch unit grid + per-unit diff table.
     if batch is not None:

@@ -1,0 +1,340 @@
+"""Trace-replay simulation: re-derive fault verdicts from events alone.
+
+The replay simulator is an interpreter-independent region-liveness state
+machine.  It consumes the event stream a
+:class:`~repro.runtime.trace.RegionTracer` recorded (or a JSONL trace
+file parsed by :func:`~repro.runtime.trace.load_trace`) and rebuilds the
+region tree, object liveness, slot graph, and RC external-reference
+counts from the events alone — no AST, no interpreter, no
+:class:`~repro.runtime.pool.RegionRuntime`.  Each ``region.access``
+event gets a verdict (``ok`` / ``dangling``), and every fault the
+simulator derives is cross-checked against the ``region.fault`` events
+the live runtime logged: :attr:`ReplayResult.consistent` is the claim
+that both ends of the pipeline agree on what went wrong.
+
+This is the etanalyzer-style trace-then-simulate architecture: the
+trace is the contract, so any consumer (this simulator, future
+leak/lifetime analyzers, the warning validator) can re-derive runtime
+truth without re-executing the program.
+
+The state machine mirrors the runtime's semantics exactly:
+
+* stores through a dead object fault (``dangling-deref``) and do *not*
+  update the slot;
+* storing a pointer to a dead object from a non-internal holder faults
+  (``dangling-created``);
+* loads through a dead object, or of a pointer whose target is dead,
+  fault (``dangling-deref``);
+* deleting/clearing a region opens a *scope* collecting the dying
+  non-internal objects of the whole request; when the request finishes
+  (``region.reclaimed``) every live non-internal holder is scanned in
+  creation order for pointers into the dead set (``dangling-created``);
+  scopes nest because APR cleanups run during reclamation and may
+  delete other regions;
+* ``region.reclaim`` checks the replayed RC external-reference count:
+  a still-referenced region faults (``rc-violation``), and the replayed
+  count is cross-checked against the count the runtime observed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+__all__ = ["ReplayRegion", "ReplayObject", "ReplayResult", "replay_trace"]
+
+
+@dataclass
+class ReplayRegion:
+    uid: int
+    parent: Optional[int]
+    name: str = ""
+    internal: bool = False
+    live: bool = True
+    refs: int = 0
+    loc: Optional[str] = None
+
+
+@dataclass
+class ReplayObject:
+    uid: int
+    region: int
+    live: bool = True
+    internal: bool = False
+    loc: Optional[str] = None
+    site: str = ""
+    # offset -> ("obj", uid) | ("region", uid) | None
+    slots: Dict[int, Optional[Tuple[str, int]]] = field(default_factory=dict)
+
+
+@dataclass
+class ReplayResult:
+    """What the simulator concluded from one trace."""
+
+    #: One verdict per ``region.access`` event, in trace order:
+    #: {op, obj, target, loc, verdict} with verdict "ok" | "dangling".
+    verdicts: List[Dict[str, Any]] = field(default_factory=list)
+    #: Faults the *simulator* derived from the trace.
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: Faults the *runtime* logged (``region.fault`` events), verbatim.
+    runtime_faults: List[Dict[str, Any]] = field(default_factory=list)
+    #: ``file:line`` spans of executed allocation/creation sites — the
+    #: dynamic coverage set the validator uses for unobserved/uncovered.
+    covered_spans: Set[str] = field(default_factory=set)
+    #: Replayed-vs-observed RC count disagreements at reclaim points.
+    rc_mismatches: int = 0
+    accesses: int = 0
+    events: int = 0
+
+    @property
+    def dangling(self) -> int:
+        return sum(1 for v in self.verdicts if v["verdict"] == "dangling")
+
+    @staticmethod
+    def _fault_key(fault: Dict[str, Any]) -> Tuple[Any, Any, Any]:
+        return (fault.get("kind"), fault.get("obj"), fault.get("target"))
+
+    @property
+    def consistent(self) -> bool:
+        """Replay and runtime agree: same fault multiset, RC counts match."""
+        if self.rc_mismatches:
+            return False
+        replayed = Counter(self._fault_key(f) for f in self.faults)
+        observed = Counter(self._fault_key(f) for f in self.runtime_faults)
+        return replayed == observed
+
+
+class _Simulator:
+    def __init__(self) -> None:
+        self.regions: Dict[int, ReplayRegion] = {
+            0: ReplayRegion(0, None, name="<root>")
+        }
+        self.objects: Dict[int, ReplayObject] = {}
+        # (region uid, dying object uids) per in-flight delete/clear.
+        self.scopes: List[Tuple[int, List[int]]] = []
+        self.result = ReplayResult()
+
+    # -- helpers -------------------------------------------------------
+
+    def _fault(
+        self,
+        kind: str,
+        obj: Optional[int],
+        target: Optional[int],
+        loc: Optional[str],
+        target_region: Optional[int] = None,
+    ) -> None:
+        holder = self.objects.get(obj) if obj is not None else None
+        source_span = holder.loc if holder is not None else None
+        if target_region is not None:
+            region = self.regions.get(target_region)
+            target_span = region.loc if region is not None else None
+        else:
+            victim = self.objects.get(target) if target is not None else None
+            target_span = victim.loc if victim is not None else None
+        self.result.faults.append(
+            {
+                "kind": kind,
+                "obj": obj,
+                "target": target if target_region is None else target_region,
+                "source_span": source_span,
+                "target_span": target_span,
+                "loc": loc,
+            }
+        )
+
+    def _is_ancestor(self, candidate: int, region: int) -> bool:
+        current: Optional[int] = region
+        while current is not None:
+            if current == candidate:
+                return True
+            current = self.regions[current].parent
+        return False
+
+    def _rc_adjust(
+        self, holder: ReplayObject, value: Optional[Tuple[str, int]], delta: int
+    ) -> None:
+        if self.regions[holder.region].internal:
+            return
+        if value is None:
+            return
+        tag, uid = value
+        if tag == "obj":
+            target_region = self.objects[uid].region
+        else:
+            target_region = uid
+        if target_region == 0:
+            return
+        if holder.region != target_region and not self._is_ancestor(
+            target_region, holder.region
+        ):
+            self.regions[target_region].refs += delta
+
+    # -- event handlers ------------------------------------------------
+
+    def feed(self, event: Dict[str, Any]) -> None:
+        self.result.events += 1
+        kind = event.get("kind", "")
+        if kind in ("region.create", "region.subregion"):
+            uid = event["region"]
+            self.regions[uid] = ReplayRegion(
+                uid,
+                event.get("parent", 0),
+                name=event.get("name", ""),
+                internal=bool(event.get("internal")),
+                loc=event.get("loc"),
+            )
+            if not event.get("internal") and event.get("loc"):
+                self.result.covered_spans.add(event["loc"])
+        elif kind == "region.alloc":
+            uid = event["obj"]
+            self.objects[uid] = ReplayObject(
+                uid,
+                event.get("region", 0),
+                internal=bool(event.get("internal")),
+                loc=event.get("loc"),
+                site=event.get("site", ""),
+            )
+            if not event.get("internal") and event.get("loc"):
+                self.result.covered_spans.add(event["loc"])
+        elif kind == "region.access":
+            self._access(event)
+        elif kind in ("region.delete", "region.clear"):
+            self.scopes.append((event["region"], []))
+        elif kind == "region.reclaim":
+            self._reclaim(event)
+        elif kind == "region.free":
+            self._free(event)
+        elif kind == "region.dead":
+            region = self.regions.get(event["region"])
+            if region is not None:
+                region.live = False
+        elif kind == "region.reclaimed":
+            self._reclaimed(event)
+        elif kind == "region.fault":
+            # Normalize to the simulator's fault shape (the event's own
+            # "kind" is region.fault; the fault kind rides in "fault").
+            self.result.runtime_faults.append(
+                {
+                    "kind": event.get("fault"),
+                    "obj": event.get("obj"),
+                    "target": event.get("target"),
+                    "source_span": event.get("source_span"),
+                    "target_span": event.get("target_span"),
+                    "loc": event.get("loc"),
+                    "detail": event.get("detail"),
+                }
+            )
+        # region.cleanup and trace.open carry no replayable state.
+
+    def _access(self, event: Dict[str, Any]) -> None:
+        self.result.accesses += 1
+        op = event.get("op")
+        obj_uid = event["obj"]
+        target_uid = event.get("target")
+        loc = event.get("loc")
+        holder = self.objects.get(obj_uid)
+        verdict = "ok"
+        if holder is None or not holder.live:
+            # Access through a dead object: fault, and (for stores) no
+            # slot update — mirroring the runtime's early return.
+            verdict = "dangling"
+            self._fault("dangling-deref", None, obj_uid, loc)
+        elif op == "store":
+            target = (
+                self.objects.get(target_uid) if target_uid is not None else None
+            )
+            if (
+                target is not None
+                and not target.live
+                and not self.regions[holder.region].internal
+            ):
+                verdict = "dangling"
+                self._fault("dangling-created", obj_uid, target_uid, loc)
+            offset = event.get("offset", 0)
+            if target_uid is not None:
+                value: Optional[Tuple[str, int]] = ("obj", target_uid)
+            elif event.get("target_region") is not None:
+                value = ("region", event["target_region"])
+            else:
+                value = None
+            self._rc_adjust(holder, holder.slots.get(offset), -1)
+            holder.slots[offset] = value
+            self._rc_adjust(holder, value, +1)
+        else:  # load
+            target = (
+                self.objects.get(target_uid) if target_uid is not None else None
+            )
+            if target is not None and not target.live:
+                verdict = "dangling"
+                self._fault("dangling-deref", obj_uid, target_uid, loc)
+        self.result.verdicts.append(
+            {
+                "op": op,
+                "obj": obj_uid,
+                "target": target_uid,
+                "loc": loc,
+                "verdict": verdict,
+            }
+        )
+
+    def _reclaim(self, event: Dict[str, Any]) -> None:
+        region = self.regions.get(event["region"])
+        if region is None:
+            return
+        observed = event.get("refs")
+        if observed is not None and observed != region.refs:
+            self.result.rc_mismatches += 1
+        if region.refs > 0:
+            self._fault(
+                "rc-violation", None, None, None, target_region=region.uid
+            )
+
+    def _free(self, event: Dict[str, Any]) -> None:
+        obj = self.objects.get(event["obj"])
+        if obj is None or not obj.live:
+            return
+        obj.live = False
+        for value in obj.slots.values():
+            self._rc_adjust(obj, value, -1)
+        if not self.regions[obj.region].internal and self.scopes:
+            self.scopes[-1][1].append(obj.uid)
+
+    def _reclaimed(self, event: Dict[str, Any]) -> None:
+        region_uid = event["region"]
+        # The matching scope is normally on top; pop defensively past any
+        # mismatched entries (their dying sets fold into nothing).
+        dying: List[int] = []
+        while self.scopes:
+            top_region, top_dying = self.scopes.pop()
+            dying = top_dying
+            if top_region == region_uid:
+                break
+        if not dying:
+            return
+        dead_set = set(dying)
+        for holder in self.objects.values():
+            if not holder.live or self.regions[holder.region].internal:
+                continue
+            for value in holder.slots.values():
+                if (
+                    value is not None
+                    and value[0] == "obj"
+                    and value[1] in dead_set
+                ):
+                    self._fault(
+                        "dangling-created", holder.uid, value[1], None
+                    )
+
+
+def replay_trace(events: List[Dict[str, Any]]) -> ReplayResult:
+    """Replay a region event stream and return the simulator's verdicts.
+
+    ``events`` is either :attr:`RegionTracer.records` or the output of
+    :func:`~repro.runtime.trace.load_trace`.
+    """
+    simulator = _Simulator()
+    for event in events:
+        simulator.feed(event)
+    return simulator.result

@@ -1,0 +1,197 @@
+"""Warning validation: correlate static warnings with dynamic faults.
+
+The correlator closes the loop the paper's Section 6 triage story needs:
+every static warning is matched against the faults one traced execution
+actually produced, and labeled
+
+* ``confirmed`` -- a dynamic fault's allocation-site spans match the
+  warning's source/target spans: the warning is observably real;
+* ``unobserved`` -- both allocation sites executed, but no matching
+  fault occurred: on *this* input the warning did not bite (it may
+  still be real on another path — exactly the gap between dynamic RC
+  and the static analysis the paper measures);
+* ``uncovered`` -- at least one of the warning's sites never executed:
+  the run says nothing about the warning either way.
+
+Matching is by ``file:line`` span (:func:`~repro.obs.fingerprint.loc_span`
+format), the same site identity warning fingerprints hash, so the
+correlation survives reformatting and is stable across engines.
+
+Per-ranking-bucket precision is the headline metric: among high-ranked
+(resp. low-ranked) warnings whose sites executed, what fraction was
+confirmed?  (``uncovered`` warnings are excluded from the denominator —
+the trace carries no evidence about them.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.obs.fingerprint import loc_span
+
+__all__ = [
+    "VALIDATION_SCHEMA_VERSION",
+    "ValidationResult",
+    "correlate_warnings",
+    "label_warning",
+]
+
+#: Bump when the label semantics or payload shape changes.
+VALIDATION_SCHEMA_VERSION = 1
+
+LABELS = ("confirmed", "unobserved", "uncovered")
+
+
+@dataclass
+class ValidationResult:
+    """The outcome of validating one report against one traced run."""
+
+    #: "ok" | "no-entry" | "interp-error" | "budget-exhausted"
+    status: str = "ok"
+    #: Per-warning labels, aligned with the report's warning list.
+    labels: List[str] = field(default_factory=list)
+    #: Warning fingerprints, aligned with ``labels``.
+    fingerprints: List[str] = field(default_factory=list)
+    #: Ranking bucket per warning ("high" | "low"), aligned with labels.
+    ranks: List[str] = field(default_factory=list)
+    confirmed: int = 0
+    unobserved: int = 0
+    uncovered: int = 0
+    #: Per-ranking-bucket counts and precision.
+    buckets: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    steps: int = 0
+    events: int = 0
+    faults: int = 0
+    replay_consistent: Optional[bool] = None
+    error: Optional[str] = None
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A deterministic JSON payload (no timings: serial ≡ parallel)."""
+        return {
+            "schema": VALIDATION_SCHEMA_VERSION,
+            "status": self.status,
+            "labels": list(self.labels),
+            "fingerprints": list(self.fingerprints),
+            "ranks": list(self.ranks),
+            "confirmed": self.confirmed,
+            "unobserved": self.unobserved,
+            "uncovered": self.uncovered,
+            "buckets": self.buckets,
+            "steps": self.steps,
+            "events": self.events,
+            "faults": self.faults,
+            "replay_consistent": self.replay_consistent,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ValidationResult":
+        result = cls()
+        for name in (
+            "status",
+            "labels",
+            "fingerprints",
+            "ranks",
+            "confirmed",
+            "unobserved",
+            "uncovered",
+            "buckets",
+            "steps",
+            "events",
+            "faults",
+            "replay_consistent",
+            "error",
+        ):
+            if name in payload:
+                setattr(result, name, payload[name])
+        return result
+
+    def fold_into(self, registry) -> None:
+        """Record the validation outcome as ``validation.*`` gauges."""
+        registry.gauge("validation.confirmed", self.confirmed)
+        registry.gauge("validation.unobserved", self.unobserved)
+        registry.gauge("validation.uncovered", self.uncovered)
+        registry.gauge("validation.steps", self.steps)
+        registry.gauge("validation.trace_events", self.events)
+        registry.gauge("validation.faults", self.faults)
+        if self.replay_consistent is not None:
+            registry.gauge(
+                "validation.replay_mismatch", 0 if self.replay_consistent else 1
+            )
+        for bucket, counts in self.buckets.items():
+            for label in LABELS:
+                registry.gauge(
+                    f"validation.{bucket}.{label}", counts.get(label, 0) or 0
+                )
+            precision = counts.get("precision")
+            if precision is not None:
+                registry.gauge(f"validation.{bucket}.precision", precision)
+
+
+def _fault_spans(fault: Any) -> Tuple[Optional[str], Optional[str]]:
+    if isinstance(fault, dict):
+        return fault.get("source_span"), fault.get("target_span")
+    return getattr(fault, "source_span", None), getattr(fault, "target_span", None)
+
+
+def label_warning(
+    warning: Any,
+    faults: Sequence[Any],
+    covered_spans: Set[str],
+) -> str:
+    """Label one warning against one run's faults and coverage.
+
+    ``warning`` needs ``source_loc``/``target_loc`` attributes;
+    ``faults`` accepts :class:`~repro.runtime.pool.Fault` objects or the
+    replay simulator's fault dicts.
+    """
+    source = loc_span(warning.source_loc)
+    target = loc_span(warning.target_loc)
+    for fault in faults:
+        fault_source, fault_target = _fault_spans(fault)
+        if fault_target != target:
+            continue
+        # Holder-less faults (dead-object accesses, rc-violations) pin
+        # only the victim site; a matching target span confirms.
+        if fault_source == source or fault_source is None:
+            return "confirmed"
+    if source in covered_spans and target in covered_spans:
+        return "unobserved"
+    return "uncovered"
+
+
+def correlate_warnings(
+    warnings: Sequence[Any],
+    faults: Sequence[Any],
+    covered_spans: Set[str],
+    fingerprints: Optional[Sequence[str]] = None,
+) -> ValidationResult:
+    """Label every warning and compute per-ranking-bucket precision."""
+    result = ValidationResult()
+    result.faults = len(faults)
+    bucket_counts: Dict[str, Dict[str, int]] = {
+        "high": {label: 0 for label in LABELS},
+        "low": {label: 0 for label in LABELS},
+    }
+    for index, warning in enumerate(warnings):
+        label = label_warning(warning, faults, covered_spans)
+        bucket = "high" if getattr(warning, "high_ranked", False) else "low"
+        result.labels.append(label)
+        result.ranks.append(bucket)
+        if fingerprints is not None and index < len(fingerprints):
+            result.fingerprints.append(fingerprints[index])
+        else:
+            result.fingerprints.append(getattr(warning, "fingerprint", "") or "")
+        bucket_counts[bucket][label] += 1
+        setattr(result, label, getattr(result, label) + 1)
+    for bucket, counts in bucket_counts.items():
+        observed = counts["confirmed"] + counts["unobserved"]
+        precision = counts["confirmed"] / observed if observed else None
+        result.buckets[bucket] = {
+            "confirmed": counts["confirmed"],
+            "unobserved": counts["unobserved"],
+            "uncovered": counts["uncovered"],
+            "precision": precision,
+        }
+    return result

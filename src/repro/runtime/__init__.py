@@ -7,6 +7,7 @@ from repro.runtime.interp import (
     run_program,
 )
 from repro.runtime.pool import Fault, MemObject, Region, RegionRuntime, RuntimeError_
+from repro.runtime.trace import TRACE_SCHEMA_VERSION, RegionTracer, load_trace
 
 __all__ = [
     "ExecutionResult",
@@ -16,6 +17,9 @@ __all__ = [
     "MemObject",
     "Region",
     "RegionRuntime",
+    "RegionTracer",
     "RuntimeError_",
+    "TRACE_SCHEMA_VERSION",
+    "load_trace",
     "run_program",
 ]

@@ -31,12 +31,18 @@ from repro.lang import nodes
 from repro.lang.sema import SemaResult, Symbol
 from repro.lang.types import ArrayType, CType, StructType
 from repro.runtime.pool import MemObject, Region, RegionRuntime, RuntimeError_
+from repro.util.errors import BudgetExceeded
 
 __all__ = ["ExecutionResult", "Interpreter", "run_program", "InterpError"]
 
 
 class InterpError(Exception):
-    """Execution errors: budget exhaustion, calling unknown values, etc."""
+    """Execution errors: calling unknown values, bad dereferences, etc.
+
+    Budget exhaustion (steps, heap bytes) raises the structured
+    :class:`~repro.util.errors.BudgetExceeded` instead, so ``--validate``
+    composes with the error taxonomy and the batch severity fold.
+    """
 
 
 class _ReturnSignal(Exception):
@@ -80,11 +86,13 @@ class Interpreter:
         sema: SemaResult,
         interface: RegionInterface,
         max_steps: int = 200_000,
+        max_heap_bytes: Optional[int] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.sema = sema
         self.interface = interface
         self.max_steps = max_steps
-        self.runtime = RegionRuntime()
+        self.runtime = RegionRuntime(tracer=tracer, max_heap_bytes=max_heap_bytes)
         self.globals: Dict[str, MemObject] = {}
         self.external_calls: List[str] = []
         self._steps = 0
@@ -148,7 +156,12 @@ class Interpreter:
     def _tick(self) -> None:
         self._steps += 1
         if self._steps > self.max_steps:
-            raise InterpError("execution budget exceeded")
+            raise BudgetExceeded(
+                "interp_steps",
+                limit=float(self.max_steps),
+                used=float(self._steps),
+                phase="interp",
+            )
 
     # ------------------------------------------------------------------
     # Statements
@@ -228,6 +241,9 @@ class Interpreter:
 
     def _eval(self, expr: nodes.Expr, frame: _Frame) -> object:
         self._tick()
+        # Keep the runtime's provenance cursor on the node being
+        # evaluated, so faults and trace events carry its file:line.
+        self.runtime.current_loc = expr.loc
         if isinstance(expr, nodes.IntLit):
             return expr.value
         if isinstance(expr, nodes.NullLit):
@@ -258,9 +274,11 @@ class Interpreter:
             return self._eval_call(expr, frame)
         if isinstance(expr, nodes.Member):
             obj, offset = self._address_of(expr, frame)
+            self.runtime.current_loc = expr.loc
             return self.runtime.load(obj, offset)
         if isinstance(expr, nodes.Index):
             obj, offset = self._address_of(expr, frame)
+            self.runtime.current_loc = expr.loc
             return self.runtime.load(obj, offset)
         if isinstance(expr, nodes.Cast):
             return self._eval(expr.operand, frame)
@@ -276,6 +294,7 @@ class Interpreter:
         if expr.op == "*":
             pointer = self._eval(expr.operand, frame)
             obj, offset = self._as_pointer(pointer, expr)
+            self.runtime.current_loc = expr.loc
             return self.runtime.load(obj, offset)
         value = self._eval(expr.operand, frame)
         if expr.op == "!":
@@ -359,12 +378,14 @@ class Interpreter:
         if isinstance(target, nodes.Ident):
             symbol: Symbol = target.symbol  # type: ignore[attr-defined]
             cell = self._lookup_cell(frame, symbol)
+            self.runtime.current_loc = target.loc
             self.runtime.store(cell, 0, value)
             return
         if isinstance(target, nodes.Cast):
             self._assign(target.operand, value, frame)
             return
         obj, offset = self._address_of(target, frame)
+        self.runtime.current_loc = target.loc
         self.runtime.store(obj, offset, value)
 
     def _address_of(self, expr: nodes.Expr, frame: _Frame) -> Tuple[MemObject, int]:
@@ -419,6 +440,7 @@ class Interpreter:
             else:
                 raise InterpError(f"call through non-function value {value!r}")
         args = [self._eval(arg, frame) for arg in expr.args]
+        self.runtime.current_loc = expr.loc
         intercepted = self._interface_call(name, args, expr)
         if intercepted is not NotImplemented:
             return intercepted
@@ -587,7 +609,15 @@ def run_program(
     args: Tuple = (),
     globals_init: Optional[Dict[str, object]] = None,
     max_steps: int = 200_000,
+    max_heap_bytes: Optional[int] = None,
+    tracer: Optional[object] = None,
 ) -> ExecutionResult:
     """Execute an analyzed program and return the runtime observations."""
-    interpreter = Interpreter(sema, interface, max_steps=max_steps)
+    interpreter = Interpreter(
+        sema,
+        interface,
+        max_steps=max_steps,
+        max_heap_bytes=max_heap_bytes,
+        tracer=tracer,
+    )
     return interpreter.run(entry=entry, args=args, globals_init=globals_init)

@@ -11,6 +11,15 @@ be detected at runtime exactly as RC would.
 The runtime also keeps a fault log (:class:`Fault`) of dangling-pointer
 creations and dereferences, and byte-accounting for the paper's notion of
 *leaks*: objects with longer-than-necessary lifetime.
+
+Every mutating entry point optionally notifies a *tracer* (see
+:mod:`repro.runtime.trace`): region creation, allocation, slot access,
+reclamation, cleanup execution and faults each emit one structured event,
+giving downstream consumers (the trace-replay simulator, the warning
+validator) a complete record of the run.  The interpreter keeps
+``current_loc`` pointed at the AST node being evaluated, so faults and
+trace events carry ``file:line`` provenance that can be matched against
+static warning fingerprints.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.util.errors import BudgetExceeded
 
 __all__ = ["Region", "MemObject", "Fault", "RegionRuntime", "RuntimeError_"]
 
@@ -37,6 +48,7 @@ class MemObject:
     site: str  # description of the allocation site
     slots: Dict[int, object] = field(default_factory=dict)
     live: bool = True
+    loc: Optional[str] = None  # "file:line" of the allocation, if known
 
     def __str__(self) -> str:
         return f"obj#{self.uid}({self.site})"
@@ -44,13 +56,36 @@ class MemObject:
 
 @dataclass
 class Fault:
-    """A detected memory-safety event."""
+    """A detected memory-safety event, with source provenance.
+
+    ``loc`` is the ``file:line`` of the access (or delete) that triggered
+    the fault; ``source_span``/``target_span`` are the allocation sites of
+    the holder and target objects (or the creation site of the deleted
+    region for rc-violations).  The spans use the same ``file:line``
+    format as warning fingerprints, so dynamic faults can be matched
+    against static warnings directly.
+    """
 
     kind: str  # 'dangling-created' | 'dangling-deref' | 'rc-violation'
     detail: str
+    loc: Optional[str] = None
+    source_span: Optional[str] = None
+    target_span: Optional[str] = None
+    obj_uid: Optional[int] = None
+    target_uid: Optional[int] = None
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.detail}"
+
+    def __repr__(self) -> str:
+        parts = [f"kind={self.kind!r}", f"detail={self.detail!r}"]
+        if self.loc:
+            parts.append(f"loc={self.loc!r}")
+        if self.source_span:
+            parts.append(f"source={self.source_span!r}")
+        if self.target_span:
+            parts.append(f"target={self.target_span!r}")
+        return f"Fault({', '.join(parts)})"
 
 
 @dataclass
@@ -70,6 +105,7 @@ class Region:
     # Internal regions (interpreter stack frames) are bookkeeping only:
     # their cells neither contribute RC references nor count as leakable.
     internal: bool = False
+    loc: Optional[str] = None  # "file:line" of the creation site, if known
 
     def __str__(self) -> str:
         return self.name or f"region#{self.uid}"
@@ -90,7 +126,11 @@ class Region:
 class RegionRuntime:
     """Owns the region tree rooted at the immortal root region."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: Optional[object] = None,
+        max_heap_bytes: Optional[int] = None,
+    ) -> None:
         self._uids = itertools.count(1)
         self.root = Region(0, None, self, name="<root>")
         self.faults: List[Fault] = []
@@ -98,6 +138,59 @@ class RegionRuntime:
         self.peak_bytes = 0
         self.total_allocated = 0
         self._all_objects: List[MemObject] = []
+        # Set by the interpreter to the SourceLocation of the expression
+        # being evaluated; faults and trace events read it for provenance.
+        self.current_loc: Optional[object] = None
+        self.tracer = tracer
+        self.max_heap_bytes = max_heap_bytes
+
+    # ------------------------------------------------------------------
+    # Provenance and fault recording
+    # ------------------------------------------------------------------
+
+    def _span(self) -> Optional[str]:
+        loc = self.current_loc
+        if loc is None:
+            return None
+        return f"{loc.filename}:{loc.line}"
+
+    def _fault(
+        self,
+        kind: str,
+        detail: str,
+        holder: Optional[MemObject] = None,
+        target: Optional[MemObject] = None,
+        region: Optional[Region] = None,
+    ) -> None:
+        """Record a fault, attaching allocation-site provenance.
+
+        ``holder`` is the object whose slot holds (or received) the bad
+        pointer; ``target`` is the dead object it points at.  For
+        rc-violations, ``region`` is the region being deleted while still
+        referenced.
+        """
+        fault = Fault(kind, detail, loc=self._span())
+        if holder is not None:
+            fault.source_span = holder.loc
+            fault.obj_uid = holder.uid
+        if target is not None:
+            fault.target_span = target.loc
+            fault.target_uid = target.uid
+        if region is not None:
+            fault.target_span = region.loc
+            fault.target_uid = region.uid
+        self.faults.append(fault)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.fault",
+                fault=kind,
+                detail=detail,
+                loc=fault.loc,
+                source_span=fault.source_span,
+                target_span=fault.target_span,
+                obj=fault.obj_uid,
+                target=fault.target_uid,
+            )
 
     # ------------------------------------------------------------------
     # Region lifecycle
@@ -110,23 +203,45 @@ class RegionRuntime:
         if not parent.live:
             raise RuntimeError_(f"creating subregion of dead region {parent}")
         region = Region(next(self._uids), parent, self, name=name, internal=internal)
+        region.loc = self._span()
         parent.children.append(region)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.create" if parent is self.root else "region.subregion",
+                region=region.uid,
+                parent=parent.uid,
+                name=name,
+                internal=internal,
+                loc=region.loc,
+            )
         return region
 
     def destroy_region(self, region: Region) -> None:
         """Recursively delete children, run cleanups, reclaim objects."""
         if region is self.root:
             raise RuntimeError_("cannot destroy the root region")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.delete", region=region.uid, loc=self._span()
+            )
         dying: List[MemObject] = []
         self._reclaim(region, keep_region=False, dying=dying)
         if region.parent is not None and region in region.parent.children:
             region.parent.children.remove(region)
+        if self.tracer is not None:
+            self.tracer.emit("region.reclaimed", region=region.uid, op="delete")
         self._flag_dangling_into(dying)
 
     def clear_region(self, region: Region) -> None:
         """APR's apr_pool_clear: reclaim descendants, keep the region."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.clear", region=region.uid, loc=self._span()
+            )
         dying: List[MemObject] = []
         self._reclaim(region, keep_region=True, dying=dying)
+        if self.tracer is not None:
+            self.tracer.emit("region.reclaimed", region=region.uid, op="clear")
         self._flag_dangling_into(dying)
 
     def _reclaim(
@@ -134,20 +249,25 @@ class RegionRuntime:
     ) -> None:
         if not region.live:
             return
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.reclaim", region=region.uid, refs=region.external_refs
+            )
         # RC-style check: a still-referenced region may not be deleted.
         if region.external_refs > 0:
-            self.faults.append(
-                Fault(
-                    "rc-violation",
-                    f"{region} deleted with {region.external_refs} external"
-                    " reference(s); RC would refuse/trap here",
-                )
+            self._fault(
+                "rc-violation",
+                f"{region} deleted with {region.external_refs} external"
+                " reference(s); RC would refuse/trap here",
+                region=region,
             )
         for child in list(region.children):
             self._reclaim(child, keep_region=False, dying=dying)
         region.children.clear()
         # Cleanups run LIFO, before the memory disappears (APR semantics).
         for data, callback in reversed(region.cleanups):
+            if self.tracer is not None:
+                self.tracer.emit("region.cleanup", region=region.uid)
             callback(data)
         region.cleanups.clear()
         for obj in region.objects:
@@ -157,11 +277,15 @@ class RegionRuntime:
                 # Release the dying object's own references.
                 for value in obj.slots.values():
                     self._rc_adjust(obj, value, -1)
+                if self.tracer is not None:
+                    self.tracer.emit("region.free", obj=obj.uid)
                 if not region.internal:
                     dying.append(obj)
         region.objects.clear()
         if not keep_region:
             region.live = False
+            if self.tracer is not None:
+                self.tracer.emit("region.dead", region=region.uid)
 
     def _flag_dangling_into(self, dying: List[MemObject]) -> None:
         """Any live object still holding a pointer to a just-reclaimed
@@ -178,13 +302,13 @@ class RegionRuntime:
             for offset, value in holder.slots.items():
                 target = self._pointee(value)
                 if target is not None and id(target) in dead_set:
-                    self.faults.append(
-                        Fault(
-                            "dangling-created",
-                            f"{holder}+{offset} -> {target}"
-                            f" (holder in {holder.region},"
-                            f" target was in {target.region})",
-                        )
+                    self._fault(
+                        "dangling-created",
+                        f"{holder}+{offset} -> {target}"
+                        f" (holder in {holder.region},"
+                        f" target was in {target.region})",
+                        holder=holder,
+                        target=target,
                     )
 
     # ------------------------------------------------------------------
@@ -196,11 +320,29 @@ class RegionRuntime:
         if not region.live:
             raise RuntimeError_(f"allocation in dead region {region}")
         obj = MemObject(next(self._uids), region, size, site)
+        obj.loc = self._span()
         region.objects.append(obj)
         self._all_objects.append(obj)
         self.bytes_live += size
         self.total_allocated += size
         self.peak_bytes = max(self.peak_bytes, self.bytes_live)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.alloc",
+                obj=obj.uid,
+                region=region.uid,
+                size=size,
+                site=site,
+                loc=obj.loc,
+                internal=region.internal,
+            )
+        if self.max_heap_bytes is not None and self.bytes_live > self.max_heap_bytes:
+            raise BudgetExceeded(
+                "interp_heap_bytes",
+                limit=float(self.max_heap_bytes),
+                used=float(self.bytes_live),
+                phase="interp",
+            )
         return obj
 
     @staticmethod
@@ -216,24 +358,37 @@ class RegionRuntime:
         return None
 
     def store(self, obj: MemObject, offset: int, value: object) -> None:
+        target = self._pointee(value)
+        if self.tracer is not None:
+            target_region = value.uid if isinstance(value, Region) else None
+            self.tracer.emit(
+                "region.access",
+                op="store",
+                obj=obj.uid,
+                offset=offset,
+                target=None if target is None else target.uid,
+                target_region=target_region,
+                loc=self._span(),
+            )
         if not obj.live:
-            self.faults.append(
-                Fault("dangling-deref", f"store through dead {obj}+{offset}")
+            self._fault(
+                "dangling-deref",
+                f"store through dead {obj}+{offset}",
+                target=obj,
             )
             return
         # Storing a pointer to an already-reclaimed object creates a
         # dangling pointer on the spot.
-        target = self._pointee(value)
         if (
             target is not None
             and not target.live
             and not obj.region.internal
         ):
-            self.faults.append(
-                Fault(
-                    "dangling-created",
-                    f"{obj}+{offset} stored stale pointer -> {target}",
-                )
+            self._fault(
+                "dangling-created",
+                f"{obj}+{offset} stored stale pointer -> {target}",
+                holder=obj,
+                target=target,
             )
         # Maintain RC external-reference counts for region-valued and
         # object-valued slots.
@@ -243,18 +398,38 @@ class RegionRuntime:
 
     def load(self, obj: MemObject, offset: int) -> object:
         if not obj.live:
-            self.faults.append(
-                Fault("dangling-deref", f"load through dead {obj}+{offset}")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "region.access",
+                    op="load",
+                    obj=obj.uid,
+                    offset=offset,
+                    target=None,
+                    loc=self._span(),
+                )
+            self._fault(
+                "dangling-deref",
+                f"load through dead {obj}+{offset}",
+                target=obj,
             )
             return None
         value = obj.slots.get(offset)
         target = self._pointee(value)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "region.access",
+                op="load",
+                obj=obj.uid,
+                offset=offset,
+                target=None if target is None else target.uid,
+                loc=self._span(),
+            )
         if target is not None and not target.live:
-            self.faults.append(
-                Fault(
-                    "dangling-deref",
-                    f"load of dangling pointer {obj}+{offset} -> {target}",
-                )
+            self._fault(
+                "dangling-deref",
+                f"load of dangling pointer {obj}+{offset} -> {target}",
+                holder=obj,
+                target=target,
             )
         return value
 

@@ -129,6 +129,8 @@ from repro.obs.events import (
 )
 from repro.obs.history import WarningDiff, merge_diffs
 from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
+from repro.obs.validate import LABELS as _VALIDATION_LABELS
+from repro.obs.validate import VALIDATION_SCHEMA_VERSION, ValidationResult
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
@@ -146,6 +148,11 @@ from repro.tool.supervise import (
     RunJournal,
     SupervisePolicy,
     interruptible,
+)
+from repro.tool.validate import (
+    DEFAULT_VALIDATE_STEPS,
+    trace_out_path,
+    validate_report,
 )
 from repro.util import faults
 from repro.util.budget import ResourceBudget
@@ -225,6 +232,11 @@ class UnitOutcome:
     degradation_path: Tuple[str, ...] = ()
     #: Flat metrics payload (:meth:`MetricsRegistry.to_dict`) for ok units.
     metrics: Optional[Dict[str, Any]] = None
+    #: Dynamic-validation payload
+    #: (:meth:`repro.obs.validate.ValidationResult.to_payload`) when the
+    #: sweep ran with ``validate=True``; deterministic, so serial and
+    #: parallel batch JSON stay byte-identical.
+    validation: Optional[Dict[str, Any]] = None
     #: Rendered warning lines (``[HIGH] ...``), for cross-mode equality
     #: checks and cache replay; not part of :meth:`to_dict`.
     warning_lines: List[str] = field(default_factory=list)
@@ -275,6 +287,8 @@ class UnitOutcome:
                 payload["degradation_path"] = list(self.degradation_path)
             if self.metrics is not None:
                 payload["metrics"] = dict(self.metrics)
+            if self.validation is not None:
+                payload["validation"] = dict(self.validation)
             if self.fingerprints:
                 payload["fingerprints"] = list(self.fingerprints)
             if self.cached:
@@ -330,6 +344,7 @@ class UnitOutcome:
             degraded=bool(payload.get("degraded", False)),
             degradation_path=tuple(payload.get("degradation_path", ())),
             metrics=payload.get("metrics"),
+            validation=payload.get("validation"),
             warning_lines=list(payload.get("warning_lines", ())),
             fingerprints=list(payload.get("fingerprints", ())),
             cached=cached,
@@ -446,6 +461,51 @@ class BatchResult:
             return None
         return merge_diffs(self.per_unit_diff.values())
 
+    def validation_summary(self) -> Optional[Dict[str, Any]]:
+        """Fleet-wide dynamic-validation aggregate (None: no unit ran it).
+
+        Sums per-unit label counts and per-ranking-bucket counts over
+        every validated unit, then recomputes bucket precision from the
+        summed counts (a mean of per-unit precisions would weight a
+        one-warning unit the same as a fifty-warning one).
+        """
+        payloads = [
+            o.validation for o in self.outcomes if o.validation is not None
+        ]
+        if not payloads:
+            return None
+        statuses: Dict[str, int] = {}
+        totals: Dict[str, int] = {label: 0 for label in _VALIDATION_LABELS}
+        buckets: Dict[str, Dict[str, Any]] = {}
+        replay_mismatches = 0
+        for payload in payloads:
+            status = payload.get("status", "ok")
+            statuses[status] = statuses.get(status, 0) + 1
+            for label in _VALIDATION_LABELS:
+                totals[label] += int(payload.get(label, 0))
+            if payload.get("replay_consistent") is False:
+                replay_mismatches += 1
+            for bucket, counts in (payload.get("buckets") or {}).items():
+                agg = buckets.setdefault(
+                    bucket, {label: 0 for label in _VALIDATION_LABELS}
+                )
+                for label in _VALIDATION_LABELS:
+                    agg[label] += int(counts.get(label, 0) or 0)
+        for agg in buckets.values():
+            observed = agg["confirmed"] + agg["unobserved"]
+            agg["precision"] = (
+                agg["confirmed"] / observed if observed else None
+            )
+        summary: Dict[str, Any] = {
+            "schema": VALIDATION_SCHEMA_VERSION,
+            "units": len(payloads),
+            "statuses": dict(sorted(statuses.items())),
+            "replay_mismatches": replay_mismatches,
+            "buckets": {name: buckets[name] for name in sorted(buckets)},
+        }
+        summary.update(totals)
+        return summary
+
     def to_json(self, indent: int = 2) -> str:
         """The partial-results summary (stable schema for CI)."""
         payload = {
@@ -465,6 +525,9 @@ class BatchResult:
         fleet = self.fleet_metrics()
         if fleet:
             payload["fleet_metrics"] = fleet
+        validation = self.validation_summary()
+        if validation is not None:
+            payload["validation"] = validation
         if self.per_unit_diff is not None:
             merged = self.merged_diff()
             assert merged is not None
@@ -517,6 +580,11 @@ class BatchResult:
                     if o.precision != "full"
                     else ""
                 )
+                if o.validation is not None:
+                    extra += (
+                        f" validated({o.validation.get('confirmed', 0)}"
+                        " confirmed)"
+                    )
                 if o.cached:
                     extra += " (cached)"
                 if o.resumed:
@@ -546,6 +614,9 @@ def _analyze_unit(
     solver_stats: bool,
     registry: Optional[ImplicitCallRegistry],
     max_retries: int,
+    validate: bool = False,
+    validate_steps: int = DEFAULT_VALIDATE_STEPS,
+    trace_dir: Optional[str] = None,
 ) -> UnitOutcome:
     with trace_span("batch.unit", unit=unit.name) as span:
         started = time.process_time()
@@ -558,6 +629,9 @@ def _analyze_unit(
             solver_stats,
             registry,
             max_retries,
+            validate=validate,
+            validate_steps=validate_steps,
+            trace_dir=trace_dir,
         )
         outcome.elapsed = time.process_time() - started
         span.set(
@@ -577,6 +651,9 @@ def _analyze_unit_isolated(
     solver_stats: bool,
     registry: Optional[ImplicitCallRegistry],
     max_retries: int,
+    validate: bool = False,
+    validate_steps: int = DEFAULT_VALIDATE_STEPS,
+    trace_dir: Optional[str] = None,
 ) -> UnitOutcome:
     attempts = 0
     while True:
@@ -637,6 +714,28 @@ def _analyze_unit_isolated(
                 traceback=traceback.format_exc(),
             )
         high = sum(1 for w in report.warnings if w.high_ranked)
+        validation_payload: Optional[Dict[str, Any]] = None
+        if validate:
+            # Dynamic validation runs inside the unit's fault-isolation
+            # scope and *before* metrics are snapshotted, so the
+            # validation.* gauges land in the outcome's metrics payload.
+            # validate_report already degrades interpreter failures to a
+            # status; the extra except keeps a simulator crash from
+            # turning a successful analysis into a failed unit.
+            trace_path = (
+                trace_out_path(trace_dir, unit.name)
+                if trace_dir is not None
+                else None
+            )
+            try:
+                validation_payload = validate_report(
+                    report, max_steps=validate_steps, trace_path=trace_path
+                ).to_payload()
+            except Exception as error:
+                validation_payload = ValidationResult(
+                    status="validate-error",
+                    error=f"{type(error).__name__}: {error}",
+                ).to_payload()
         return UnitOutcome(
             unit=unit.name,
             status="warnings" if report.warnings else "clean",
@@ -650,6 +749,7 @@ def _analyze_unit_isolated(
             metrics=(
                 report.metrics.to_dict() if report.metrics is not None else None
             ),
+            validation=validation_payload,
             warning_lines=[str(w) for w in report.warnings],
             fingerprints=[w.fingerprint for w in report.warnings],
             report=report,
@@ -669,6 +769,7 @@ def _unit_cache_key(
     degrade: bool,
     refine: bool,
     solver_stats: bool,
+    validate_key: Optional[Dict[str, Any]] = None,
 ) -> str:
     return cache.key(
         source=unit.source,
@@ -680,6 +781,7 @@ def _unit_cache_key(
         degrade=degrade,
         refine=refine,
         solver_stats=solver_stats,
+        validate=validate_key,
     )
 
 
@@ -751,6 +853,13 @@ class _WorkerConfig:
     #: heartbeat ``unit.start``, append completed ``unit.done`` payloads,
     #: and record destructive fault firings into it.
     journal_path: Optional[str] = None
+    #: Dynamic validation (``--validate``): run each successful unit's
+    #: entry point under the traced interpreter and attach the
+    #: validation payload to its outcome.
+    validate: bool = False
+    validate_steps: int = DEFAULT_VALIDATE_STEPS
+    #: Directory for per-unit trace artifacts (``--trace-out``).
+    trace_dir: Optional[str] = None
 
 
 #: This worker's copy of the batch config, set by :func:`_worker_init`.
@@ -915,6 +1024,9 @@ def _worker_analyze_chunk(
                 config.solver_stats,
                 config.registry,
                 config.max_retries,
+                validate=config.validate,
+                validate_steps=config.validate_steps,
+                trace_dir=config.trace_dir,
             )
             outcome.report = None  # the full report does not cross the pool
             outcome.worker_pid = os.getpid()
@@ -1016,6 +1128,9 @@ def _run_batch_parallel(
     journal_keys: Optional[List[Optional[str]]] = None,
     policy: Optional[SupervisePolicy] = None,
     resumed_slots: Optional[Dict[int, UnitOutcome]] = None,
+    validate: bool = False,
+    validate_steps: int = DEFAULT_VALIDATE_STEPS,
+    trace_dir: Optional[str] = None,
 ) -> Tuple[List[Optional[UnitOutcome]], Dict[str, int], bool]:
     """Fan unit chunks out to a supervised warm process pool.
 
@@ -1073,6 +1188,9 @@ def _run_batch_parallel(
             events_epoch=event_log.epoch if event_log is not None else None,
             keep_going=keep_going,
             journal_path=journal.path if journal is not None else None,
+            validate=validate,
+            validate_steps=validate_steps,
+            trace_dir=trace_dir,
         )
 
     def adopt(roots: List[SpanRecord], pid: int) -> None:
@@ -1124,6 +1242,7 @@ def _journal_key(
     degrade: bool,
     refine: bool,
     solver_stats: bool,
+    validate_key: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The unit's content key for journal identity.
 
@@ -1142,6 +1261,7 @@ def _journal_key(
         degrade=degrade,
         refine=refine,
         solver_stats=solver_stats,
+        validate=validate_key,
     )
 
 
@@ -1163,6 +1283,9 @@ def run_batch(
     resume: bool = False,
     supervise: bool = True,
     policy: Optional[SupervisePolicy] = None,
+    validate: bool = False,
+    validate_steps: int = DEFAULT_VALIDATE_STEPS,
+    trace_dir: Optional[str] = None,
 ) -> BatchResult:
     """Analyze every unit with per-unit fault isolation.
 
@@ -1191,6 +1314,15 @@ def run_batch(
     ``interrupted=True`` (serial sweeps included).  ``policy`` overrides
     the full :class:`~repro.tool.supervise.SupervisePolicy`
     (``hard_timeout`` is ignored when a policy is given).
+
+    ``validate=True`` (the ``--validate`` flag) runs every successful
+    unit's entry point under the traced region interpreter (step budget
+    ``validate_steps``), replays the trace, and attaches the dynamic
+    validation payload to its outcome; ``trace_dir`` additionally writes
+    each unit's trace as ``<unit>.trace.jsonl``.  Validation is part of
+    the cache/journal key (toggling it re-analyzes rather than replaying
+    unvalidated outcomes), but ``trace_dir`` is not -- it only changes
+    where an artifact lands, never the outcome.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -1201,9 +1333,21 @@ def run_batch(
     if policy is None:
         policy = SupervisePolicy(hard_timeout=hard_timeout)
     pending = list(units)
+    validate_key: Optional[Dict[str, Any]] = (
+        {"schema": VALIDATION_SCHEMA_VERSION, "steps": int(validate_steps)}
+        if validate
+        else None
+    )
     cache_keys: List[Optional[str]] = [
         _unit_cache_key(
-            cache, unit, options, budget, degrade, refine, solver_stats
+            cache,
+            unit,
+            options,
+            budget,
+            degrade,
+            refine,
+            solver_stats,
+            validate_key,
         )
         if cache is not None
         else None
@@ -1240,6 +1384,10 @@ def run_batch(
             policy,
             journal_obj,
             supervise,
+            validate=validate,
+            validate_steps=validate_steps,
+            trace_dir=trace_dir,
+            validate_key=validate_key,
         )
     finally:
         if journal_obj is not None:
@@ -1268,12 +1416,22 @@ def _run_batch_inner(
     policy: SupervisePolicy,
     journal_obj: Optional[RunJournal],
     supervise: bool,
+    validate: bool = False,
+    validate_steps: int = DEFAULT_VALIDATE_STEPS,
+    trace_dir: Optional[str] = None,
+    validate_key: Optional[Dict[str, Any]] = None,
 ) -> BatchResult:
     journal_keys: List[Optional[str]] = [None] * len(pending)
     if journal_obj is not None:
         journal_keys = [
             _journal_key(
-                unit, options, budget, degrade, refine, solver_stats
+                unit,
+                options,
+                budget,
+                degrade,
+                refine,
+                solver_stats,
+                validate_key,
             )
             for unit in pending
         ]
@@ -1321,6 +1479,9 @@ def _run_batch_inner(
                     journal_keys=journal_keys,
                     policy=policy,
                     resumed_slots=resumed_slots,
+                    validate=validate,
+                    validate_steps=validate_steps,
+                    trace_dir=trace_dir,
                 )
         except KeyboardInterrupt:
             # Interrupted outside the supervised pool loop (cache probe,
@@ -1382,6 +1543,9 @@ def _run_batch_inner(
                             solver_stats,
                             registry,
                             max_retries,
+                            validate=validate,
+                            validate_steps=validate_steps,
+                            trace_dir=trace_dir,
                         )
                         _cache_store(cache, cache_keys[index], outcome)
                         if journal_obj is not None:

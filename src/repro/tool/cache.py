@@ -72,8 +72,15 @@ class AnalysisCache:
         degrade: bool,
         refine: bool,
         solver_stats: bool,
+        validate: Optional[Dict[str, Any]] = None,
     ) -> str:
-        """The content hash addressing one unit's outcome."""
+        """The content hash addressing one unit's outcome.
+
+        ``validate`` is the dynamic-validation configuration (schema
+        version plus step budget) when ``--validate`` is on; it enters
+        the key material only when set, so caches built before the
+        validation feature keep their hashes.
+        """
         from repro import __version__
         from repro.tool.regionwiz import ANALYSIS_VERSION
 
@@ -91,6 +98,8 @@ class AnalysisCache:
             "refine": bool(refine),
             "solver_stats": bool(solver_stats),
         }
+        if validate is not None:
+            material["validate"] = validate
         blob = json.dumps(material, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 

@@ -62,6 +62,7 @@ from repro.pointer import AnalysisOptions
 from repro.tool.batch import BatchUnit, run_batch
 from repro.tool.regionwiz import RegionWizReport, run_regionwiz
 from repro.tool.report import format_report, format_solver_stats
+from repro.tool.validate import trace_out_path
 from repro.util.budget import ResourceBudget
 from repro.util.errors import BudgetExceeded, InputError
 
@@ -271,6 +272,43 @@ def build_parser() -> argparse.ArgumentParser:
             " re-analyze only the rest"
         ),
     )
+    validation = parser.add_argument_group(
+        "dynamic validation",
+        "execute the program under the region interpreter with event"
+        " tracing, replay the trace, and label every warning"
+        " confirmed/unobserved/uncovered against observed faults",
+    )
+    validation.add_argument(
+        "--validate",
+        action="store_true",
+        help=(
+            "run the entry point under the traced interpreter and"
+            " annotate each warning with a dynamic verdict (in batch"
+            " mode, per unit with fault isolation)"
+        ),
+    )
+    validation.add_argument(
+        "--validate-steps",
+        type=int,
+        default=200_000,
+        metavar="N",
+        dest="validate_steps",
+        help=(
+            "interpreter step budget for --validate runs (default:"
+            " 200000; exceeding it degrades labels, never the analysis)"
+        ),
+    )
+    validation.add_argument(
+        "--trace-out",
+        metavar="DIR",
+        default=None,
+        dest="trace_out",
+        help=(
+            "with --validate, write each unit's region event trace as"
+            " <unit>.trace.jsonl under DIR (versioned JSONL, replayable"
+            " with repro.obs.replay)"
+        ),
+    )
     parser.add_argument(
         "--all",
         action="store_true",
@@ -474,6 +512,9 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         hard_timeout=args.hard_timeout,
         journal=args.journal,
         resume=args.resume,
+        validate=args.validate,
+        validate_steps=args.validate_steps,
+        trace_dir=args.trace_out,
     )
     merged: Optional[WarningDiff] = None
     if args.baseline:
@@ -585,6 +626,11 @@ def _run(args: argparse.Namespace) -> int:
             "regionwiz: --fail-on-new requires --baseline", file=sys.stderr
         )
         return 2
+    if args.trace_out and not args.validate:
+        print(
+            "regionwiz: --trace-out requires --validate", file=sys.stderr
+        )
+        return 2
     try:
         if args.batch:
             return _run_batch_mode(args)
@@ -635,6 +681,28 @@ def _run(args: argparse.Namespace) -> int:
         return 3
     if not args.all:
         report.warnings = [w for w in report.warnings if w.high_ranked]
+    validation = None
+    if args.validate:
+        from repro.tool.validate import validate_report
+
+        # Validation runs after the high-ranked filter so labels align
+        # with the warnings the report actually displays.
+        trace_path = (
+            trace_out_path(args.trace_out, report.name)
+            if args.trace_out
+            else None
+        )
+        validation = validate_report(
+            report,
+            max_steps=args.validate_steps,
+            trace_path=trace_path,
+        )
+        if validation.status != "ok":
+            print(
+                f"regionwiz: validation {validation.status}:"
+                f" {validation.error}",
+                file=sys.stderr,
+            )
     try:
         diff: Optional[WarningDiff] = None
         if args.baseline:
@@ -677,9 +745,16 @@ def _run(args: argparse.Namespace) -> int:
     if args.json_output:
         from repro.tool.report import report_to_json
 
-        print(report_to_json(report, diff=diff))
+        print(report_to_json(report, diff=diff, validation=validation))
     else:
-        print(format_report(report, verbose=args.verbose, diff=diff))
+        print(
+            format_report(
+                report,
+                verbose=args.verbose,
+                diff=diff,
+                validation=validation,
+            )
+        )
     if args.html_report:
         write_html_report(
             args.html_report,
@@ -688,6 +763,9 @@ def _run(args: argparse.Namespace) -> int:
             diff=diff,
             profile=_profile_tree(),
             explanations=_html_explanations(report),
+            validation=(
+                validation.to_payload() if validation is not None else None
+            ),
         )
     if args.fail_on_new:
         assert diff is not None  # validated above

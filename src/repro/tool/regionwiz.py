@@ -224,6 +224,10 @@ class RegionWizReport:
     budget_usage: Optional[Dict[str, int]] = None
     #: Unified metrics registry for this run (see :mod:`repro.obs.metrics`).
     metrics: Optional[MetricsRegistry] = None
+    #: Entry point and interface the analysis ran with, kept so dynamic
+    #: validation (``--validate``) can execute the same configuration.
+    entry: str = "main"
+    interface: Optional[RegionInterface] = None
 
     @property
     def degraded(self) -> bool:
@@ -429,6 +433,8 @@ def _run_pipeline(
         warnings=warnings,
         times=times,
         name=name,
+        entry=entry,
+        interface=interface,
     )
 
 

@@ -13,6 +13,7 @@ __all__ = [
     "format_report",
     "format_fig11_table",
     "format_solver_stats",
+    "format_validation",
     "report_to_json",
 ]
 
@@ -28,11 +29,14 @@ def format_report(
     report: RegionWizReport,
     verbose: bool = False,
     diff: Optional[WarningDiff] = None,
+    validation=None,
 ) -> str:
     """Human-readable warning listing, high-ranked first.
 
     ``diff`` (set when the CLI was given ``--baseline``) appends the
-    new/persisting/fixed classification block.
+    new/persisting/fixed classification block.  ``validation`` (set by
+    ``--validate``) adds a per-warning dynamic label and a summary of
+    the traced execution.
     """
     lines: List[str] = []
     row = report.fig11_row()
@@ -72,6 +76,8 @@ def format_report(
         for index, warning in enumerate(report.warnings, 1):
             rank = "HIGH" if warning.high_ranked else "low"
             marker = " NEW" if warning.fingerprint in new_fingerprints else ""
+            if validation is not None and index - 1 < len(validation.labels):
+                marker += f" [{validation.labels[index - 1]}]"
             lines.append(
                 f"warning {index} [{rank}]{marker}: {warning.description}"
             )
@@ -80,14 +86,54 @@ def format_report(
                     lines.append(f"    fingerprint {warning.fingerprint}")
                 for loc in warning.store_locs:
                     lines.append(f"    pointer stored at {loc}")
+    if validation is not None:
+        lines.append("")
+        lines.append(format_validation(validation))
     if diff is not None:
         lines.append("")
         lines.append(diff.format())
     return "\n".join(lines)
 
 
+def format_validation(validation, indent: str = "  ") -> str:
+    """The dynamic-validation summary block (``--validate``)."""
+    lines = [f"dynamic validation: {validation.status}"]
+    if validation.error:
+        lines.append(f"{indent}error: {validation.error}")
+    lines.append(
+        f"{indent}executed {validation.steps} step(s),"
+        f" {validation.events} trace event(s),"
+        f" {validation.faults} dynamic fault(s)"
+    )
+    if validation.replay_consistent is not None:
+        agreement = (
+            "agrees with" if validation.replay_consistent else "DISAGREES with"
+        )
+        lines.append(f"{indent}trace replay {agreement} the runtime fault log")
+    lines.append(
+        f"{indent}warnings: {validation.confirmed} confirmed,"
+        f" {validation.unobserved} unobserved,"
+        f" {validation.uncovered} uncovered"
+    )
+    for bucket in ("high", "low"):
+        counts = validation.buckets.get(bucket)
+        if not counts:
+            continue
+        precision = counts.get("precision")
+        rendered = "n/a" if precision is None else f"{precision:.2f}"
+        lines.append(
+            f"{indent}{bucket}-ranked: {counts.get('confirmed', 0)} confirmed"
+            f" / {counts.get('unobserved', 0)} unobserved"
+            f" / {counts.get('uncovered', 0)} uncovered"
+            f" (precision {rendered})"
+        )
+    return "\n".join(lines)
+
+
 def report_to_json(
-    report: RegionWizReport, diff: Optional[WarningDiff] = None
+    report: RegionWizReport,
+    diff: Optional[WarningDiff] = None,
+    validation=None,
 ) -> str:
     """Machine-readable report (stable schema for CI integration)."""
     row = report.fig11_row()
@@ -132,6 +178,11 @@ def report_to_json(
             for warning in report.warnings
         ],
     }
+    if validation is not None:
+        payload["validation"] = validation.to_payload()
+        for index, entry in enumerate(payload["warnings"]):
+            if index < len(validation.labels):
+                entry["validation"] = validation.labels[index]
     if diff is not None:
         payload["baseline_diff"] = diff.to_dict()
     if report.budget is not None:

@@ -1,0 +1,256 @@
+"""Trace-replay simulator: verdicts from events alone, checked against
+the live runtime.
+
+The hand-written sequences pin the state machine's individual rules; the
+hypothesis test drives the *real* :class:`RegionRuntime` with random
+region/alloc/store/delete interleavings and asserts the replayed fault
+multiset always matches the runtime's fault log (the ``consistent``
+contract the validator relies on).
+"""
+
+import pytest
+
+from repro.interfaces import RC_HEADER, rc_regions_interface
+from repro.lang import analyze, parse
+from repro.obs.replay import replay_trace
+from repro.runtime import RegionTracer, run_program
+from repro.runtime.pool import RegionRuntime
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - CI installs hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def header(events):
+    return [{"kind": "trace.open", "schema": 1}, *events]
+
+
+class TestHandWrittenSequences:
+    def test_clean_lifecycle_has_no_faults(self):
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.create", "region": 1, "loc": "f.c:1"},
+                    {"kind": "region.alloc", "obj": 1, "region": 1,
+                     "loc": "f.c:2", "site": "ralloc"},
+                    {"kind": "region.access", "op": "store", "obj": 1,
+                     "offset": 0, "target": None, "loc": "f.c:3"},
+                    {"kind": "region.delete", "region": 1, "loc": "f.c:4"},
+                    {"kind": "region.reclaim", "region": 1, "refs": 0},
+                    {"kind": "region.free", "obj": 1},
+                    {"kind": "region.dead", "region": 1},
+                    {"kind": "region.reclaimed", "region": 1, "op": "delete"},
+                ]
+            )
+        )
+        assert replay.faults == []
+        assert replay.consistent
+        assert replay.covered_spans == {"f.c:1", "f.c:2"}
+        assert [v["verdict"] for v in replay.verdicts] == ["ok"]
+
+    def test_dangling_created_found_by_reclaim_scan(self):
+        # Object 2 (region 2) holds a pointer to object 1 (region 1);
+        # region 1 dies first -> the scan flags the holder.
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.create", "region": 1, "loc": "f.c:1"},
+                    {"kind": "region.create", "region": 2, "loc": "f.c:2"},
+                    {"kind": "region.alloc", "obj": 1, "region": 1,
+                     "loc": "f.c:3"},
+                    {"kind": "region.alloc", "obj": 2, "region": 2,
+                     "loc": "f.c:4"},
+                    {"kind": "region.access", "op": "store", "obj": 2,
+                     "offset": 0, "target": 1, "loc": "f.c:5"},
+                    {"kind": "region.delete", "region": 1, "loc": "f.c:6"},
+                    {"kind": "region.reclaim", "region": 1, "refs": 1},
+                    {"kind": "region.free", "obj": 1},
+                    {"kind": "region.dead", "region": 1},
+                    {"kind": "region.reclaimed", "region": 1, "op": "delete"},
+                ]
+            )
+        )
+        kinds = [f["kind"] for f in replay.faults]
+        assert "dangling-created" in kinds
+        created = next(
+            f for f in replay.faults if f["kind"] == "dangling-created"
+        )
+        assert created["obj"] == 2 and created["target"] == 1
+        assert created["source_span"] == "f.c:4"
+        assert created["target_span"] == "f.c:3"
+        # Cross-region pointer not through an ancestor: RC refuses too.
+        assert "rc-violation" in kinds
+
+    def test_store_through_dead_holder_is_dangling_and_dropped(self):
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.create", "region": 1, "loc": "f.c:1"},
+                    {"kind": "region.alloc", "obj": 1, "region": 1,
+                     "loc": "f.c:2"},
+                    {"kind": "region.delete", "region": 1, "loc": "f.c:3"},
+                    {"kind": "region.reclaim", "region": 1, "refs": 0},
+                    {"kind": "region.free", "obj": 1},
+                    {"kind": "region.dead", "region": 1},
+                    {"kind": "region.reclaimed", "region": 1, "op": "delete"},
+                    {"kind": "region.access", "op": "store", "obj": 1,
+                     "offset": 0, "target": None, "loc": "f.c:8"},
+                ]
+            )
+        )
+        assert [v["verdict"] for v in replay.verdicts] == ["dangling"]
+        assert [f["kind"] for f in replay.faults] == ["dangling-deref"]
+
+    def test_rc_count_mismatch_breaks_consistency(self):
+        # The runtime claims 3 external refs at reclaim; the replayed
+        # graph says 0 -> cross-check must flag it.
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.create", "region": 1, "loc": "f.c:1"},
+                    {"kind": "region.delete", "region": 1, "loc": "f.c:2"},
+                    {"kind": "region.reclaim", "region": 1, "refs": 3},
+                    {"kind": "region.dead", "region": 1},
+                    {"kind": "region.reclaimed", "region": 1, "op": "delete"},
+                ]
+            )
+        )
+        assert replay.rc_mismatches == 1
+        assert not replay.consistent
+
+    def test_unmatched_runtime_fault_breaks_consistency(self):
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.fault", "fault": "dangling-deref",
+                     "obj": 9, "target": 9, "detail": "phantom"},
+                ]
+            )
+        )
+        assert replay.faults == []
+        assert [f["kind"] for f in replay.runtime_faults] == ["dangling-deref"]
+        assert not replay.consistent
+
+    def test_internal_holder_regions_do_not_fault(self):
+        # Pointers held from internal (interface bookkeeping) regions
+        # never count as user dangling pointers.
+        replay = replay_trace(
+            header(
+                [
+                    {"kind": "region.create", "region": 1, "internal": True},
+                    {"kind": "region.create", "region": 2, "loc": "f.c:2"},
+                    {"kind": "region.alloc", "obj": 1, "region": 1,
+                     "internal": True},
+                    {"kind": "region.alloc", "obj": 2, "region": 2,
+                     "loc": "f.c:4"},
+                    {"kind": "region.access", "op": "store", "obj": 1,
+                     "offset": 0, "target": 2},
+                    {"kind": "region.delete", "region": 2},
+                    {"kind": "region.reclaim", "region": 2, "refs": 0},
+                    {"kind": "region.free", "obj": 2},
+                    {"kind": "region.dead", "region": 2},
+                    {"kind": "region.reclaimed", "region": 2, "op": "delete"},
+                ]
+            )
+        )
+        assert replay.faults == []
+        assert replay.consistent
+        # Internal sites never enter the coverage set.
+        assert replay.covered_spans == {"f.c:2", "f.c:4"}
+
+
+class TestProgramLevelAgreement:
+    def test_figure1_broken_replay_matches_runtime(self):
+        source = RC_HEADER + """
+        struct conn { int fd; };
+        struct request { struct conn *connection; };
+        int main(void) {
+            region r = newregion();
+            struct conn *conn = ralloc(r, sizeof(struct conn));
+            region subr = newregion();
+            struct request *rq = ralloc(subr, sizeof(struct request));
+            rq->connection = conn;
+            deleteregion(r);
+            deleteregion(subr);
+            return 0;
+        }
+        """
+        tracer = RegionTracer()
+        result = run_program(
+            analyze(parse(source)), rc_regions_interface(), tracer=tracer
+        )
+        replay = replay_trace(tracer.records)
+        assert replay.consistent
+        assert {f["kind"] for f in replay.faults} == result.fault_kinds()
+        assert replay.dangling == 0  # flagged by the scan, not an access
+
+
+def drive(runtime, ops):
+    """Apply a random op sequence to a live runtime, ignoring no-ops."""
+    regions = []
+    objects = []
+    for op in ops:
+        tag = op[0]
+        if tag == "create":
+            parent = None
+            if regions and op[1] is not None:
+                parent = regions[op[1] % len(regions)]
+                if not parent.live:
+                    parent = None
+            regions.append(runtime.create_region(parent))
+        elif tag == "alloc" and regions:
+            region = regions[op[1] % len(regions)]
+            if region.live:
+                objects.append(runtime.alloc(region, 8))
+        elif tag == "store" and len(objects) >= 2:
+            holder = objects[op[1] % len(objects)]
+            target = objects[op[2] % len(objects)]
+            runtime.store(holder, op[3] % 3, target)
+        elif tag == "load" and objects:
+            runtime.load(objects[op[1] % len(objects)], op[2] % 3)
+        elif tag == "delete" and regions:
+            region = regions[op[1] % len(regions)]
+            if region.live:
+                runtime.destroy_region(region)
+        elif tag == "clear" and regions:
+            region = regions[op[1] % len(regions)]
+            if region.live:
+                runtime.clear_region(region)
+
+
+if HAVE_HYPOTHESIS:
+    index = st.integers(min_value=0, max_value=7)
+    operation = st.one_of(
+        st.tuples(st.just("create"), st.none() | index),
+        st.tuples(st.just("alloc"), index),
+        st.tuples(st.just("store"), index, index, index),
+        st.tuples(st.just("load"), index, index),
+        st.tuples(st.just("delete"), index),
+        st.tuples(st.just("clear"), index),
+    )
+
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=st.lists(operation, max_size=40))
+    def test_replay_always_agrees_with_live_runtime(ops):
+        tracer = RegionTracer()
+        runtime = RegionRuntime(tracer=tracer)
+        drive(runtime, ops)
+        replay = replay_trace(tracer.records)
+        runtime_kinds = sorted(f.kind for f in runtime.faults)
+        replayed_kinds = sorted(f["kind"] for f in replay.faults)
+        assert replayed_kinds == runtime_kinds
+        assert replay.rc_mismatches == 0
+        assert replay.consistent
+else:  # pragma: no cover
+
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_replay_always_agrees_with_live_runtime():
+        pass

@@ -1,0 +1,154 @@
+"""Warning-validation correlator: labels, bucket precision, payloads."""
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.validate import (
+    LABELS,
+    VALIDATION_SCHEMA_VERSION,
+    ValidationResult,
+    correlate_warnings,
+    label_warning,
+)
+
+
+@dataclass
+class Loc:
+    filename: str
+    line: int
+    column: int = 1
+
+
+@dataclass
+class StubWarning:
+    source_loc: Loc
+    target_loc: Loc
+    high_ranked: bool = False
+    fingerprint: str = ""
+
+
+def warning(source="f.c:4", target="f.c:3", high=False, fingerprint="fp"):
+    sfile, _, sline = source.rpartition(":")
+    tfile, _, tline = target.rpartition(":")
+    return StubWarning(
+        source_loc=Loc(sfile, int(sline)),
+        target_loc=Loc(tfile, int(tline)),
+        high_ranked=high,
+        fingerprint=fingerprint,
+    )
+
+
+FAULT = {
+    "kind": "dangling-created",
+    "source_span": "f.c:4",
+    "target_span": "f.c:3",
+}
+COVERED = {"f.c:3", "f.c:4", "f.c:9"}
+
+
+class TestLabelWarning:
+    def test_confirmed_when_both_spans_match(self):
+        assert label_warning(warning(), [FAULT], COVERED) == "confirmed"
+
+    def test_confirmed_on_holderless_fault(self):
+        # rc-violations and dead-object accesses pin only the victim
+        # site; the correlator accepts a None source span.
+        fault = {"kind": "rc-violation", "source_span": None,
+                 "target_span": "f.c:3"}
+        assert label_warning(warning(), [fault], COVERED) == "confirmed"
+
+    def test_unobserved_when_covered_but_no_matching_fault(self):
+        fault = {"kind": "dangling-created", "source_span": "f.c:4",
+                 "target_span": "f.c:9"}
+        assert label_warning(warning(), [fault], COVERED) == "unobserved"
+
+    def test_source_mismatch_is_not_a_confirmation(self):
+        fault = {"kind": "dangling-created", "source_span": "g.c:1",
+                 "target_span": "f.c:3"}
+        assert label_warning(warning(), [fault], COVERED) == "unobserved"
+
+    def test_uncovered_when_a_site_never_executed(self):
+        assert label_warning(warning(), [], {"f.c:4"}) == "uncovered"
+        assert label_warning(warning(), [], set()) == "uncovered"
+
+    def test_fault_objects_and_dicts_are_interchangeable(self):
+        @dataclass
+        class FaultObj:
+            source_span: str
+            target_span: str
+
+        fault = FaultObj(source_span="f.c:4", target_span="f.c:3")
+        assert label_warning(warning(), [fault], COVERED) == "confirmed"
+
+
+class TestCorrelateWarnings:
+    def test_counts_buckets_and_precision(self):
+        warnings = [
+            warning(high=True, fingerprint="a"),              # confirmed
+            warning(target="f.c:9", high=True, fingerprint="b"),  # unobserved
+            warning(target="g.c:1", fingerprint="c"),         # uncovered
+            warning(fingerprint="d"),                         # confirmed
+        ]
+        result = correlate_warnings(warnings, [FAULT], COVERED)
+        assert result.labels == [
+            "confirmed", "unobserved", "uncovered", "confirmed",
+        ]
+        assert result.ranks == ["high", "high", "low", "low"]
+        assert result.fingerprints == ["a", "b", "c", "d"]
+        assert (result.confirmed, result.unobserved, result.uncovered) == (
+            2, 1, 1,
+        )
+        assert result.faults == 1
+        assert result.buckets["high"] == {
+            "confirmed": 1, "unobserved": 1, "uncovered": 0, "precision": 0.5,
+        }
+        assert result.buckets["low"] == {
+            "confirmed": 1, "unobserved": 0, "uncovered": 1, "precision": 1.0,
+        }
+
+    def test_precision_is_none_without_observed_warnings(self):
+        result = correlate_warnings([warning(target="g.c:1")], [], set())
+        assert result.buckets["low"]["precision"] is None
+        assert result.buckets["high"]["precision"] is None
+
+    def test_explicit_fingerprints_override_attributes(self):
+        result = correlate_warnings(
+            [warning(fingerprint="attr")], [FAULT], COVERED,
+            fingerprints=["explicit"],
+        )
+        assert result.fingerprints == ["explicit"]
+
+
+class TestValidationResult:
+    def test_payload_round_trip(self):
+        original = correlate_warnings(
+            [warning(high=True), warning(target="g.c:1")], [FAULT], COVERED
+        )
+        original.status = "ok"
+        original.steps = 24
+        original.events = 41
+        original.replay_consistent = True
+        payload = original.to_payload()
+        assert payload["schema"] == VALIDATION_SCHEMA_VERSION
+        assert set(LABELS) <= set(payload)
+        restored = ValidationResult.from_payload(payload)
+        assert restored.to_payload() == payload
+
+    def test_fold_into_records_validation_gauges(self):
+        result = correlate_warnings([warning(high=True)], [FAULT], COVERED)
+        result.steps = 24
+        result.events = 41
+        result.replay_consistent = True
+        registry = MetricsRegistry()
+        result.fold_into(registry)
+        gauges = registry.to_dict()
+        assert gauges["validation.confirmed"] == 1
+        assert gauges["validation.unobserved"] == 0
+        assert gauges["validation.uncovered"] == 0
+        assert gauges["validation.steps"] == 24
+        assert gauges["validation.trace_events"] == 41
+        assert gauges["validation.faults"] == 1
+        assert gauges["validation.replay_mismatch"] == 0
+        assert gauges["validation.high.confirmed"] == 1
+        assert gauges["validation.high.precision"] == 1.0
+        assert "validation.low.precision" not in gauges

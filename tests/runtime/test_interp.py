@@ -10,6 +10,7 @@ from repro.interfaces import (
 )
 from repro.lang import analyze, parse
 from repro.runtime import InterpError, run_program
+from repro.util.errors import BudgetExceeded
 
 
 def execute(text, interface=None, header=APR_HEADER, **kwargs):
@@ -132,8 +133,10 @@ class TestScalarExecution:
         assert result.return_value == 20
 
     def test_budget_exhaustion(self):
-        with pytest.raises(InterpError):
+        with pytest.raises(BudgetExceeded) as info:
             execute("int main(void) { while (1) { } return 0; }", max_steps=500)
+        assert info.value.resource == "interp_steps"
+        assert info.value.exit_code == 4
 
     def test_external_calls_logged(self):
         result = execute(

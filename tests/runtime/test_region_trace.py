@@ -1,0 +1,191 @@
+"""Region event tracing: the runtime's JSONL record of one execution."""
+
+import json
+
+import pytest
+
+from repro.interfaces import APR_HEADER, RC_HEADER, apr_pools_interface, rc_regions_interface
+from repro.lang import analyze, parse
+from repro.obs.events import EventLog
+from repro.runtime import (
+    RegionTracer,
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    run_program,
+)
+from repro.util.errors import BudgetExceeded
+
+BROKEN_RC = """
+int main(void) {
+    region r = newregion();
+    struct conn { int fd; } *conn = ralloc(r, sizeof(struct conn));
+    region subr = newregion();
+    struct req { struct conn *connection; } *rq =
+        ralloc(subr, sizeof(struct req));
+    rq->connection = conn;
+    deleteregion(r);
+    deleteregion(subr);
+    return 0;
+}
+"""
+
+SERVER_APR = """
+int main(void) {
+    apr_pool_t *pool;
+    apr_pool_create(&pool, NULL);
+    int *x = apr_palloc(pool, sizeof(int));
+    *x = 7;
+    int got = *x;
+    apr_pool_destroy(pool);
+    return got;
+}
+"""
+
+
+def traced(text, interface=None, header=APR_HEADER, **kwargs):
+    tracer = RegionTracer()
+    sema = analyze(parse(header + text))
+    result = run_program(
+        sema, interface or apr_pools_interface(), tracer=tracer, **kwargs
+    )
+    return result, tracer
+
+
+def kinds(tracer):
+    return [record["kind"] for record in tracer.records]
+
+
+class TestTracerEvents:
+    def test_header_carries_schema_version(self):
+        tracer = RegionTracer()
+        assert tracer.records[0] == {
+            "kind": "trace.open",
+            "schema": TRACE_SCHEMA_VERSION,
+        }
+
+    def test_lifecycle_event_vocabulary(self):
+        result, tracer = traced(SERVER_APR)
+        assert result.return_value == 7
+        seen = set(kinds(tracer))
+        assert {
+            "trace.open",
+            "region.create",
+            "region.alloc",
+            "region.access",
+            "region.delete",
+            "region.reclaim",
+            "region.free",
+            "region.dead",
+            "region.reclaimed",
+        } <= seen
+
+    def test_alloc_carries_file_line_provenance(self):
+        _, tracer = traced(SERVER_APR)
+        allocs = [
+            r
+            for r in tracer.records
+            if r["kind"] == "region.alloc" and not r.get("internal")
+        ]
+        assert allocs, "no user allocation traced"
+        for record in allocs:
+            filename, _, line = record["loc"].rpartition(":")
+            assert filename
+            assert int(line) > 0
+            assert record["site"]
+
+    def test_access_events_carry_op_and_location(self):
+        _, tracer = traced(SERVER_APR)
+        accesses = [r for r in tracer.records if r["kind"] == "region.access"]
+        assert {r["op"] for r in accesses} == {"store", "load"}
+        assert all(r.get("loc") for r in accesses)
+
+    def test_fault_event_has_spans_matching_fault_log(self):
+        result, tracer = traced(
+            BROKEN_RC, interface=rc_regions_interface(), header=RC_HEADER
+        )
+        fault_events = [
+            r for r in tracer.records if r["kind"] == "region.fault"
+        ]
+        assert fault_events
+        logged = {f.kind for f in result.runtime.faults}
+        assert {e["fault"] for e in fault_events} == logged
+        created = next(
+            e for e in fault_events if e["fault"] == "dangling-created"
+        )
+        assert created["source_span"] and created["target_span"]
+        fault = next(
+            f for f in result.runtime.faults if f.kind == "dangling-created"
+        )
+        assert fault.source_span == created["source_span"]
+        assert fault.target_span == created["target_span"]
+        # Satellite: the Fault repr surfaces the provenance spans.
+        rendered = repr(fault)
+        assert fault.source_span in rendered
+        assert fault.target_span in rendered
+
+    def test_untraced_run_is_unchanged(self):
+        sema = analyze(parse(APR_HEADER + SERVER_APR))
+        plain = run_program(sema, apr_pools_interface())
+        traced_result, _ = traced(SERVER_APR)
+        assert plain.return_value == traced_result.return_value
+        assert plain.fault_kinds() == traced_result.fault_kinds()
+
+
+class TestTraceFile:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "run.trace.jsonl")
+        log = EventLog(path)
+        tracer = RegionTracer(log=log)
+        sema = analyze(parse(APR_HEADER + SERVER_APR))
+        run_program(sema, apr_pools_interface(), tracer=tracer)
+        log.close()
+
+        events = load_trace(path)
+        assert events[0]["kind"] == "trace.open"
+        assert events[0]["schema"] == TRACE_SCHEMA_VERSION
+        # The file reproduces the in-memory stream, record for record.
+        assert [e["kind"] for e in events] == kinds(tracer)
+        with open(path) as handle:
+            for line in handle:
+                json.loads(line)  # every line is valid JSON
+
+    def test_keep_false_streams_without_accumulating(self, tmp_path):
+        path = str(tmp_path / "run.trace.jsonl")
+        log = EventLog(path)
+        tracer = RegionTracer(log=log, keep=False)
+        sema = analyze(parse(APR_HEADER + SERVER_APR))
+        run_program(sema, apr_pools_interface(), tracer=tracer)
+        log.close()
+        assert tracer.records == []
+        assert len(load_trace(path)) > 5
+
+
+class TestBudgets:
+    def test_step_budget_raises_structured_budget_exceeded(self):
+        with pytest.raises(BudgetExceeded) as excinfo:
+            traced(
+                "int main(void) { while (1) {} return 0; }", max_steps=100
+            )
+        assert excinfo.value.resource == "interp_steps"
+        assert excinfo.value.exit_code == 4
+
+    def test_heap_budget_raises_structured_budget_exceeded(self):
+        source = """
+        int main(void) {
+            apr_pool_t *pool;
+            apr_pool_create(&pool, NULL);
+            for (int i = 0; i < 1000; i++) {
+                char *p = apr_palloc(pool, 1024);
+            }
+            apr_pool_destroy(pool);
+            return 0;
+        }
+        """
+        with pytest.raises(BudgetExceeded) as excinfo:
+            traced(source, max_heap_bytes=16 * 1024)
+        assert excinfo.value.resource == "interp_heap_bytes"
+        assert excinfo.value.exit_code == 4
+
+    def test_heap_budget_off_by_default(self):
+        result, _ = traced(SERVER_APR)
+        assert result.return_value == 7
