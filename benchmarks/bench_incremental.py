@@ -1,0 +1,200 @@
+"""Incremental re-analysis benchmark: cold sweep vs 1-edit warm re-run.
+
+The whole point of function-level content addressing is that a warm
+re-run after a one-function edit pays for *one* unit's re-analysis (the
+rest manifest-serve or hit the exact cache) and, inside that unit, a
+delta re-solve instead of a full fixpoint.  This bench measures exactly
+that, over the paper-scale corpus:
+
+1. **Cold sweep**: ``run_batch(units, cache=DIR, incremental=True)``
+   over a fresh cache directory -- every unit analyzes from scratch and
+   leaves incremental state behind.
+2. **1-edit warm sweep**: one statement is inserted into the *last*
+   function of one unit (a pure ``main``-local edit: no other
+   function's source locations move), then the identical sweep runs
+   again against the same cache directory.
+
+Gates -- **always enforced**, a sub-gate record must fail the run:
+
+* warm speedup ``cold_s / warm_s`` must reach ``MIN_SPEEDUP`` (5x);
+* the edited unit's warm outcome must equal a fresh, non-incremental
+  analysis of the edited source (warning lines + fingerprints) -- speed
+  that changes answers is a bug, not a result;
+* every *unedited* unit must come back ``cached`` (exact key hit), and
+  the edited unit must not.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--smoke]
+
+``--smoke`` sweeps only the paper-scale subversion package (~30 KLOC
+over 9 executables) to keep CI minutes down; gates are identical.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.tool.batch import BatchUnit, run_batch
+from repro.workloads import paper_scale_units
+
+MIN_SPEEDUP = 5.0
+
+
+def one_function_edit(source: str, interface: str) -> str:
+    """Insert one allocation into the last ``return 0;`` body (``main``).
+
+    The generator emits ``main`` last, so editing above its final
+    ``return`` shifts no other function's source locations -- the
+    canonical "developer touched one function" shape.  Allocating into
+    the unit's top region adds real consistency facts, so the warm run
+    exercises the delta re-solve rather than netting to a no-op.
+    """
+    alloc = "apr_palloc" if interface != "rc" else "ralloc"
+    head, sep, tail = source.rpartition("    return 0;")
+    if not sep:
+        raise SystemExit("corpus shape changed: no 'return 0;' to edit")
+    probe = (
+        "    struct payload *bench_edit_probe ="
+        f" {alloc}(top, sizeof(struct payload));\n"
+    )
+    return head + probe + sep + tail
+
+
+def edited_corpus(units):
+    """The same corpus with one (median-sized) unit's source edited.
+
+    The median is the honest "a developer touched one typical file"
+    shape: the largest unit would overstate warm cost, the smallest
+    would understate it.
+    """
+    by_size = sorted(range(len(units)), key=lambda i: len(units[i].source))
+    target = by_size[len(by_size) // 2]
+    edited = []
+    for index, unit in enumerate(units):
+        source = (
+            one_function_edit(unit.source, unit.effective_interface)
+            if index == target
+            else unit.source
+        )
+        edited.append(
+            BatchUnit(
+                name=unit.name,
+                source=source,
+                filename=unit.filename,
+                interface=unit.interface,
+                entry=unit.entry,
+            )
+        )
+    return edited, units[target].name
+
+
+def sweep(units, cache_root):
+    start = time.perf_counter()
+    result = run_batch(
+        units, keep_going=True, cache=cache_root, incremental=True
+    )
+    return result, time.perf_counter() - start
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv
+    if smoke:
+        units = paper_scale_units(["subversion"])
+        label = "paper-scale-subversion"
+    else:
+        units = paper_scale_units()
+        label = "paper-scale-six-package"
+    kloc = sum(len(u.source.splitlines()) for u in units) / 1000.0
+    edited, edited_name = edited_corpus(units)
+    print(
+        f"corpus: {label}, {len(units)} executable(s), {kloc:.1f} KLOC;"
+        f" edit target: {edited_name}"
+    )
+
+    cache_root = tempfile.mkdtemp(prefix="bench-incremental-")
+    try:
+        cold, cold_s = sweep(units, cache_root)
+        warm, warm_s = sweep(edited, cache_root)
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    warm_outcome = warm.outcome(edited_name)
+    print(
+        f"cold {cold_s:.2f}s  1-edit warm {warm_s:.2f}s"
+        f"  speedup {speedup:.2f}x"
+        f"  (edited unit mode: {warm_outcome.incremental_mode})"
+    )
+
+    try:
+        from conftest import record_bench
+
+        record_bench(
+            "incremental",
+            corpus=label,
+            units=len(units),
+            kloc=round(kloc, 1),
+            cold_s=round(cold_s, 3),
+            warm_s=round(warm_s, 3),
+            speedup=round(speedup, 2),
+            edited_unit=edited_name,
+            edited_mode=warm_outcome.incremental_mode,
+            min_speedup=MIN_SPEEDUP,
+        )
+    except ImportError:
+        pass  # direct invocation from another cwd
+
+    failures = 0
+
+    fresh = run_batch(
+        [u for u in edited if u.name == edited_name], keep_going=True
+    )
+    fresh_outcome = fresh.outcome(edited_name)
+    if (
+        warm_outcome.warning_lines != fresh_outcome.warning_lines
+        or warm_outcome.fingerprints != fresh_outcome.fingerprints
+    ):
+        print(
+            "FAIL: warm outcome of the edited unit diverges from a fresh"
+            " analysis",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print("edited unit: warm outcome == fresh analysis")
+
+    stale = [
+        o.unit
+        for o in warm.outcomes
+        if o.unit != edited_name and not o.cached
+    ]
+    if stale:
+        print(
+            f"FAIL: unedited unit(s) re-analyzed on the warm run: {stale}",
+            file=sys.stderr,
+        )
+        failures += 1
+    if warm_outcome.cached:
+        print(
+            "FAIL: the edited unit hit the exact cache -- the edit never"
+            " reached the sweep",
+            file=sys.stderr,
+        )
+        failures += 1
+
+    if speedup < MIN_SPEEDUP:
+        print(
+            f"FAIL: warm speedup {speedup:.2f}x < {MIN_SPEEDUP}x",
+            file=sys.stderr,
+        )
+        failures += 1
+    else:
+        print(f"warm speedup {speedup:.2f}x >= {MIN_SPEEDUP}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,13 +16,27 @@ same result, linear in |sigma|.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.correlation import ConditionalCorrelation
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
 from repro.pointer import AbstractObject, PointerAnalysisResult, ROOT_REGION
 
-__all__ = ["ObjectPairWarning", "ConsistencyResult", "check_consistency"]
+__all__ = [
+    "ObjectPairWarning",
+    "ConsistencyResult",
+    "check_consistency",
+    "consistency_from_pairs",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +136,66 @@ def check_consistency(
         ]
         if not unordered:
             continue
+        never_safe = all(
+            not hierarchy.may_leq(x, y)
+            for x in source_owners
+            for y in target_owners
+        )
+        warning = ObjectPairWarning(
+            source=source,
+            offset=offset,
+            target=target,
+            source_owners=source_owners,
+            target_owners=target_owners,
+            store_uids=analysis.access_sites.get(
+                (source, offset, target), frozenset()
+            ),
+        )
+        object.__setattr__(warning, "_never_safe", never_safe)
+        warnings.append(warning)
+
+    return ConsistencyResult(
+        hierarchy=hierarchy,
+        object_pairs=warnings,
+        num_regions=len(analysis.regions),
+        num_objects=len(analysis.objects),
+        subregion_size=len(analysis.subregion),
+        ownership_size=len(analysis.ownership),
+        heap_size=len(analysis.accesses),
+        region_pair_count=hierarchy.count_no_partial_order_pairs(),
+    )
+
+
+def consistency_from_pairs(
+    analysis: PointerAnalysisResult,
+    hierarchy: RegionHierarchy,
+    pairs: Set[Tuple[AbstractObject, Optional[int], AbstractObject]],
+    accesses: Optional[
+        Iterable[Tuple[AbstractObject, Optional[int], AbstractObject]]
+    ] = None,
+) -> ConsistencyResult:
+    """Rebuild a :class:`ConsistencyResult` from a known violating set.
+
+    The eq. 4.12 Datalog paths (the incremental delta re-solve, the
+    demand-transformed ``--query``) decide *which* accesses violate;
+    this decoder rebuilds the same :class:`ObjectPairWarning` objects —
+    owners, store sites, the Section 5.4 never-safe rank — that
+    :func:`check_consistency` would have built for them, iterating the
+    same sorted order so downstream ranking and fingerprints are
+    byte-identical.  ``accesses`` restricts the iteration (the demand
+    path passes its query seed); by default every access is considered.
+    """
+    owned_by: Dict[AbstractObject, Set[AbstractObject]] = {}
+    for region, obj in analysis.ownership:
+        owned_by.setdefault(obj, set()).add(region)
+
+    candidates = analysis.accesses if accesses is None else accesses
+    warnings: List[ObjectPairWarning] = []
+    for source, offset, target in sorted(candidates, key=str):
+        if (source, offset, target) not in pairs:
+            continue
+        source_owners = _owners(source, owned_by)
+        target_owners = _owners(target, owned_by)
         never_safe = all(
             not hierarchy.may_leq(x, y)
             for x in source_owners

@@ -7,12 +7,26 @@ four-rule Datalog program.  This module runs exactly that program on the
 canonicalized hierarchy; a test cross-checks its ``objectPair`` output
 against :func:`repro.core.consistency.check_consistency` on the whole
 figure corpus, tying the executable formalism to the production checker.
+
+Two access paths share the encoding:
+
+* :func:`build_consistency_program` -- the full eq. 4.12 closure.  Fact
+  extraction is split out (:func:`extract_consistency_facts`) so the
+  incremental analysis session can diff encoded fact sets across runs and
+  feed the delta to ``Solution.update`` instead of re-solving.
+* :func:`build_demand_program` -- a magic-sets-style demand
+  transformation for single-warning questions (``--explain``,
+  ``--query``): the subregion order and ownership cover are explored only
+  from the objects of the *queried* accesses, so answering one question
+  never materializes the full ``le``/``regionPair`` closure.  The
+  transformed program keeps the original relation names, which keeps
+  provenance chains rendered from it faithful to the paper's argument.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.hierarchy import RegionHierarchy, build_hierarchy
 from repro.datalog import Program, SolverStats
@@ -20,9 +34,16 @@ from repro.pointer import AbstractObject, PointerAnalysisResult
 from repro.util.budget import BudgetMeter
 
 __all__ = [
+    "ALL_RELATIONS",
+    "ConsistencyFacts",
     "ConsistencyProgram",
+    "accesses_at_location",
     "build_consistency_program",
+    "build_demand_program",
     "datalog_object_pairs",
+    "extract_consistency_facts",
+    "make_consistency_program",
+    "solve_demand_pairs",
     "solve_object_pairs",
 ]
 
@@ -45,6 +66,62 @@ objectPair(o1, n, o2) :-
     access(o1, n, o2), ownEq(x, o1), ownEq(y, o2), regionPair(x, y).
 """
 
+# The demand transformation of the same query.  ``access`` holds only the
+# *queried* triples; ``demandObj``/``demandRegion`` are the magic
+# predicates restricting every downstream rule to what those triples can
+# reach.  Restricted to the queried accesses, each relation below equals
+# its full-program counterpart (DESIGN.md §14 gives the argument), so
+# decoders and provenance renderers need no demand-specific cases.
+DEMAND_RULES = """
+# Magic predicate: objects that appear in a queried access.
+demandObj(o1) :- access(o1, n, o2).
+demandObj(o2) :- access(o1, n, o2).
+
+# Reflexive ownership, restricted to demanded objects.
+ownEq(r, o) :- own(r, o), demandObj(o).
+ownEq(o, o) :- region(o), demandObj(o).
+
+# Owner regions of demanded objects: the only sources the subregion
+# order is explored from.
+demandRegion(x) :- ownEq(x, o), region(x).
+le(x, x) :- demandRegion(x).
+le(x, z) :- le(x, y), parent(y, z).
+
+# Unordered pairs among demanded owner regions only.
+regionPair(x, y) :- demandRegion(x), demandRegion(y), !le(x, y).
+
+# eq. 4.12 over the queried accesses.
+objectPair(o1, n, o2) :-
+    access(o1, n, o2), ownEq(x, o1), ownEq(y, o2), regionPair(x, y).
+"""
+
+#: Input relations (fact-bearing) shared by both programs.
+INPUT_RELATIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("region", ("O",)),
+    ("parent", ("O", "O")),
+    ("own", ("O", "O")),
+    ("access", ("O", "N", "O")),
+)
+
+_DERIVED_RELATIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("le", ("O", "O")),
+    ("regionPair", ("O", "O")),
+    ("ownEq", ("O", "O")),
+    ("objectPair", ("O", "N", "O")),
+)
+
+_DEMAND_RELATIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("demandObj", ("O",)),
+    ("demandRegion", ("O",)),
+) + _DERIVED_RELATIONS
+
+#: Every relation of the full (non-demand) program with its domain
+#: signature, in declaration order -- the incremental state store uses it
+#: to translate persisted snapshots between entity tables.
+ALL_RELATIONS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    INPUT_RELATIONS + _DERIVED_RELATIONS
+)
+
 
 def datalog_object_pairs(
     analysis: PointerAnalysisResult,
@@ -54,6 +131,23 @@ def datalog_object_pairs(
     """Solve eq. 4.12 as Datalog; returns {(source, offset, target)}."""
     pairs, _ = solve_object_pairs(analysis, hierarchy, backend)
     return pairs
+
+
+@dataclass
+class ConsistencyFacts:
+    """The eq. 4.12 input facts, dense-encoded, plus the decoding maps.
+
+    ``facts`` maps each input relation name to its encoded tuple set;
+    the incremental session diffs two of these (after translating between
+    entity tables) to obtain the retract/assert delta of an edit.
+    """
+
+    hierarchy: RegionHierarchy
+    entities: List[AbstractObject]
+    offsets: List[Optional[int]]
+    entity_index: Dict[AbstractObject, int]
+    offset_index: Dict[Optional[int], int]
+    facts: Dict[str, Set[Tuple[int, ...]]]
 
 
 @dataclass
@@ -79,17 +173,26 @@ class ConsistencyProgram:
             self.entity_index[target],
         )
 
+    def decode_pairs(
+        self, tuples: Iterable[Tuple[int, int, int]]
+    ) -> Set[Tuple[AbstractObject, Optional[int], AbstractObject]]:
+        """Decode ``objectPair`` tuples back to object triples."""
+        return {
+            (self.entities[source], self.offsets[offset],
+             self.entities[target])
+            for source, offset, target in tuples
+        }
 
-def build_consistency_program(
+
+def extract_consistency_facts(
     analysis: PointerAnalysisResult,
     hierarchy: Optional[RegionHierarchy] = None,
-    backend: str = "set",
-) -> ConsistencyProgram:
-    """Build (without solving) the consistency query over ``analysis``.
+) -> ConsistencyFacts:
+    """Encode the analysis effects as eq. 4.12 input-fact tuples.
 
-    Exposed separately from :func:`solve_object_pairs` so callers that
-    need the decoding maps -- the ``--explain`` provenance renderer runs
-    the same program with derivation recording on -- share one builder.
+    The entity/offset orderings are deterministic (sorted), so two
+    extractions of the same analysis produce identical encodings — the
+    property the incremental fact diff depends on.
     """
     if hierarchy is None:
         hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
@@ -108,43 +211,193 @@ def build_consistency_program(
     )
     offset_index = {offset: i for i, offset in enumerate(offsets)}
 
-    program = Program(backend=backend)
-    program.domain("O", max(len(entities), 1))
-    program.domain("N", max(len(offsets), 1))
-    program.relation("region", ["O"])
-    program.relation("parent", ["O", "O"])
-    program.relation("own", ["O", "O"])
-    program.relation("access", ["O", "N", "O"])
-    program.relation("le", ["O", "O"])
-    program.relation("regionPair", ["O", "O"])
-    program.relation("ownEq", ["O", "O"])
-    program.relation("objectPair", ["O", "N", "O"])
-    program.rules(RULES)
-
+    facts: Dict[str, Set[Tuple[int, ...]]] = {
+        name: set() for name, _ in INPUT_RELATIONS
+    }
     for region in hierarchy.regions:
-        program.fact("region", entity_index[region])
+        facts["region"].add((entity_index[region],))
         parent = hierarchy.parent.get(region)
         if parent is not None:
-            program.fact("parent", entity_index[region], entity_index[parent])
+            facts["parent"].add(
+                (entity_index[region], entity_index[parent])
+            )
     for region, obj in analysis.ownership:
         if region in entity_index and obj in entity_index:
-            program.fact("own", entity_index[region], entity_index[obj])
+            facts["own"].add((entity_index[region], entity_index[obj]))
     for source, offset, target in analysis.accesses:
         if source in entity_index and target in entity_index:
-            program.fact(
-                "access",
-                entity_index[source],
-                offset_index[offset],
-                entity_index[target],
+            facts["access"].add(
+                (
+                    entity_index[source],
+                    offset_index[offset],
+                    entity_index[target],
+                )
             )
 
-    return ConsistencyProgram(
-        program=program,
+    return ConsistencyFacts(
+        hierarchy=hierarchy,
         entities=entities,
         offsets=offsets,
         entity_index=entity_index,
         offset_index=offset_index,
+        facts=facts,
     )
+
+
+def make_consistency_program(
+    num_entities: int,
+    num_offsets: int,
+    backend: str = "set",
+    engine: str = "indexed",
+    demand: bool = False,
+) -> Program:
+    """Declare the eq. 4.12 program (domains, relations, rules), no facts.
+
+    Split from :func:`build_consistency_program` so the incremental
+    session can rebuild the program around a *stored* entity table —
+    possibly padded beyond the current universe for headroom — and load
+    facts in that table's encoding.
+    """
+    program = Program(backend=backend, engine=engine)
+    program.domain("O", max(num_entities, 1))
+    program.domain("N", max(num_offsets, 1))
+    derived = _DEMAND_RELATIONS if demand else _DERIVED_RELATIONS
+    for name, domains in INPUT_RELATIONS + derived:
+        program.relation(name, list(domains))
+    program.rules(DEMAND_RULES if demand else RULES)
+    return program
+
+
+def build_consistency_program(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    backend: str = "set",
+) -> ConsistencyProgram:
+    """Build (without solving) the consistency query over ``analysis``.
+
+    Exposed separately from :func:`solve_object_pairs` so callers that
+    need the decoding maps -- the ``--explain`` provenance renderer runs
+    the same program with derivation recording on -- share one builder.
+    """
+    extracted = extract_consistency_facts(analysis, hierarchy)
+    program = make_consistency_program(
+        len(extracted.entities), len(extracted.offsets), backend
+    )
+    for name, tuples in extracted.facts.items():
+        for values in tuples:
+            program.fact(name, *values)
+    return ConsistencyProgram(
+        program=program,
+        entities=extracted.entities,
+        offsets=extracted.offsets,
+        entity_index=extracted.entity_index,
+        offset_index=extracted.offset_index,
+    )
+
+
+def build_demand_program(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    queries: Iterable[
+        Tuple[AbstractObject, Optional[int], AbstractObject]
+    ] = (),
+    backend: str = "set",
+) -> ConsistencyProgram:
+    """The demand-transformed query, seeded with ``queries`` accesses.
+
+    ``queries`` are (source, offset, target) access triples (normally a
+    subset of ``analysis.accesses``); only they are asserted into
+    ``access``, and the magic predicates confine the ownership cover and
+    subregion closure to what those triples reach.  ``objectPair`` equals
+    the full program's relation restricted to the queried accesses.
+    """
+    extracted = extract_consistency_facts(analysis, hierarchy)
+    program = make_consistency_program(
+        len(extracted.entities), len(extracted.offsets), backend,
+        demand=True,
+    )
+    for name in ("region", "parent", "own"):
+        for values in extracted.facts[name]:
+            program.fact(name, *values)
+    for source, offset, target in queries:
+        if (
+            source in extracted.entity_index
+            and target in extracted.entity_index
+            and offset in extracted.offset_index
+        ):
+            program.fact(
+                "access",
+                extracted.entity_index[source],
+                extracted.offset_index[offset],
+                extracted.entity_index[target],
+            )
+    return ConsistencyProgram(
+        program=program,
+        entities=extracted.entities,
+        offsets=extracted.offsets,
+        entity_index=extracted.entity_index,
+        offset_index=extracted.offset_index,
+    )
+
+
+def solve_demand_pairs(
+    analysis: PointerAnalysisResult,
+    hierarchy: Optional[RegionHierarchy] = None,
+    queries: Iterable[
+        Tuple[AbstractObject, Optional[int], AbstractObject]
+    ] = (),
+    backend: str = "set",
+    meter: Optional[BudgetMeter] = None,
+) -> Tuple[
+    Set[Tuple[AbstractObject, Optional[int], AbstractObject]], SolverStats
+]:
+    """Demand-solve eq. 4.12 for the queried accesses only."""
+    built = build_demand_program(analysis, hierarchy, queries, backend)
+    solution = built.program.solve(meter=meter)
+    return built.decode_pairs(solution.tuples("objectPair")), solution.stats
+
+
+def accesses_at_location(
+    analysis: PointerAnalysisResult,
+    module,
+    filename: str,
+    line: int,
+) -> List[Tuple[AbstractObject, Optional[int], AbstractObject]]:
+    """Access triples anchored at ``filename:line`` — the ``--query`` seed.
+
+    A triple matches when the store instruction that created it, or the
+    allocation site of either end, sits on that line.  ``filename``
+    matches exactly or by basename, so ``--query file.c:12`` works without
+    repeating the directory the source was given as.
+    """
+
+    def matches(loc) -> bool:
+        if loc is None or loc.line != line:
+            return False
+        name = loc.filename
+        if name == filename:
+            return True
+        return "/" not in filename and name.rsplit("/", 1)[-1] == filename
+
+    def site_loc(uid: int):
+        if not uid:
+            return None
+        try:
+            return module.instr(uid).loc
+        except KeyError:
+            return None
+
+    found = []
+    for triple in sorted(analysis.accesses, key=str):
+        source, offset, target = triple
+        locs = [site_loc(source.site), site_loc(target.site)]
+        locs.extend(
+            site_loc(uid)
+            for uid in analysis.access_sites.get(triple, frozenset())
+        )
+        if any(matches(loc) for loc in locs):
+            found.append(triple)
+    return found
 
 
 def solve_object_pairs(
@@ -158,8 +411,5 @@ def solve_object_pairs(
     """Like :func:`datalog_object_pairs` but also returns solver stats."""
     built = build_consistency_program(analysis, hierarchy, backend)
     solution = built.program.solve(meter=meter)
-    pairs = {
-        (built.entities[source], built.offsets[offset], built.entities[target])
-        for source, offset, target in solution.tuples("objectPair")
-    }
+    pairs = built.decode_pairs(solution.tuples("objectPair"))
     return pairs, solution.stats

@@ -7,6 +7,7 @@ from repro.datalog.program import (
     Solution,
     SolverStats,
     StratumStats,
+    UpdateStats,
 )
 from repro.datalog.relation import (
     BddRelation,
@@ -43,6 +44,7 @@ __all__ = [
     "Solution",
     "SolverStats",
     "StratumStats",
+    "UpdateStats",
     "Var",
     "parse_rule",
     "parse_rules",

@@ -1,8 +1,10 @@
 """Warning provenance: rule-by-rule derivation chains for ``--explain``.
 
 An unexplained warning is an untrusted warning.  This module re-runs the
-eq. 4.12 consistency query (:mod:`repro.core.datalog_check`) with
-derivation recording enabled (``Program.solve(provenance=True)``) and
+eq. 4.12 consistency query (:mod:`repro.core.datalog_check`) — in its
+demand-transformed form, seeded with just the warning's access, so one
+explanation never materializes the full closure — with derivation
+recording enabled (``Program.solve(provenance=True)``) and
 renders the recorded :class:`~repro.datalog.Derivation` tree for one
 reported warning as the chain the paper's argument follows::
 
@@ -26,7 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.core.datalog_check import (
     ConsistencyProgram,
-    build_consistency_program,
+    build_demand_program,
 )
 from repro.datalog import Derivation
 from repro.datalog.rules import Atom, Const, NotEqual, Var
@@ -198,7 +200,14 @@ def explain_object_pair(analysis, hierarchy, module, pair):
     Returns ``(lines, derivation)``: the rendered chain and the raw
     :class:`~repro.datalog.Derivation` tree it was built from.
     """
-    built = build_consistency_program(analysis, hierarchy)
+    # The demand transformation seeds the query with just this pair's
+    # access, so explaining one warning never materializes the full
+    # le/regionPair closure; restricted to the seed the relations equal
+    # the full program's, so the chain rendered is the same argument.
+    built = build_demand_program(
+        analysis, hierarchy,
+        queries=[(pair.source, pair.offset, pair.target)],
+    )
     solution = built.program.solve(provenance=True)
     key = built.object_pair_key(pair.source, pair.offset, pair.target)
     derivation = solution.explain("objectPair", key)

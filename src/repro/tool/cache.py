@@ -27,7 +27,19 @@ Entries are one JSON file per key, written atomically (temp file +
 processes, or two sweeps sharing a cache directory -- can never leave a
 torn file.  A corrupted or unreadable entry is treated as a miss (and
 deleted best-effort), never an error: the cache is an accelerator, not a
-source of truth.
+source of truth.  Eviction itself races under ``--jobs`` -- two readers
+can both detect the same corrupt entry and unlink it -- so
+:meth:`AnalysisCache._evict` tolerates losing (``FileNotFoundError`` and
+any other ``OSError`` are a successful eviction from the caller's point
+of view: the entry is gone).
+
+The cache directory doubles as the home of *incremental analysis state*
+(:mod:`repro.tool.incremental`): per-unit manifest + solver-snapshot
+files addressed by :meth:`AnalysisCache.identity_key` -- the unit's
+identity (filename, interface, entry, configuration, versions) with the
+source text deliberately excluded, so an edited unit still finds the
+state its previous run left behind.  State files follow the same
+atomic-write / corrupt-entry-degrades-to-miss discipline.
 """
 
 from __future__ import annotations
@@ -103,10 +115,87 @@ class AnalysisCache:
         blob = json.dumps(material, sort_keys=True).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
+    @staticmethod
+    def identity_key(
+        name: str,
+        filename: str,
+        interface: str,
+        entry: str,
+        options: Optional[AnalysisOptions],
+        budget: Optional[ResourceBudget],
+        degrade: bool,
+        refine: bool,
+        solver_stats: bool,
+        validate: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """The content hash addressing one unit's *identity*.
+
+        Same key material as :meth:`key` minus the source text: an edit
+        changes the outcome key (a miss) but not the identity key, which
+        is what lets an incremental warm run find the state its previous
+        run stored and diff manifests against it.  ``name`` is the
+        unit's batch name -- package corpora reuse filenames across
+        units, and two units sharing one state slot would thrash it.
+        """
+        from repro import __version__
+        from repro.tool.regionwiz import ANALYSIS_VERSION
+
+        material = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "tool_version": __version__,
+            "analysis_version": ANALYSIS_VERSION,
+            "name": name,
+            "filename": filename,
+            "interface": interface,
+            "entry": entry,
+            "options": dataclasses.asdict(options or AnalysisOptions()),
+            "budget": budget.to_dict() if budget is not None else None,
+            "degrade": bool(degrade),
+            "refine": bool(refine),
+            "solver_stats": bool(solver_stats),
+        }
+        if validate is not None:
+            material["validate"] = validate
+        blob = json.dumps(material, sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
     def _path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
 
+    def _state_path(self, identity: str) -> str:
+        return os.path.join(self.root, f"{identity}.state.json")
+
     # -- lookup / store ----------------------------------------------------
+
+    def _evict(self, path: str) -> None:
+        """Best-effort removal of a corrupt entry.
+
+        Under ``--jobs`` several workers can detect the same corruption
+        concurrently; whoever unlinks second gets ``FileNotFoundError``.
+        Losing that race *is* success -- the entry is gone either way --
+        so every ``OSError`` is swallowed and the caller proceeds with
+        its miss.
+        """
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass  # another worker evicted first: same outcome
+        except OSError:
+            pass  # unremovable (permissions, ...): stale entry stays
+
+    def _read_payload(self, path: str) -> Optional[Dict[str, Any]]:
+        """Load one JSON payload; corruption evicts and returns None."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("bad cache entry shape")
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):  # ValueError covers JSONDecodeError
+            self._evict(path)
+            return None
+        return payload
 
     def lookup(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored outcome payload, or ``None`` (counts a hit/miss).
@@ -115,41 +204,55 @@ class AnalysisCache:
         degrades to a miss so the unit falls back to analysis.
         """
         path = self._path(key)
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-            if (
-                not isinstance(payload, dict)
-                or payload.get("schema") != CACHE_SCHEMA_VERSION
-                or not isinstance(payload.get("outcome"), dict)
-            ):
-                raise ValueError("bad cache entry shape")
-        except FileNotFoundError:
+        payload = self._read_payload(path)
+        if payload is not None and (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+            or not isinstance(payload.get("outcome"), dict)
+        ):
+            self._evict(path)
+            payload = None
+        if payload is None:
             self.misses += 1
-            return None
-        except (OSError, ValueError):  # ValueError covers JSONDecodeError
-            self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
             return None
         self.hits += 1
         return payload["outcome"]
 
-    def store(self, key: str, outcome: Dict[str, Any]) -> None:
-        """Atomically persist one outcome payload under ``key``."""
-        payload = {"schema": CACHE_SCHEMA_VERSION, "outcome": outcome}
+    def _write_atomic(self, path: str, payload: Dict[str, Any]) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
-            os.replace(tmp, self._path(key))
+            os.replace(tmp, path)
         except OSError:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+
+    def store(self, key: str, outcome: Dict[str, Any]) -> None:
+        """Atomically persist one outcome payload under ``key``."""
+        payload = {"schema": CACHE_SCHEMA_VERSION, "outcome": outcome}
+        self._write_atomic(self._path(key), payload)
+
+    # -- incremental state -------------------------------------------------
+
+    def lookup_state(self, identity: str) -> Optional[Dict[str, Any]]:
+        """The stored incremental-state payload for one unit identity.
+
+        Shape validation beyond "a JSON object" belongs to the caller
+        (:mod:`repro.tool.incremental` version-checks its own schema);
+        unreadable or torn files degrade to ``None`` with the same
+        race-tolerant eviction as outcome entries.
+        """
+        return self._read_payload(self._state_path(identity))
+
+    def store_state(self, identity: str, payload: Dict[str, Any]) -> None:
+        """Atomically persist one unit's incremental state."""
+        self._write_atomic(self._state_path(identity), payload)
+
+    def evict_state(self, identity: str) -> None:
+        """Drop one unit's incremental state (corruption, schema bump)."""
+        self._evict(self._state_path(identity))
 
     # -- telemetry ---------------------------------------------------------
 

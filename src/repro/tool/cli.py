@@ -242,6 +242,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the result cache even if --cache was given",
     )
     batch.add_argument(
+        "--incremental",
+        action="store_true",
+        help=(
+            "keep per-unit incremental analysis state in the --cache"
+            " directory: warm re-runs diff function-level manifests,"
+            " serve unchanged units, and re-solve only the fact delta"
+            " for edited ones (also works in single-file mode)"
+        ),
+    )
+    batch.add_argument(
         "--hard-timeout",
         type=float,
         default=None,
@@ -369,6 +379,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "print the Datalog derivation chain behind warning N"
             " (1-based, report order) instead of the warning listing"
+        ),
+    )
+    obs.add_argument(
+        "--query",
+        metavar="FILE:LINE",
+        default=None,
+        help=(
+            "answer one question instead of the full analysis: restrict"
+            " the consistency check to the pointer accesses at FILE:LINE"
+            " via the demand-transformed (magic-sets) Datalog program"
+            " and report only warnings those accesses participate in"
         ),
     )
     obs.add_argument(
@@ -515,6 +536,7 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         validate=args.validate,
         validate_steps=args.validate_steps,
         trace_dir=args.trace_out,
+        incremental=args.incremental,
     )
     merged: Optional[WarningDiff] = None
     if args.baseline:
@@ -549,6 +571,27 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         assert merged is not None  # --fail-on-new requires --baseline
         return 1 if merged.has_new else 0
     return code
+
+
+def _incremental_summary(session) -> str:
+    """One stderr line describing what the incremental session did."""
+    mode = session.mode or "cold"
+    parts = [f"incremental: {mode}"]
+    if session.diff is not None and not session.diff.clean:
+        parts.append(f"functions changed: {session.diff.functions_touched}")
+        if session.diff.preamble_changed:
+            parts.append("preamble changed")
+    if session.fallback_reason is not None:
+        parts.append(f"fallback: {session.fallback_reason}")
+    stats = session.update_stats
+    if stats is not None and stats.mode == "delta":
+        parts.append(
+            f"facts +{stats.facts_asserted}/-{stats.facts_retracted}"
+        )
+        parts.append(
+            f"strata skipped {stats.strata_skipped}/{stats.strata_total}"
+        )
+    return "  ".join(parts)
 
 
 def _profile_tree() -> Optional[str]:
@@ -620,6 +663,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(tracer.format_tree(), file=sys.stderr)
 
 
+def _parse_query(spec: str) -> "tuple[str, int]":
+    """Split a ``--query FILE:LINE`` spec (raises :class:`InputError`)."""
+    path, sep, line_text = spec.rpartition(":")
+    if not sep or not path:
+        raise InputError(
+            f"--query expects FILE:LINE, got {spec!r}"
+        )
+    try:
+        line = int(line_text)
+    except ValueError:
+        raise InputError(
+            f"--query expects an integer line number, got {line_text!r}"
+        ) from None
+    if line < 1:
+        raise InputError(f"--query line must be >= 1, got {line}")
+    return path, line
+
+
 def _run(args: argparse.Namespace) -> int:
     if args.fail_on_new and not args.baseline:
         print(
@@ -631,6 +692,28 @@ def _run(args: argparse.Namespace) -> int:
             "regionwiz: --trace-out requires --validate", file=sys.stderr
         )
         return 2
+    if args.incremental and (args.no_cache or not args.cache_dir):
+        print(
+            "regionwiz: --incremental requires --cache DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.query is not None:
+        conflict = (
+            "--batch"
+            if args.batch
+            else "--open"
+            if args.open_program
+            else "--incremental"
+            if args.incremental
+            else None
+        )
+        if conflict is not None:
+            print(
+                f"regionwiz: --query cannot be combined with {conflict}",
+                file=sys.stderr,
+            )
+            return 2
     try:
         if args.batch:
             return _run_batch_mode(args)
@@ -657,6 +740,30 @@ def _run(args: argparse.Namespace) -> int:
                 degrade=args.degrade,
             )
         else:
+            query = (
+                _parse_query(args.query) if args.query is not None else None
+            )
+            session = None
+            if args.incremental:
+                from repro.tool.cache import AnalysisCache
+                from repro.tool.incremental import IncrementalUnitSession
+
+                cache = AnalysisCache(args.cache_dir)
+                identity = AnalysisCache.identity_key(
+                    name=args.files[0],
+                    filename=args.files[0],
+                    interface=_detect_interface(
+                        args.files, args.interface
+                    ),
+                    entry=args.entry,
+                    options=options,
+                    budget=budget,
+                    degrade=args.degrade,
+                    refine=args.refine,
+                    solver_stats=args.solver_stats,
+                )
+                session = IncrementalUnitSession(cache, identity)
+                session.probe(source, args.files[0])
             report = run_regionwiz(
                 source,
                 filename=args.files[0],
@@ -668,7 +775,12 @@ def _run(args: argparse.Namespace) -> int:
                 solver_stats=args.solver_stats,
                 budget=budget,
                 degrade=args.degrade,
+                incremental=session,
+                query=query,
             )
+            if session is not None:
+                session.store()
+                print(_incremental_summary(session), file=sys.stderr)
     except (CompileError, InputError) as error:
         print(f"regionwiz: {error}", file=sys.stderr)
         return 2

@@ -36,7 +36,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # import cycle: tool.incremental imports tool.cache
+    from repro.tool.incremental import IncrementalUnitSession
 
 from repro.callgraph import (
     CallGraph,
@@ -48,11 +51,17 @@ from repro.core import (
     ConsistencyResult,
     IPair,
     RankedWarnings,
+    build_hierarchy,
     check_consistency,
     rank_warnings,
     solve_object_pairs,
 )
-from repro.datalog import SolverStats
+from repro.core.consistency import consistency_from_pairs
+from repro.core.datalog_check import (
+    accesses_at_location,
+    solve_demand_pairs,
+)
+from repro.datalog import SolverStats, UpdateStats
 from repro.interfaces import RegionInterface, apr_pools_interface
 from repro.ir import IRModule, lower
 from repro.lang import SemaResult, SourceLocation, analyze, parse
@@ -145,6 +154,9 @@ class PhaseTimes:
     #: Datalog solver telemetry for the consistency query; populated only
     #: when :func:`run_regionwiz` is called with ``solver_stats=True``.
     solver: Optional[SolverStats] = None
+    #: Delta re-solve telemetry when the run used an incremental session
+    #: and the warm path ran (None on cold solves and normal runs).
+    update: Optional[UpdateStats] = None
 
     @property
     def total(self) -> float:
@@ -318,6 +330,8 @@ def _run_pipeline(
     refine: bool,
     solver_stats: bool,
     meter: Optional[BudgetMeter],
+    incremental: Optional["IncrementalUnitSession"] = None,
+    query: Optional[Tuple[str, int]] = None,
 ) -> RegionWizReport:
     """One pipeline attempt at fixed precision (no degradation)."""
     times = PhaseTimes()
@@ -363,9 +377,35 @@ def _run_pipeline(
     ):
         faults.fire("correlation", unit=name, meter=meter)
         analysis = analyze_pointers(graph, interface, options, numbering, meter)
-        consistency = check_consistency(analysis)
-        if solver_stats:
-            _, times.solver = solve_object_pairs(analysis, meter=meter)
+        if query is not None:
+            # Demand transformation: only the accesses anchored at the
+            # queried file:line are seeded, so the subregion/ownership
+            # closure is explored from them alone -- the full
+            # le/regionPair closure is never materialized.
+            hierarchy = build_hierarchy(
+                analysis.regions, analysis.subregion
+            )
+            queried = accesses_at_location(
+                analysis, module, query[0], query[1]
+            )
+            pairs, demand_stats = solve_demand_pairs(
+                analysis, hierarchy, queries=queried, meter=meter
+            )
+            consistency = consistency_from_pairs(
+                analysis, hierarchy, pairs, accesses=queried
+            )
+            if solver_stats:
+                times.solver = demand_stats
+        elif incremental is not None:
+            consistency, times.update = incremental.check_consistency(
+                analysis, module, meter
+            )
+            if solver_stats:
+                _, times.solver = solve_object_pairs(analysis, meter=meter)
+        else:
+            consistency = check_consistency(analysis)
+            if solver_stats:
+                _, times.solver = solve_object_pairs(analysis, meter=meter)
         span.set(
             regions=len(analysis.regions),
             objects=len(analysis.objects),
@@ -464,6 +504,8 @@ def _collect_metrics(report: RegionWizReport) -> MetricsRegistry:
     registry.gauge("ladder.failed_rungs", len(report.degradation_path))
     if times.solver is not None:
         registry.absorb_solver_stats(times.solver)
+    if times.update is not None:
+        registry.absorb_update_stats(times.update)
     if report.budget_usage is not None:
         registry.absorb_budget_usage(report.budget_usage)
     return registry
@@ -481,6 +523,8 @@ def run_regionwiz(
     solver_stats: bool = False,
     budget: Optional[ResourceBudget] = None,
     degrade: bool = False,
+    incremental: Optional["IncrementalUnitSession"] = None,
+    query: Optional[Tuple[str, int]] = None,
 ) -> RegionWizReport:
     """Run the full RegionWiz pipeline on C source text.
 
@@ -501,6 +545,17 @@ def run_regionwiz(
     ``report.precision`` and the rungs that blew the budget in
     ``report.degradation_path``.  If even the lowest rung exceeds the
     budget, the last ``BudgetExceeded`` propagates.
+
+    ``incremental`` (an
+    :class:`~repro.tool.incremental.IncrementalUnitSession`, already
+    probed against this source) routes the consistency phase through the
+    resume + delta-update path; the result is identical to a normal run,
+    and the session is left holding the fresh state payload for the
+    caller to persist.  ``query`` (``(filename, line)``) instead runs
+    the demand-transformed consistency query seeded with only the
+    accesses anchored at that location -- the report's warnings are
+    restricted to that seed.  The two are mutually exclusive; ``query``
+    wins.
     """
     if interface is None:
         interface = apr_pools_interface()
@@ -537,6 +592,8 @@ def run_regionwiz(
                     refine,
                     solver_stats,
                     meter,
+                    incremental=incremental,
+                    query=query,
                 )
         except BudgetExceeded as error:
             emit_event(
@@ -556,6 +613,8 @@ def run_regionwiz(
         report.budget = budget
         report.budget_usage = meter.usage() if meter is not None else None
         report.metrics = _collect_metrics(report)
+        if incremental is not None:
+            incremental.record_metrics(report.metrics)
         return report
     assert last_error is not None
     raise last_error

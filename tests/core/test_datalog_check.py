@@ -8,7 +8,12 @@ four-rule Datalog program -- and requires identical results.
 import pytest
 
 from repro.core import build_hierarchy, check_consistency
-from repro.core.datalog_check import datalog_object_pairs
+from repro.core.consistency import consistency_from_pairs
+from repro.core.datalog_check import (
+    datalog_object_pairs,
+    solve_demand_pairs,
+    solve_object_pairs,
+)
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.pointer import analyze_pointers
 from repro.workloads import FIGURES
@@ -36,6 +41,58 @@ def test_datalog_matches_checker(program):
     }
     computed = datalog_object_pairs(analysis, hierarchy, backend="set")
     assert computed == expected, program.name
+
+
+@pytest.mark.parametrize("program", FIGURES, ids=lambda p: p.name)
+def test_demand_transformation_matches_full(program):
+    """Demand-solving every access individually reproduces the full
+    objectPair relation — the magic-sets restriction loses nothing."""
+    analysis = analysis_for(program)
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    full = datalog_object_pairs(analysis, hierarchy)
+    demanded = set()
+    for triple in analysis.accesses:
+        pairs, _ = solve_demand_pairs(
+            analysis, hierarchy, queries=[triple]
+        )
+        demanded |= pairs
+    assert demanded == full, program.name
+
+
+def test_demand_solve_is_narrower_than_full():
+    """The demand program derives strictly fewer tuples than the full
+    closure on a program with more than one access (the point of the
+    transformation)."""
+    from repro.workloads import figure
+
+    program = figure("fig2c")
+    analysis = analysis_for(program)
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    _, full_stats = solve_object_pairs(analysis, hierarchy)
+    one = next(iter(sorted(analysis.accesses, key=str)))
+    _, demand_stats = solve_demand_pairs(
+        analysis, hierarchy, queries=[one]
+    )
+    assert demand_stats.tuples_derived < full_stats.tuples_derived
+
+
+@pytest.mark.parametrize("program", FIGURES, ids=lambda p: p.name)
+def test_consistency_from_pairs_rebuilds_checker_output(program):
+    """Decoding a violating set reproduces check_consistency exactly —
+    warnings, owners, store sites, never-safe ranks, and order."""
+    analysis = analysis_for(program)
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    direct = check_consistency(analysis, hierarchy)
+    pairs = {
+        (pair.source, pair.offset, pair.target)
+        for pair in direct.object_pairs
+    }
+    rebuilt = consistency_from_pairs(analysis, hierarchy, pairs)
+    assert rebuilt.object_pairs == direct.object_pairs
+    assert [w.never_safe for w in rebuilt.object_pairs] == [
+        w.never_safe for w in direct.object_pairs
+    ]
+    assert rebuilt.region_pair_count == direct.region_pair_count
 
 
 @pytest.mark.parametrize("name", ["fig1", "fig2c", "fig3", "fig9"])

@@ -1,0 +1,313 @@
+"""Incremental maintenance: ``Solution.update`` ≡ a cold full solve.
+
+The indexed set engine applies base-fact deltas with a per-stratum
+delete-rederive pass; the legacy set engine and the BDD backend fall back
+to a full re-solve behind the same interface.  Every path must land on
+exactly the relations a from-scratch solve of the mutated fact set
+produces — the hypothesis property here holds all three engines to that,
+and the directed tests pin the bookkeeping (modes, stratum skipping,
+noop detection, validation atomicity) and the ``snapshot``/``resume``
+round-trip the persistent incremental state store relies on.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog import DatalogError, Program
+from repro.util.budget import ResourceBudget
+
+DOMAIN_SIZE = 5
+
+# Closure + join + stratified negation: the same shape as the eq. 4.12
+# consistency program (le / regionPair / objectPair).
+RULES = """
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+le(x, x) :- node(x).
+le(x, y) :- path(x, y).
+unordered(x, y) :- node(x), node(y), !le(x, y), x != y.
+pair(x, y) :- mark(x), mark(y), unordered(x, y).
+"""
+
+DERIVED = ("path", "le", "unordered", "pair")
+
+
+def build(edges, marks=(), backend="set", engine="indexed"):
+    program = Program(backend=backend, engine=engine)
+    program.domain("V", DOMAIN_SIZE)
+    program.relation("edge", ["V", "V"])
+    program.relation("node", ["V"])
+    program.relation("mark", ["V"])
+    program.relation("path", ["V", "V"])
+    program.relation("le", ["V", "V"])
+    program.relation("unordered", ["V", "V"])
+    program.relation("pair", ["V", "V"])
+    program.rules(RULES)
+    for value in range(DOMAIN_SIZE):
+        program.fact("node", value)
+    for mark in marks:
+        program.fact("mark", mark)
+    for edge in edges:
+        program.fact("edge", *edge)
+    return program
+
+
+def assert_matches_full(solution, edges, marks):
+    fresh = build(edges, marks).solve()
+    for name in DERIVED:
+        assert solution.tuples(name) == fresh.tuples(name), name
+
+
+class TestUpdateDirected:
+    def test_insert_extends_closure(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        stats = solution.update(asserted={"edge": {(1, 2)}})
+        assert stats.mode == "delta"
+        assert stats.facts_asserted == 1 and stats.facts_retracted == 0
+        assert (0, 2) in solution.tuples("path")
+        assert_matches_full(solution, {(0, 1), (1, 2)}, ())
+
+    def test_retract_shrinks_closure_and_regrows_negation(self):
+        program = build({(0, 1), (1, 2)}, marks=(0, 2))
+        solution = program.solve()
+        assert (0, 2) not in solution.tuples("unordered")
+        stats = solution.update(retracted={"edge": {(1, 2)}})
+        assert stats.mode == "delta"
+        # Breaking the order resurrects the unordered pair: tuples are
+        # *inserted* under a retraction, through the negation stratum.
+        assert (0, 2) in solution.tuples("pair")
+        assert_matches_full(solution, {(0, 1)}, (0, 2))
+
+    def test_rederivation_survives_alternative_support(self):
+        # (0,2) is reachable both directly and via 1; deleting one support
+        # must rederive the tuple from the other.
+        program = build({(0, 1), (1, 2), (0, 2)})
+        solution = program.solve()
+        solution.update(retracted={"edge": {(0, 2)}})
+        assert (0, 2) in solution.tuples("path")
+        assert_matches_full(solution, {(0, 1), (1, 2)}, ())
+
+    def test_noop_when_delta_nets_to_nothing(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        before = {name: solution.tuples(name) for name in DERIVED}
+        stats = solution.update(
+            asserted={"edge": {(0, 1)}},      # already present
+            retracted={"edge": {(3, 4)}},     # already absent
+        )
+        assert stats.mode == "noop"
+        assert stats.facts_asserted == 0 and stats.facts_retracted == 0
+        for name in DERIVED:
+            assert solution.tuples(name) == before[name]
+
+    def test_assert_then_retract_same_tuple_is_noop(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        stats = solution.update(
+            asserted={"edge": {(2, 3)}}, retracted={"edge": {(2, 3)}}
+        )
+        # Retraction applies first, then assertion: the tuple ends up
+        # asserted.
+        assert stats.mode == "delta"
+        assert (2, 3) in solution.tuples("edge")
+        assert_matches_full(solution, {(0, 1), (2, 3)}, ())
+
+    def test_untouched_strata_are_skipped(self):
+        program = build({(0, 1), (1, 2)}, marks=(0,))
+        solution = program.solve()
+        stats = solution.update(asserted={"mark": {(4,)}})
+        # mark feeds only the final pair stratum; the path/le/unordered
+        # strata must not re-run.
+        assert stats.mode == "delta"
+        assert stats.strata_skipped >= 1
+        assert stats.strata_total > stats.strata_skipped
+        assert_matches_full(solution, {(0, 1), (1, 2)}, (0, 4))
+
+    def test_stats_accumulate_on_solution(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        solution.update(asserted={"edge": {(1, 2)}})
+        solution.update(retracted={"edge": {(0, 1)}})
+        assert solution.stats.updates == 2
+        assert solution.stats.update_seconds > 0.0
+
+    def test_unknown_relation_rejected(self):
+        solution = build({(0, 1)}).solve()
+        with pytest.raises(DatalogError):
+            solution.update(asserted={"nope": {(0,)}})
+
+    def test_arity_and_domain_validation_is_atomic(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        with pytest.raises(DatalogError):
+            solution.update(asserted={"edge": {(0, 1, 2)}})
+        with pytest.raises(DatalogError):
+            solution.update(asserted={"edge": {(0, DOMAIN_SIZE)}})
+        # A delta that mixes a valid relation with an invalid one must not
+        # half-apply: program facts and the solution stay at the old
+        # fixpoint.
+        with pytest.raises(DatalogError):
+            solution.update(
+                asserted={"edge": {(2, 3)}, "mark": {(DOMAIN_SIZE,)}}
+            )
+        assert (2, 3) not in solution.tuples("edge")
+        assert_matches_full(solution, {(0, 1)}, ())
+
+    def test_update_respects_budget_meter(self):
+        program = build({(0, 1)})
+        solution = program.solve()
+        meter = ResourceBudget(max_derived_tuples=10**6).start()
+        stats = solution.update(asserted={"edge": {(1, 2)}}, meter=meter)
+        assert stats.mode == "delta"
+        assert_matches_full(solution, {(0, 1), (1, 2)}, ())
+
+    def test_legacy_and_bdd_fall_back_to_resolve(self):
+        for backend, engine in (("set", "legacy"), ("bdd", "indexed")):
+            program = build({(0, 1)}, backend=backend, engine=engine)
+            solution = program.solve()
+            stats = solution.update(asserted={"edge": {(1, 2)}})
+            assert stats.mode == "resolve", (backend, engine)
+            assert_matches_full(solution, {(0, 1), (1, 2)}, ())
+
+    def test_provenance_solutions_fall_back_to_resolve(self):
+        program = build({(0, 1)})
+        solution = program.solve(provenance=True)
+        stats = solution.update(asserted={"edge": {(1, 2)}})
+        assert stats.mode == "resolve"
+        assert solution.has_provenance
+        # The re-solve re-records provenance: derived tuples explain.
+        derivation = solution.explain("path", (0, 2))
+        assert derivation.rule is not None
+        assert_matches_full(solution, {(0, 1), (1, 2)}, ())
+
+
+class TestSnapshotResume:
+    def test_round_trip(self):
+        edges = {(0, 1), (1, 2), (3, 4)}
+        solution = build(edges, marks=(0, 4)).solve()
+        snapshot = solution.snapshot()
+        resumed_program = build(edges, marks=(0, 4))
+        resumed = resumed_program.resume(snapshot)
+        for name in DERIVED + ("edge", "node", "mark"):
+            assert resumed.tuples(name) == solution.tuples(name), name
+        # The stats invariant holds on resumed stores too.
+        total = sum(resumed.count(name) for name in snapshot)
+        assert (
+            resumed.stats.facts_loaded + resumed.stats.tuples_derived
+            == total
+        )
+
+    def test_resumed_solution_updates_in_delta_mode(self):
+        edges = {(0, 1), (1, 2)}
+        snapshot = build(edges, marks=(2,)).solve().snapshot()
+        program = build(edges, marks=(2,))
+        resumed = program.resume(snapshot)
+        stats = resumed.update(
+            asserted={"edge": {(2, 3)}}, retracted={"edge": {(0, 1)}}
+        )
+        assert stats.mode == "delta"
+        assert_matches_full(resumed, {(1, 2), (2, 3)}, (2,))
+
+    def test_snapshot_is_sorted_and_deterministic(self):
+        edges = {(1, 2), (0, 1)}
+        first = build(edges).solve().snapshot()
+        second = build(edges).solve().snapshot()
+        assert first == second
+        for tuples in first.values():
+            assert tuples == sorted(tuples)
+
+    def test_resume_validates_tuples(self):
+        program = build({(0, 1)})
+        with pytest.raises(DatalogError):
+            program.resume({"edge": [(0, 1, 2)]})
+        with pytest.raises(DatalogError):
+            program.resume({"edge": [(0, DOMAIN_SIZE)]})
+        with pytest.raises(DatalogError):
+            program.resume({"nope": [(0,)]})
+
+    def test_resume_requires_indexed_set_engine(self):
+        for backend, engine in (("set", "legacy"), ("bdd", "indexed")):
+            program = build({(0, 1)}, backend=backend, engine=engine)
+            with pytest.raises(DatalogError):
+                program.resume({})
+
+
+edges_strategy = st.sets(
+    st.tuples(
+        st.integers(min_value=0, max_value=DOMAIN_SIZE - 1),
+        st.integers(min_value=0, max_value=DOMAIN_SIZE - 1),
+    ),
+    max_size=10,
+)
+marks_strategy = st.sets(
+    st.integers(min_value=0, max_value=DOMAIN_SIZE - 1), max_size=3
+)
+
+
+@pytest.mark.parametrize(
+    "backend,engine",
+    [("set", "indexed"), ("set", "legacy"), ("bdd", "indexed")],
+    ids=["indexed", "legacy", "bdd"],
+)
+@settings(max_examples=25, deadline=None)
+@given(
+    initial=edges_strategy,
+    added=edges_strategy,
+    removed=edges_strategy,
+    marks=marks_strategy,
+)
+def test_incremental_equals_full(backend, engine, initial, added, removed,
+                                 marks):
+    """update(delta) on any engine ≡ cold solve of the mutated facts."""
+    program = build(initial, marks=marks, backend=backend, engine=engine)
+    solution = program.solve()
+    solution.update(asserted={"edge": added}, retracted={"edge": removed})
+    mutated = (initial - removed) | added
+    fresh = build(mutated, marks=marks).solve()
+    for name in DERIVED:
+        assert solution.tuples(name) == fresh.tuples(name), name
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    initial=edges_strategy,
+    added=edges_strategy,
+    removed=edges_strategy,
+    marks=marks_strategy,
+)
+def test_update_chain_stays_at_fixpoint(initial, added, removed, marks):
+    """Two sequential updates (insert batch, then retract batch) land on
+    the same fixpoint as one cold solve — deltas compose."""
+    program = build(initial, marks=marks)
+    solution = program.solve()
+    solution.update(asserted={"edge": added})
+    solution.update(retracted={"edge": removed})
+    mutated = (initial | added) - removed
+    fresh = build(mutated, marks=marks).solve()
+    for name in DERIVED:
+        assert solution.tuples(name) == fresh.tuples(name), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    initial=edges_strategy,
+    added=edges_strategy,
+    removed=edges_strategy,
+    marks=marks_strategy,
+)
+def test_resume_then_update_equals_full(initial, added, removed, marks):
+    """Persist → resume in a "fresh process" → delta-update ≡ full solve.
+
+    This is exactly the incremental analysis session's lifecycle: the
+    snapshot crosses a serialization boundary and the resumed store must
+    behave like the one that produced it.
+    """
+    snapshot = build(initial, marks=marks).solve().snapshot()
+    program = build(initial, marks=marks)
+    resumed = program.resume(snapshot)
+    resumed.update(asserted={"edge": added}, retracted={"edge": removed})
+    mutated = (initial - removed) | added
+    fresh = build(mutated, marks=marks).solve()
+    for name in DERIVED:
+        assert resumed.tuples(name) == fresh.tuples(name), name

@@ -215,3 +215,121 @@ class TestCorruption:
         # The bad file was replaced by the freshly stored entry.
         warm = run_batch(figure_units(["fig1"]), cache=fresh)
         assert warm.outcome("fig1").cached
+
+
+class TestEvictionRaces:
+    """Eviction races under ``--jobs``: losing the unlink race is fine."""
+
+    def test_evict_tolerates_missing_file(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        # Another worker already removed it: no exception, no counter.
+        cache._evict(str(tmp_path / "gone.json"))
+
+    def test_losing_the_unlink_race_is_a_plain_miss(
+        self, tmp_path, monkeypatch
+    ):
+        # Both readers open the same corrupt entry; the winner unlinks
+        # first, so the loser's unlink lands on a missing file.  The
+        # loser must degrade to an ordinary miss, not crash the sweep.
+        cache = AnalysisCache(str(tmp_path))
+        path = cache._path("deadbeef")
+        with open(path, "w") as handle:
+            handle.write("{ not json")
+        real_unlink = os.unlink
+
+        def racing_unlink(target):
+            real_unlink(target)  # the other worker wins the race...
+            real_unlink(target)  # ...and our own attempt finds nothing
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        assert cache.lookup("deadbeef") is None
+        assert cache.counters() == {"hits": 0, "misses": 1}
+        assert not os.path.exists(path)
+
+    def test_concurrent_readers_evict_same_corrupt_entries(self, tmp_path):
+        # Many threads, each with its own cache handle, all race to
+        # evict the same batch of corrupt entries -- the shape of a
+        # warm --jobs sweep over a damaged cache directory.
+        from concurrent.futures import ThreadPoolExecutor
+
+        keys = [f"key{i:02d}" for i in range(8)]
+        seed = AnalysisCache(str(tmp_path))
+        for key in keys:
+            with open(seed._path(key), "w") as handle:
+                handle.write("torn{")
+
+        def sweep(_):
+            cache = AnalysisCache(str(tmp_path))
+            return [cache.lookup(key) for key in keys]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(sweep, range(8)))
+        assert all(all(hit is None for hit in row) for row in results)
+        assert entry_files(tmp_path) == []
+
+    def test_concurrent_state_eviction(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        seed = AnalysisCache(str(tmp_path))
+        for i in range(8):
+            with open(seed._state_path(f"id{i}"), "w") as handle:
+                handle.write("]]")
+
+        def sweep(_):
+            cache = AnalysisCache(str(tmp_path))
+            for i in range(8):
+                cache.evict_state(f"id{i}")
+            return True
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            assert all(pool.map(sweep, range(8)))
+        assert not any(
+            name.endswith(".state.json") for name in os.listdir(tmp_path)
+        )
+
+
+class TestIncrementalState:
+    def test_state_round_trip(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        payload = {"schema": 1, "facts": {"region": [[0]]}}
+        cache.store_state("identity", payload)
+        assert cache.lookup_state("identity") == payload
+        # State lookups never touch the outcome hit/miss counters.
+        assert cache.counters() == {"hits": 0, "misses": 0}
+
+    def test_missing_state_is_none(self, tmp_path):
+        assert AnalysisCache(str(tmp_path)).lookup_state("nope") is None
+
+    def test_corrupt_state_degrades_and_evicts(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        with open(cache._state_path("identity"), "w") as handle:
+            handle.write("{ torn")
+        assert cache.lookup_state("identity") is None
+        assert not os.path.exists(cache._state_path("identity"))
+
+    def test_evict_state_on_missing_file(self, tmp_path):
+        AnalysisCache(str(tmp_path)).evict_state("never-stored")
+
+    def test_identity_key_ignores_source_edits(self):
+        base = dict(
+            name="unit",
+            filename="a.c",
+            interface="apr",
+            entry="main",
+            options=AnalysisOptions(),
+            budget=None,
+            degrade=True,
+            refine=False,
+            solver_stats=False,
+        )
+        key = AnalysisCache.identity_key(**base)
+        assert key == AnalysisCache.identity_key(**base)
+        # Identity deliberately excludes source text; name, filename,
+        # and configuration all separate state slots.
+        assert key != AnalysisCache.identity_key(
+            **{**base, "name": "other"}
+        )
+        assert key != AnalysisCache.identity_key(
+            **{**base, "filename": "b.c"}
+        )
+        assert key != AnalysisCache.identity_key(**{**base, "refine": True})

@@ -1,0 +1,545 @@
+"""Tests for incremental re-analysis: manifests, delta re-solve, batch.
+
+Covers the three correctness pillars:
+
+1. Manifest fingerprints detect exactly the function-level edits that
+   can change the analysis (and ignore the ones that cannot).
+2. The warm resume + delta-update path computes the same violating
+   pairs as a cold solve -- against every solver engine -- and leaves
+   byte-identical canonical state on disk.
+3. A function deletion retracts its facts for good: warnings from the
+   deleted function must read as *fixed* in a baseline diff, never
+   resurrect from stale state (the cache-correctness bugfix this PR
+   pins).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.callgraph import build_call_graph
+from repro.core import build_hierarchy, check_consistency
+from repro.core.datalog_check import (
+    extract_consistency_facts,
+    make_consistency_program,
+)
+from repro.interfaces import apr_pools_interface
+from repro.lang import CompileError
+from repro.obs.history import diff_outcomes, entries_from_outcomes
+from repro.pointer import analyze_pointers
+from repro.tool.batch import BatchUnit, run_batch
+from repro.tool.cache import AnalysisCache
+from repro.tool.incremental import (
+    IncrementalUnitSession,
+    manifest_from_source,
+)
+from repro.workloads import WorkloadSpec, figure, generate_workload
+from tests.conftest import compile_module
+
+TWO_FUNCTIONS = """
+int helper(int x) { return x + 1; }
+int main(void) { return helper(1); }
+"""
+
+
+def _unit(program, source=None):
+    return BatchUnit(
+        name=program.name,
+        source=source if source is not None else program.full_source,
+        filename=f"<{program.name}>",
+        interface=program.interface,
+        entry=program.entry,
+    )
+
+
+def _warnings(result):
+    return {
+        o.unit: (sorted(o.warning_lines), sorted(o.fingerprints))
+        for o in result.outcomes
+    }
+
+
+def _state_payloads(root, drop_outcome_metrics=True):
+    """All ``*.state.json`` payloads, outcome wall-time metrics dropped.
+
+    Outcome payloads embed per-run wall-clock gauges (``pipeline.*_ms``)
+    that can never be byte-stable; everything else in the state payload
+    -- manifest, key tables, facts, snapshot -- must be.
+    """
+    payloads = {}
+    for name in sorted(os.listdir(root)):
+        if not name.endswith(".state.json"):
+            continue
+        with open(os.path.join(root, name)) as handle:
+            payload = json.load(handle)
+        if drop_outcome_metrics and isinstance(payload.get("outcome"), dict):
+            payload = dict(
+                payload, outcome=dict(payload["outcome"], metrics=None)
+            )
+        payloads[name] = payload
+    return payloads
+
+
+# ---------------------------------------------------------------------------
+# Manifest fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestManifest:
+    def test_identical_source_diffs_clean(self):
+        a = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        b = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        assert a.diff(b).clean
+
+    def test_trailing_comment_diffs_clean(self):
+        # Nothing moves: the exact-source cache key misses, but the
+        # manifest proves the stored outcome still holds.
+        a = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        b = manifest_from_source(
+            TWO_FUNCTIONS + "// reviewed, looks fine\n", "a.c"
+        )
+        assert b.diff(a).clean
+
+    def test_line_shift_changes_every_shifted_function(self):
+        # A leading blank line moves both functions' locations, and
+        # stored warning text embeds file:line -- the diff must be dirty.
+        a = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        b = manifest_from_source("\n" + TWO_FUNCTIONS, "a.c")
+        diff = b.diff(a)
+        assert not diff.clean
+        assert set(diff.changed) == {"helper", "main"}
+
+    def test_body_edit_changes_only_that_function(self):
+        edited = TWO_FUNCTIONS.replace("x + 1", "x + 2")
+        diff = manifest_from_source(edited, "a.c").diff(
+            manifest_from_source(TWO_FUNCTIONS, "a.c")
+        )
+        assert diff.changed == ("helper",)
+        assert not diff.added and not diff.removed
+        assert not diff.preamble_changed
+
+    def test_added_and_removed_functions(self):
+        grown = TWO_FUNCTIONS + "int extra(void) { return 7; }\n"
+        base = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        diff = manifest_from_source(grown, "a.c").diff(base)
+        assert diff.added == ("extra",)
+        reverse = base.diff(manifest_from_source(grown, "a.c"))
+        assert reverse.removed == ("extra",)
+
+    def test_struct_edit_is_a_preamble_change(self):
+        with_struct = "struct s { int a; };\n" + TWO_FUNCTIONS
+        grown = "struct s { int a; int b; };\n" + TWO_FUNCTIONS
+        diff = manifest_from_source(grown, "a.c").diff(
+            manifest_from_source(with_struct, "a.c")
+        )
+        assert diff.preamble_changed
+
+    def test_duplicate_definitions_get_ordinals(self):
+        duplicated = TWO_FUNCTIONS + "int helper(int x) { return x; }\n"
+        manifest = manifest_from_source(duplicated, "a.c")
+        assert set(manifest.functions) == {"helper", "helper#1", "main"}
+
+    def test_unparseable_source_raises(self):
+        with pytest.raises(CompileError):
+            manifest_from_source("int main( {", "a.c")
+
+    def test_round_trips_through_dict(self):
+        from repro.tool.incremental import UnitManifest
+
+        manifest = manifest_from_source(TWO_FUNCTIONS, "a.c")
+        again = UnitManifest.from_dict(manifest.to_dict())
+        assert again.diff(manifest).clean
+
+
+# ---------------------------------------------------------------------------
+# The session: warm delta vs cold solve, against every engine
+# ---------------------------------------------------------------------------
+
+
+def _analyze(source, filename="prog.c"):
+    module = compile_module(source, filename)
+    graph = build_call_graph(module, entry="main")
+    return module, analyze_pointers(graph, apr_pools_interface())
+
+
+def _full_pairs(analysis, backend="set", engine="indexed"):
+    """Cold eq. 4.12 solve through an explicit (backend, engine) pair."""
+    extracted = extract_consistency_facts(analysis)
+    program = make_consistency_program(
+        len(extracted.entities), len(extracted.offsets), backend, engine
+    )
+    for name, tuples in extracted.facts.items():
+        for values in tuples:
+            program.fact(name, *values)
+    solution = program.solve()
+    return {
+        (
+            extracted.entities[source],
+            extracted.offsets[offset],
+            extracted.entities[target],
+        )
+        for source, offset, target in solution.tuples("objectPair")
+    }
+
+
+def _warning_pairs(consistency):
+    return {
+        (pair.source, pair.offset, pair.target)
+        for pair in consistency.object_pairs
+    }
+
+
+ENGINES = [("set", "indexed"), ("set", "legacy"), ("bdd", "indexed")]
+
+
+class TestSession:
+    def session_run(self, cache, source, filename="prog.c"):
+        module, analysis = _analyze(source, filename)
+        session = IncrementalUnitSession(cache, "identity")
+        assert session.probe(source, filename) is not None
+        consistency, ustats = session.check_consistency(analysis, module)
+        return session, analysis, consistency, ustats
+
+    def test_cold_then_noop_warm(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        source = figure("fig2c").full_source
+        session, analysis, cold, _ = self.session_run(cache, source)
+        assert session.mode == "cold"
+        expected = _warning_pairs(check_consistency(analysis))
+        assert _warning_pairs(cold) == expected
+        assert session.store()
+
+        warm_session, _, warm, ustats = self.session_run(cache, source)
+        assert warm_session.mode == "noop"
+        assert ustats is not None and ustats.mode == "noop"
+        assert _warning_pairs(warm) == expected
+
+    @pytest.mark.parametrize(
+        "backend,engine", ENGINES, ids=lambda v: str(v)
+    )
+    def test_warm_delta_matches_full_solve(self, tmp_path, backend, engine):
+        cache = AnalysisCache(str(tmp_path))
+        before = figure("fig2c").full_source
+        after = before.replace(
+            "return 0;", "void *late = apr_palloc(r2, 4); return 0;"
+        )
+        assert after != before
+        session, _, _, _ = self.session_run(cache, before)
+        assert session.store()
+
+        warm_session, analysis, warm, ustats = self.session_run(
+            cache, after
+        )
+        assert warm_session.mode == "delta"
+        assert ustats is not None and ustats.facts_asserted > 0
+        assert _warning_pairs(warm) == _warning_pairs(
+            consistency_from_full(analysis, backend, engine)
+        )
+
+    def test_warm_state_bytes_equal_cold_state_bytes(self, tmp_path):
+        before = figure("fig2c").full_source
+        after = before.replace(
+            "return 0;", "void *late = apr_palloc(r2, 4); return 0;"
+        )
+        warm_root = tmp_path / "warm"
+        cold_root = tmp_path / "cold"
+        warm_cache = AnalysisCache(str(warm_root))
+        session, _, _, _ = self.session_run(warm_cache, before)
+        session.store()
+        warm_session, _, _, _ = self.session_run(warm_cache, after)
+        assert warm_session.mode == "delta"
+        warm_session.store()
+
+        cold_session, _, _, _ = self.session_run(
+            AnalysisCache(str(cold_root)), after
+        )
+        assert cold_session.mode == "cold"
+        cold_session.store()
+
+        warm_bytes = (warm_root / "identity.state.json").read_bytes()
+        cold_bytes = (cold_root / "identity.state.json").read_bytes()
+        assert warm_bytes == cold_bytes
+
+    def test_semantically_corrupt_state_falls_back_cold(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        source = figure("fig2c").full_source
+        session, analysis, _, _ = self.session_run(cache, source)
+        session.store()
+        path = cache._state_path("identity")
+        with open(path) as handle:
+            payload = json.load(handle)
+        # Valid shape, garbage content: encoded values past any domain.
+        payload["facts"]["region"] = [[999999]]
+        payload["snapshot"]["region"] = [[999999]]
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+
+        fallback, _, result, ustats = self.session_run(cache, source)
+        assert fallback.mode == "cold"
+        assert fallback.fallback_reason is not None
+        assert ustats is None
+        assert _warning_pairs(result) == _warning_pairs(
+            check_consistency(analysis)
+        )
+
+    def test_schema_bump_evicts_and_goes_cold(self, tmp_path):
+        cache = AnalysisCache(str(tmp_path))
+        source = figure("fig2c").full_source
+        session, _, _, _ = self.session_run(cache, source)
+        session.store()
+        path = cache._state_path("identity")
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["schema"] = 999
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        fresh, _, _, _ = self.session_run(cache, source)
+        assert fresh.mode == "cold"
+
+
+def consistency_from_full(analysis, backend, engine):
+    from repro.core.consistency import consistency_from_pairs
+
+    hierarchy = build_hierarchy(analysis.regions, analysis.subregion)
+    return consistency_from_pairs(
+        analysis, hierarchy, _full_pairs(analysis, backend, engine)
+    )
+
+
+# ---------------------------------------------------------------------------
+# S2: deleting a function must not resurrect its warnings
+# ---------------------------------------------------------------------------
+
+BUGGY_HELPER = """
+void cross_link(apr_pool_t *parent) {
+    apr_pool_t *r1;
+    apr_pool_t *r2;
+    apr_pool_create(&r1, parent);
+    apr_pool_create(&r2, parent);
+    void *o1 = apr_palloc(r1, 8);
+    struct cell *o2 = apr_palloc(r2, sizeof(struct cell));
+    o2->f = o1;
+    apr_pool_destroy(r1);
+    void *use = o2->f;
+    apr_pool_destroy(r2);
+}
+"""
+
+MAIN_WITH_BUG = """struct cell { void *f; };
+%s
+int main(void) {
+    apr_pool_t *top;
+    apr_pool_create(&top, NULL);
+    cross_link(top);
+    apr_pool_destroy(top);
+    return 0;
+}
+"""
+
+MAIN_WITHOUT_BUG = """struct cell { void *f; };
+int main(void) {
+    apr_pool_t *top;
+    apr_pool_create(&top, NULL);
+    apr_pool_destroy(top);
+    return 0;
+}
+"""
+
+
+class TestDeletedFunction:
+    def sources(self):
+        from repro.interfaces import APR_HEADER
+
+        buggy = APR_HEADER + (MAIN_WITH_BUG % BUGGY_HELPER)
+        fixed = APR_HEADER + MAIN_WITHOUT_BUG
+        return buggy, fixed
+
+    def unit(self, source):
+        return BatchUnit(name="prog", source=source, filename="<prog>")
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_deleting_the_function_reads_as_fixed(self, tmp_path, jobs):
+        buggy, fixed = self.sources()
+        cache = str(tmp_path)
+        cold = run_batch(
+            [self.unit(buggy)], cache=cache, incremental=True, jobs=jobs
+        )
+        outcome = cold.outcome("prog")
+        assert outcome.status == "warnings" and outcome.fingerprints
+        baseline = entries_from_outcomes(cold.outcomes)
+
+        warm = run_batch(
+            [self.unit(fixed)], cache=cache, incremental=True, jobs=jobs
+        )
+        healed = warm.outcome("prog")
+        # The bug's facts were retracted with its function: no warnings
+        # may survive from the stale fixpoint.
+        assert healed.status == "clean"
+        assert healed.fingerprints == []
+
+        diff = diff_outcomes(warm.outcomes, baseline)["prog"]
+        assert diff.counts() == {
+            "new": 0,
+            "persisting": 0,
+            "fixed": len(baseline),
+        }
+
+    def test_deleted_function_stays_gone_on_the_next_warm_run(
+        self, tmp_path
+    ):
+        buggy, fixed = self.sources()
+        cache = str(tmp_path)
+        run_batch([self.unit(buggy)], cache=cache, incremental=True)
+        run_batch([self.unit(fixed)], cache=cache, incremental=True)
+        # Third run is manifest-clean over the fixed source: the served
+        # outcome must be the fixed one, not the original.
+        again = run_batch([self.unit(fixed)], cache=cache, incremental=True)
+        assert again.outcome("prog").status == "clean"
+
+
+# ---------------------------------------------------------------------------
+# Batch equivalence: incremental == full, serial == parallel
+# ---------------------------------------------------------------------------
+
+
+class TestBatchIncremental:
+    def test_incremental_requires_a_cache(self):
+        with pytest.raises(ValueError, match="requires a cache"):
+            run_batch([BatchUnit(name="x", source="")], incremental=True)
+
+    def test_manifest_serves_location_preserving_edits(self, tmp_path):
+        unit = _unit(figure("fig2c"))
+        cache = str(tmp_path)
+        cold = run_batch([unit], cache=cache, incremental=True)
+        commented = BatchUnit(
+            name=unit.name,
+            source=unit.source + "\n// audited\n",
+            filename=unit.filename,
+            interface=unit.interface,
+            entry=unit.entry,
+        )
+        warm = run_batch([commented], cache=cache, incremental=True)
+        assert not warm.outcome(unit.name).cached  # exact key missed
+        assert _warnings(warm) == _warnings(cold)
+        assert warm.outcome(unit.name).incremental_mode == "served"
+
+    def test_serial_and_parallel_leave_identical_state(self, tmp_path):
+        units = [_unit(figure(n)) for n in ("fig1", "fig2a", "fig2c")]
+        serial_root = tmp_path / "serial"
+        parallel_root = tmp_path / "parallel"
+        serial = run_batch(
+            units, cache=str(serial_root), incremental=True, jobs=1
+        )
+        parallel = run_batch(
+            units, cache=str(parallel_root), incremental=True, jobs=2
+        )
+        assert _warnings(serial) == _warnings(parallel)
+        assert _state_payloads(serial_root) == _state_payloads(
+            parallel_root
+        )
+
+
+# ---------------------------------------------------------------------------
+# S3: the hypothesis property -- incremental == full on mutated workloads
+# ---------------------------------------------------------------------------
+
+_BUG_KINDS = ["cross_sibling", "into_subregion", "intra_fp"]
+
+
+def _workload_unit(bugs):
+    workload = generate_workload(
+        WorkloadSpec(
+            name="gen",
+            stages=2,
+            helpers_per_stage=1,
+            objects_per_stage=2,
+            utility_functions=1,
+            utility_call_sites=1,
+            bugs=bugs,
+        )
+    )
+    return BatchUnit(
+        name="gen", source=workload.source, filename="<gen>"
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    before=st.dictionaries(
+        st.sampled_from(_BUG_KINDS), st.integers(0, 2), max_size=3
+    ),
+    after=st.dictionaries(
+        st.sampled_from(_BUG_KINDS), st.integers(0, 2), max_size=3
+    ),
+)
+def test_incremental_equals_full_on_mutated_workloads(before, after):
+    """Mutating random functions between runs, the warm incremental
+    sweep must reproduce a cold full sweep exactly: statuses, warning
+    lines, fingerprints, and the canonical on-disk state."""
+    warm_root = tempfile.mkdtemp(prefix="inc-warm-")
+    cold_root = tempfile.mkdtemp(prefix="inc-cold-")
+    try:
+        run_batch(
+            [_workload_unit(before)], cache=warm_root, incremental=True
+        )
+        warm = run_batch(
+            [_workload_unit(after)], cache=warm_root, incremental=True
+        )
+        cold = run_batch(
+            [_workload_unit(after)], cache=cold_root, incremental=True
+        )
+        full = run_batch([_workload_unit(after)])
+
+        for result in (warm, cold):
+            assert _warnings(result) == _warnings(full)
+            assert [o.status for o in result.outcomes] == [
+                o.status for o in full.outcomes
+            ]
+        # Canonicalized state is path-independent: the warm directory
+        # holds the same bytes a from-scratch cold run produces.
+        assert _state_payloads(warm_root) == _state_payloads(cold_root)
+    finally:
+        shutil.rmtree(warm_root, ignore_errors=True)
+        shutil.rmtree(cold_root, ignore_errors=True)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    bug=st.sampled_from(_BUG_KINDS),
+    count_before=st.integers(0, 2),
+    count_after=st.integers(0, 2),
+)
+def test_warm_session_matches_every_engine(bug, count_before, count_after):
+    """The warm delta fixpoint agrees with a cold solve on each solver
+    engine (plain set, indexed set, BDD)."""
+    root = tempfile.mkdtemp(prefix="inc-engines-")
+    try:
+        cache = AnalysisCache(root)
+        sources = [
+            generate_workload(
+                WorkloadSpec(name="gen", stages=2, bugs={bug: count})
+            ).source
+            for count in (count_before, count_after)
+        ]
+        session = IncrementalUnitSession(cache, "identity")
+        module, analysis = _analyze(sources[0], "<gen>")
+        session.probe(sources[0], "<gen>")
+        session.check_consistency(analysis, module)
+        session.store()
+
+        warm = IncrementalUnitSession(cache, "identity")
+        module, analysis = _analyze(sources[1], "<gen>")
+        warm.probe(sources[1], "<gen>")
+        consistency, _ = warm.check_consistency(analysis, module)
+        assert warm.mode in ("delta", "noop")
+        incremental_pairs = _warning_pairs(consistency)
+        for backend, engine in ENGINES:
+            assert incremental_pairs == _warning_pairs(
+                consistency_from_full(analysis, backend, engine)
+            ), (backend, engine)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
