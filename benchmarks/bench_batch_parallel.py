@@ -58,6 +58,7 @@ def normalized(result: BatchResult) -> dict:
     for entry in payload["results"]:
         metric_keys.append(sorted(entry.pop("metrics", {})))
     fleet = payload.pop("fleet_metrics", {})
+    payload.pop("run_id", None)  # fresh per CLI invocation by design
     payload["metric_keys"] = metric_keys
     payload["fleet_keys"] = sorted(fleet)
     return payload

@@ -26,23 +26,62 @@ def write_result(name: str, text: str) -> None:
     (RESULTS_DIR / name).write_text(text + "\n")
 
 
+def _load_trajectory(path: pathlib.Path) -> list:
+    """Existing records from BENCH_<name>.json, tolerating both formats.
+
+    The current format is one JSON document with a ``trajectory`` array.
+    Early versions blindly *appended* a JSON object per run, producing a
+    JSONL file that ``json.load`` rejects — those records are migrated
+    into the array the first time the bench runs again.
+    """
+    try:
+        text = path.read_text()
+    except OSError:
+        return []
+    try:
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            trajectory = payload.get("trajectory", [])
+            return trajectory if isinstance(trajectory, list) else []
+        if isinstance(payload, list):
+            return payload
+    except ValueError:
+        pass
+    records = []  # legacy JSONL: one record per line
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
 def record_bench(name: str, **headline) -> None:
     """Append one machine-readable trajectory record for this bench.
 
-    ``BENCH_<name>.json`` at the repo root is JSON-lines: one record per
-    run, so plotting perf across PRs is ``[json.loads(l) for l in open()]``.
-    Headline numbers are whatever the bench considers its key results;
-    timestamp and version pin each record to a point in history.
+    ``BENCH_<name>.json`` at the repo root is a single JSON document
+    ``{"bench", "latest", "trajectory": [...]}`` — one trajectory entry
+    per run, so plotting perf across PRs is
+    ``json.load(open(...))["trajectory"]``.  Headline numbers are
+    whatever the bench considers its key results; timestamp and version
+    pin each record to a point in history.  Import the whole history
+    into a run registry with ``regionwiz history --import-bench``.
     """
     record = {
-        "bench": name,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "version": __version__,
         **headline,
     }
     path = REPO_ROOT / f"BENCH_{name}.json"
-    with open(path, "a") as handle:
-        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    trajectory = _load_trajectory(path)
+    trajectory.append(record)
+    payload = {"bench": name, "latest": record, "trajectory": trajectory}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def bench_seconds(benchmark):

@@ -73,10 +73,12 @@ class EventLog:
         path: str,
         epoch: Optional[float] = None,
         append: bool = False,
+        run_id: Optional[str] = None,
     ) -> None:
         self.path = str(path)
         self._epoch = time.perf_counter() if epoch is None else epoch
         self._seq = 0
+        self.run_id = run_id
         if not append:
             open(self.path, "w").close()  # truncate the previous log
         # Everyone -- parent included -- writes in O_APPEND mode: an
@@ -85,11 +87,13 @@ class EventLog:
         # meanwhile.  Line buffering keeps each record a single write.
         self._handle = open(self.path, "a", buffering=1)
         if not append:
-            self.emit(
-                "log.open",
-                schema=EVENT_SCHEMA_VERSION,
-                epoch=round(self._epoch, 6),
-            )
+            header: Dict[str, Any] = {
+                "schema": EVENT_SCHEMA_VERSION,
+                "epoch": round(self._epoch, 6),
+            }
+            if run_id is not None:
+                header["run_id"] = run_id
+            self.emit("log.open", **header)
 
     @property
     def epoch(self) -> float:

@@ -71,6 +71,9 @@ details > pre { margin: 0.3rem 0 0 0; }
 .v-uncovered { background: #eee; color: #666; border-radius: 3px;
                padding: 0 0.3rem; }
 .summary-line { color: #444; }
+/* Run-history trend sparklines (regionwiz history --html-out). */
+.spark { font-family: ui-monospace, 'SF Mono', Menlo, monospace;
+         letter-spacing: 1px; color: #346; font-size: 1rem; }
 footer { margin-top: 2.5rem; color: #999; font-size: 0.75rem; }
 """
 
@@ -290,6 +293,7 @@ def render_html_report(
     profile: Optional[str] = None,
     explanations: Optional[Mapping[str, str]] = None,
     validation: Optional[Mapping[str, Any]] = None,
+    history: Optional[Mapping[str, List[float]]] = None,
 ) -> str:
     """Render the report as one self-contained HTML document string.
 
@@ -302,7 +306,10 @@ def render_html_report(
     fingerprint -> derivation-chain mapping rendered as expandable
     ``<details>`` blocks.  ``validation`` is the single-run dynamic
     validation payload (``--validate``); in batch mode the per-unit
-    payloads on the outcomes are used instead.
+    payloads on the outcomes are used instead.  ``history`` is a
+    metric -> value-series mapping (oldest first, from the run
+    registry) rendered as a sparkline trend table (``regionwiz history
+    --html-out``).
     """
     body: List[str] = [f"<h1>{_esc(title)}</h1>"]
 
@@ -332,6 +339,29 @@ def render_html_report(
             " persisting</span> "
             f'<span class="diff-fixed">{counts["fixed"]} fixed</span></p>'
         )
+
+    # Run-history trends (regionwiz history --html-out): one sparkline
+    # row per metric, oldest run on the left.
+    if history:
+        body.append("<h2>Run history</h2><table>")
+        body.append(
+            "<tr><th>metric</th><th>trend</th><th>latest</th>"
+            "<th>min</th><th>max</th><th>runs</th></tr>"
+        )
+        from .registry import sparkline
+
+        for name in sorted(history):
+            values = list(history[name])
+            if not values:
+                continue
+            body.append(
+                f"<tr><td><code>{_esc(name)}</code></td>"
+                f'<td><span class="spark">{_esc(sparkline(values))}'
+                "</span></td>"
+                f"<td>{values[-1]:g}</td><td>{min(values):g}</td>"
+                f"<td>{max(values):g}</td><td>{len(values)}</td></tr>"
+            )
+        body.append("</table>")
 
     # Warning table.
     body.append("<h2>Warnings</h2>")

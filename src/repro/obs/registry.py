@@ -1,0 +1,637 @@
+"""Persistent run registry with regression gating (``regionwiz history``).
+
+Every invocation that opts in (``--registry FILE``) appends one row to
+an sqlite3 database: run id, timestamp, ``repro.__version__``, corpus,
+outcome counts, a metrics snapshot (JSON), and wall/CPU time.  Nothing
+ties one run's metrics to the next without this -- the ``BENCH_*.json``
+trajectory records answer "how fast was this bench on this commit", the
+registry answers "how has *this corpus* trended across the last N runs
+on *this machine*", which is what a CI regression gate needs.
+
+The regression statistic is deliberately boring: the latest run's value
+of a metric is compared against the **median of the previous N runs**
+of the same (mode, corpus); it regresses when
+``latest > threshold * median``.  Median-of-N absorbs the one noisy CI
+run that a mean would chase, and a multiplicative threshold matches how
+wall-clock noise actually scales.  ``--fail-on-regression`` turns a
+detected regression into exit 1; asking for the gate with fewer than
+``--min-runs`` prior runs is an :class:`InputError` (exit 2) -- a
+silently passing gate with no history is the worst possible default.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..util.errors import InputError
+
+__all__ = [
+    "RunRecord",
+    "RunRegistry",
+    "RegressionReport",
+    "sparkline",
+    "run_history_command",
+]
+
+#: Bump when the runs table shape changes (additive columns: no bump).
+REGISTRY_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id TEXT NOT NULL UNIQUE,
+    timestamp REAL NOT NULL,
+    version TEXT NOT NULL,
+    mode TEXT NOT NULL,
+    corpus TEXT NOT NULL,
+    units INTEGER NOT NULL DEFAULT 0,
+    succeeded INTEGER NOT NULL DEFAULT 0,
+    failed INTEGER NOT NULL DEFAULT 0,
+    skipped INTEGER NOT NULL DEFAULT 0,
+    warnings INTEGER NOT NULL DEFAULT 0,
+    high INTEGER NOT NULL DEFAULT 0,
+    exit_code INTEGER NOT NULL DEFAULT 0,
+    wall_s REAL NOT NULL DEFAULT 0.0,
+    cpu_s REAL NOT NULL DEFAULT 0.0,
+    metrics TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS runs_corpus ON runs (mode, corpus, id);
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+#: Columns a --metric flag may name directly (everything else resolves
+#: through the JSON metrics snapshot).
+_NUMERIC_COLUMNS = frozenset(
+    {
+        "units",
+        "succeeded",
+        "failed",
+        "skipped",
+        "warnings",
+        "high",
+        "exit_code",
+        "wall_s",
+        "cpu_s",
+    }
+)
+
+
+@dataclass
+class RunRecord:
+    """One registry row (the append-only unit of history)."""
+
+    run_id: str
+    timestamp: float
+    version: str
+    mode: str
+    corpus: str
+    units: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    skipped: int = 0
+    warnings: int = 0
+    high: int = 0
+    exit_code: int = 0
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def metric(self, name: str) -> Optional[float]:
+        """Resolve a metric by column name first, JSON snapshot second."""
+        if name in _NUMERIC_COLUMNS:
+            return float(getattr(self, name))
+        value = self.metrics.get(name)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None
+        return float(value)
+
+
+@dataclass
+class RegressionReport:
+    """The verdict of one regression check."""
+
+    metric: str
+    mode: str
+    corpus: str
+    latest: float
+    median: float
+    threshold: float
+    prior_runs: int
+    regressed: bool
+
+    def describe(self) -> str:
+        ratio = self.latest / self.median if self.median else float("inf")
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.metric} [{self.mode}:{self.corpus}]: latest"
+            f" {self.latest:g} vs median({self.prior_runs})"
+            f" {self.median:g} ({ratio:.2f}x,"
+            f" gate {self.threshold:g}x) -- {verdict}"
+        )
+
+
+class RunRegistry:
+    """Append-only sqlite3 store of analysis runs.
+
+    sqlite gives atomic appends from concurrent CI jobs for free, and a
+    single file artifact uploads cleanly.  ``run_id`` is UNIQUE with
+    ``INSERT OR IGNORE`` so replaying a journal or re-importing bench
+    files is idempotent.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        if parent and not os.path.isdir(parent):
+            raise InputError(
+                f"--registry {path}: directory {parent} does not exist"
+            )
+        try:
+            self._db = sqlite3.connect(path, timeout=10.0)
+        except sqlite3.Error as exc:
+            raise InputError(f"--registry {path}: cannot open: {exc}") from exc
+        try:
+            self._db.executescript(_SCHEMA)
+            self._db.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema", str(REGISTRY_SCHEMA_VERSION)),
+            )
+            self._db.commit()
+        except sqlite3.Error as exc:
+            raise InputError(
+                f"--registry {path}: not a usable registry database: {exc}"
+            ) from exc
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+
+    def record(self, record: RunRecord) -> bool:
+        """Append one run; False when its run_id was already present."""
+        cursor = self._db.execute(
+            """
+            INSERT OR IGNORE INTO runs
+                (run_id, timestamp, version, mode, corpus, units,
+                 succeeded, failed, skipped, warnings, high, exit_code,
+                 wall_s, cpu_s, metrics)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                record.run_id,
+                record.timestamp,
+                record.version,
+                record.mode,
+                record.corpus,
+                record.units,
+                record.succeeded,
+                record.failed,
+                record.skipped,
+                record.warnings,
+                record.high,
+                record.exit_code,
+                record.wall_s,
+                record.cpu_s,
+                json.dumps(record.metrics, sort_keys=True),
+            ),
+        )
+        self._db.commit()
+        return cursor.rowcount > 0
+
+    # -- reading -----------------------------------------------------------
+
+    def runs(
+        self,
+        mode: Optional[str] = None,
+        corpus: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[RunRecord]:
+        """Matching runs, oldest first (insertion order, not timestamp)."""
+        query = (
+            "SELECT run_id, timestamp, version, mode, corpus, units,"
+            " succeeded, failed, skipped, warnings, high, exit_code,"
+            " wall_s, cpu_s, metrics FROM runs"
+        )
+        clauses, params = [], []
+        if mode is not None:
+            clauses.append("mode = ?")
+            params.append(mode)
+        if corpus is not None:
+            clauses.append("corpus = ?")
+            params.append(corpus)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        rows = self._db.execute(query, params).fetchall()
+        records = []
+        for row in reversed(rows):
+            try:
+                metrics = json.loads(row[14])
+            except (TypeError, ValueError):
+                metrics = {}
+            records.append(
+                RunRecord(
+                    run_id=row[0],
+                    timestamp=row[1],
+                    version=row[2],
+                    mode=row[3],
+                    corpus=row[4],
+                    units=row[5],
+                    succeeded=row[6],
+                    failed=row[7],
+                    skipped=row[8],
+                    warnings=row[9],
+                    high=row[10],
+                    exit_code=row[11],
+                    wall_s=row[12],
+                    cpu_s=row[13],
+                    metrics=metrics if isinstance(metrics, dict) else {},
+                )
+            )
+        return records
+
+    # -- regression gating -------------------------------------------------
+
+    def check_regression(
+        self,
+        metric: str = "wall_s",
+        last: int = 5,
+        threshold: float = 1.5,
+        min_runs: int = 1,
+        mode: Optional[str] = None,
+        corpus: Optional[str] = None,
+    ) -> RegressionReport:
+        """Latest run vs median of the previous ``last`` runs.
+
+        Filters default to the latest run's own (mode, corpus) so a CI
+        job gating one corpus isn't confused by rows from another.
+        Raises :class:`InputError` when the registry holds fewer than
+        ``min_runs`` *prior* comparable runs -- an empty gate must be
+        loud, not green.
+        """
+        everything = self.runs(mode=mode, corpus=corpus)
+        if not everything:
+            raise InputError(
+                f"--fail-on-regression: registry {self.path} holds no"
+                " matching runs"
+            )
+        latest = everything[-1]
+        prior = [
+            run
+            for run in everything[:-1]
+            if run.mode == latest.mode and run.corpus == latest.corpus
+        ]
+        prior_values = [
+            value
+            for value in (run.metric(metric) for run in prior)
+            if value is not None
+        ][-last:]
+        if len(prior_values) < min_runs:
+            raise InputError(
+                f"--fail-on-regression: only {len(prior_values)} prior"
+                f" run(s) of {latest.mode}:{latest.corpus} record"
+                f" {metric!r}; need at least {min_runs}"
+            )
+        latest_value = latest.metric(metric)
+        if latest_value is None:
+            raise InputError(
+                f"--fail-on-regression: latest run {latest.run_id} does"
+                f" not record metric {metric!r}"
+            )
+        median = _median(prior_values)
+        regressed = bool(median > 0 and latest_value > threshold * median)
+        if median <= 0:
+            # A zero/negative median can't anchor a multiplicative
+            # gate; regress only if the latest is strictly positive.
+            regressed = latest_value > 0 and threshold <= 1.0
+        return RegressionReport(
+            metric=metric,
+            mode=latest.mode,
+            corpus=latest.corpus,
+            latest=latest_value,
+            median=median,
+            threshold=threshold,
+            prior_runs=len(prior_values),
+            regressed=regressed,
+        )
+
+    # -- bench backfill ----------------------------------------------------
+
+    def import_bench(self, root: str = ".") -> int:
+        """Backfill from ``BENCH_*.json`` files (legacy JSONL or trajectory).
+
+        Rows get a content-hash run id so re-imports are no-ops.
+        Returns the number of newly inserted rows.
+        """
+        imported = 0
+        try:
+            names = sorted(os.listdir(root))
+        except OSError as exc:
+            raise InputError(f"--import-bench: cannot list {root}: {exc}") from exc
+        for name in names:
+            if not (name.startswith("BENCH_") and name.endswith(".json")):
+                continue
+            path = os.path.join(root, name)
+            for entry in _bench_entries(path):
+                imported += self._import_bench_entry(name, entry)
+        return imported
+
+    def _import_bench_entry(
+        self, filename: str, entry: Mapping[str, Any]
+    ) -> int:
+        bench = str(entry.get("bench") or filename[len("BENCH_"):-len(".json")])
+        digest = hashlib.sha256(
+            json.dumps(entry, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:16]
+        timestamp = _parse_timestamp(entry.get("timestamp"))
+        metrics = {
+            key: value
+            for key, value in entry.items()
+            if not isinstance(value, bool)
+            and isinstance(value, (int, float))
+        }
+        wall = entry.get("wall_s")
+        record = RunRecord(
+            run_id=f"bench-{digest}",
+            timestamp=timestamp,
+            version=str(entry.get("version", "")),
+            mode="bench",
+            corpus=bench,
+            units=int(entry.get("units", 0) or 0),
+            wall_s=float(wall) if isinstance(wall, (int, float)) else 0.0,
+            metrics=metrics,
+        )
+        return 1 if self.record(record) else 0
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _parse_timestamp(raw: Any) -> float:
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        return float(raw)
+    if isinstance(raw, str):
+        try:
+            return time.mktime(time.strptime(raw, "%Y-%m-%dT%H:%M:%SZ"))
+        except ValueError:
+            pass
+    return 0.0
+
+
+def _bench_entries(path: str) -> List[Dict[str, Any]]:
+    """Parse one BENCH file: trajectory format first, legacy JSONL second."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return []
+    try:
+        whole = json.loads(text)
+    except ValueError:
+        whole = None
+    if isinstance(whole, dict):
+        trajectory = whole.get("trajectory")
+        if isinstance(trajectory, list):
+            return [e for e in trajectory if isinstance(e, dict)]
+        return [whole]
+    entries = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(entry, dict):
+            entries.append(entry)
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# History rendering
+# ---------------------------------------------------------------------------
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of ``values`` (empty string when empty)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(values)
+    span = hi - lo
+    top = len(_SPARK_BLOCKS) - 1
+    return "".join(
+        _SPARK_BLOCKS[int(round((value - lo) / span * top))]
+        for value in values
+    )
+
+
+def format_history(
+    runs: Sequence[RunRecord], metrics: Sequence[str]
+) -> str:
+    """Per-metric trend lines over ``runs`` (oldest → newest)."""
+    if not runs:
+        return "history: no runs recorded"
+    lines = [
+        f"history: {len(runs)} run(s),"
+        f" {runs[0].run_id} .. {runs[-1].run_id}"
+    ]
+    groups: Dict[Any, List[RunRecord]] = {}
+    for run in runs:
+        groups.setdefault((run.mode, run.corpus), []).append(run)
+    for (mode, corpus), group in sorted(groups.items()):
+        lines.append(f"  {mode}:{corpus} ({len(group)} run(s))")
+        for metric in metrics:
+            values = [
+                value
+                for value in (run.metric(metric) for run in group)
+                if value is not None
+            ]
+            if not values:
+                lines.append(f"    {metric:<24} (not recorded)")
+                continue
+            trend = sparkline(values)
+            lines.append(
+                f"    {metric:<24} {trend}  latest {values[-1]:g}"
+                f"  min {min(values):g}  max {max(values):g}"
+            )
+    return "\n".join(lines)
+
+
+def history_series(
+    runs: Sequence[RunRecord], metrics: Sequence[str]
+) -> Dict[str, List[float]]:
+    """Metric → value series over ``runs`` (for the HTML report section)."""
+    series: Dict[str, List[float]] = {}
+    for metric in metrics:
+        values = [
+            value
+            for value in (run.metric(metric) for run in runs)
+            if value is not None
+        ]
+        if values:
+            series[metric] = values
+    return series
+
+
+# ---------------------------------------------------------------------------
+# The `regionwiz history` subcommand
+# ---------------------------------------------------------------------------
+
+
+def run_history_command(argv: Sequence[str]) -> int:
+    """Entry point for ``regionwiz history ...`` (dispatched by the CLI)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="regionwiz history",
+        description=(
+            "Print per-metric trends from a run registry and optionally"
+            " gate on a median-of-last-N regression check."
+        ),
+    )
+    parser.add_argument(
+        "--registry",
+        required=True,
+        metavar="FILE",
+        help="sqlite3 run registry written by --registry",
+    )
+    parser.add_argument(
+        "--mode",
+        default=None,
+        help="only runs of this mode (single, batch, bench)",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="only runs of this corpus string",
+    )
+    parser.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "metric(s) to trend and gate on (registry column or metrics"
+            " snapshot key; default: wall_s)"
+        ),
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most the newest N runs",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=5,
+        metavar="N",
+        help="regression baseline: median of the previous N runs (default 5)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        metavar="X",
+        help="regress when latest > X * median (default 1.5)",
+    )
+    parser.add_argument(
+        "--min-runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fail (exit 2) unless at least N prior runs exist for the"
+            " gate (default 1)"
+        ),
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit 1 when any gated metric regresses",
+    )
+    parser.add_argument(
+        "--import-bench",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        help="backfill the registry from BENCH_*.json files in DIR first",
+    )
+    parser.add_argument(
+        "--html-out",
+        default=None,
+        metavar="FILE",
+        help="also write an HTML report with trend sparklines",
+    )
+    args = parser.parse_args(list(argv))
+    metrics = args.metric or ["wall_s"]
+    try:
+        with RunRegistry(args.registry) as registry:
+            if args.import_bench is not None:
+                imported = registry.import_bench(args.import_bench)
+                print(
+                    f"imported {imported} bench record(s) from"
+                    f" {args.import_bench}"
+                )
+            runs = registry.runs(
+                mode=args.mode, corpus=args.corpus, limit=args.limit
+            )
+            print(format_history(runs, metrics))
+            if args.html_out:
+                from .html import write_html_report
+
+                write_html_report(
+                    args.html_out,
+                    title="regionwiz run history",
+                    history=history_series(runs, metrics),
+                )
+                print(f"wrote {args.html_out}")
+            if not args.fail_on_regression:
+                return 0
+            regressed = False
+            for metric in metrics:
+                report = registry.check_regression(
+                    metric=metric,
+                    last=args.last,
+                    threshold=args.threshold,
+                    min_runs=args.min_runs,
+                    mode=args.mode,
+                    corpus=args.corpus,
+                )
+                print(report.describe())
+                regressed = regressed or report.regressed
+            return 1 if regressed else 0
+    except InputError as exc:
+        print(f"regionwiz history: error: {exc}", file=sys.stderr)
+        return 2

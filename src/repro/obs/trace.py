@@ -155,8 +155,13 @@ class Tracer:
     across processes of one boot, so the lanes line up in Perfetto.
     """
 
-    def __init__(self, epoch: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        epoch: Optional[float] = None,
+        run_id: Optional[str] = None,
+    ) -> None:
         self._t0 = time.perf_counter() if epoch is None else epoch
+        self.run_id = run_id
         self.roots: List[SpanRecord] = []
         self._stack: List[SpanRecord] = []
         #: Foreign span lanes adopted from worker processes: (pid, roots).
@@ -276,7 +281,13 @@ class Tracer:
             })
             for root in roots:
                 emit(root, worker_pid)
-        return {"traceEvents": events, "displayTimeUnit": "ms"}
+        trace: Dict[str, Any] = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+        }
+        if self.run_id is not None:
+            trace["metadata"] = {"run_id": self.run_id}
+        return trace
 
     def write_chrome_trace(self, path: str) -> None:
         with open(path, "w") as handle:

@@ -128,12 +128,20 @@ from repro.obs.events import (
     uninstall_event_log,
 )
 from repro.obs.history import WarningDiff, merge_diffs
-from repro.obs.metrics import MetricsRegistry, aggregate_metrics, format_metrics
+from repro.obs.live import bus_event, current_bus
+from repro.obs.metrics import (
+    MetricsRegistry,
+    aggregate_metrics,
+    format_metrics,
+    mem_profile_enabled,
+    set_mem_profile,
+)
 from repro.obs.validate import LABELS as _VALIDATION_LABELS
 from repro.obs.validate import VALIDATION_SCHEMA_VERSION, ValidationResult
 from repro.obs.trace import (
     SpanRecord,
     Tracer,
+    _peak_rss_kb,
     current_tracer,
     install_tracer,
     trace_instant,
@@ -398,6 +406,10 @@ class BatchResult:
     #: supervisor actually intervened -- a fault-free sweep's JSON is
     #: byte-identical with supervision on or off.
     supervision: Optional[Dict[str, int]] = None
+    #: Parent-generated run id (see :func:`repro.obs.live.new_run_id`);
+    #: emitted in :meth:`to_json` only when set, so existing serial ≡
+    #: parallel equality checks stay byte-exact by popping one key.
+    run_id: Optional[str] = None
 
     def outcome(self, unit: str) -> UnitOutcome:
         for outcome in self.outcomes:
@@ -529,6 +541,8 @@ class BatchResult:
             "skipped": len(self.skipped),
             "results": [o.to_dict() for o in self.outcomes],
         }
+        if self.run_id is not None:
+            payload["run_id"] = self.run_id
         if self.interrupted:
             payload["interrupted"] = True
         if self.supervision:
@@ -962,6 +976,15 @@ class _WorkerConfig:
     #: state rides back on the outcome for the parent to persist.
     incremental: bool = False
     cache_root: Optional[str] = None
+    #: Parent-generated run id (None when the caller did not thread one).
+    run_id: Optional[str] = None
+    #: Live telemetry (``--live``/``--metrics-port``): workers piggyback
+    #: one small ``telemetry`` record per completed unit on the journal
+    #: heartbeat channel (rss/cpu deltas for the parent's fleet view).
+    telemetry: bool = False
+    #: Per-phase tracemalloc peaks (``--mem-profile``), armed per worker
+    #: process via :func:`repro.obs.metrics.set_mem_profile`.
+    mem_profile: bool = False
 
 
 def _config_validate_key(
@@ -1077,6 +1100,7 @@ def _worker_init(config: _WorkerConfig) -> None:
         faults.set_fire_hook(_worker_fault_hook)
     else:
         faults.set_fire_hook(None)  # drop a hook inherited through fork
+    set_mem_profile(config.mem_profile)
 
 
 #: One dispatched task: a contiguous run of ``(index, unit, key)``
@@ -1176,6 +1200,23 @@ def _worker_analyze_chunk(
                         "outcome": outcome.to_cache_payload(),
                     }
                 )
+                if config.telemetry:
+                    # The live-telemetry piggyback: one extra journal
+                    # line per completed unit, riding the heartbeat
+                    # channel the supervisor already tails -- no second
+                    # IPC path, no cost when telemetry is off.
+                    _worker_journal_append(
+                        {
+                            "kind": "telemetry",
+                            "index": index,
+                            "unit": unit.name,
+                            "pid": os.getpid(),
+                            "t": time.time(),
+                            "rss_kb": _peak_rss_kb(),
+                            "cpu_s": round(time.process_time(), 6),
+                            "run": config.run_id,
+                        }
+                    )
             if not config.keep_going and outcome.exit_code in _HARD_FAILURES:
                 break
     finally:
@@ -1266,6 +1307,7 @@ def _run_batch_parallel(
     trace_dir: Optional[str] = None,
     incremental: bool = False,
     identity_keys: Optional[List[Optional[str]]] = None,
+    run_id: Optional[str] = None,
 ) -> Tuple[List[Optional[UnitOutcome]], Dict[str, int], bool]:
     """Fan unit chunks out to a supervised warm process pool.
 
@@ -1295,10 +1337,12 @@ def _run_batch_parallel(
     for index, unit in enumerate(units):
         if resumed_slots and index in resumed_slots:
             slots[index] = resumed_slots[index]
+            bus_event("unit.done", index=index, outcome=slots[index])
             continue
         hit = _cache_lookup(cache, cache_keys[index], unit)
         if hit is not None:
             slots[index] = hit
+            bus_event("unit.done", index=index, outcome=hit)
         else:
             to_run.append(index)
     if not to_run:
@@ -1328,6 +1372,11 @@ def _run_batch_parallel(
             trace_dir=trace_dir,
             incremental=incremental,
             cache_root=cache.root if cache is not None else None,
+            run_id=run_id,
+            # Worker telemetry piggybacks on the journal, so it needs
+            # both a live bus parent-side and a journal to ride on.
+            telemetry=current_bus() is not None and journal is not None,
+            mem_profile=mem_profile_enabled(),
         )
 
     def adopt(roots: List[SpanRecord], pid: int) -> None:
@@ -1426,6 +1475,7 @@ def run_batch(
     validate_steps: int = DEFAULT_VALIDATE_STEPS,
     trace_dir: Optional[str] = None,
     incremental: bool = False,
+    run_id: Optional[str] = None,
 ) -> BatchResult:
     """Analyze every unit with per-unit fault isolation.
 
@@ -1521,7 +1571,7 @@ def run_batch(
     journal_obj: Optional[RunJournal] = None
     ephemeral: Optional[str] = None
     if journal is not None:
-        journal_obj = RunJournal(journal, resume=resume)
+        journal_obj = RunJournal(journal, resume=resume, run_id=run_id)
     elif supervise and jobs > 1 and pending:
         # Supervision needs the heartbeat/outcome channel even when the
         # caller doesn't want a persistent journal: use a throwaway one.
@@ -1529,7 +1579,7 @@ def run_batch(
             prefix="regionwiz-journal-", suffix=".jsonl"
         )
         os.close(fd)
-        journal_obj = RunJournal(ephemeral)
+        journal_obj = RunJournal(ephemeral, run_id=run_id)
     try:
         return _run_batch_inner(
             pending,
@@ -1554,6 +1604,7 @@ def run_batch(
             validate_key=validate_key,
             incremental=incremental,
             identity_keys=identity_keys,
+            run_id=run_id,
         )
     finally:
         if journal_obj is not None:
@@ -1588,7 +1639,14 @@ def _run_batch_inner(
     validate_key: Optional[Dict[str, Any]] = None,
     incremental: bool = False,
     identity_keys: Optional[List[Optional[str]]] = None,
+    run_id: Optional[str] = None,
 ) -> BatchResult:
+    bus_event(
+        "batch.start",
+        total=len(pending),
+        sizes=[len(unit.source) for unit in pending],
+        jobs=jobs,
+    )
     journal_keys: List[Optional[str]] = [None] * len(pending)
     if journal_obj is not None:
         journal_keys = [
@@ -1652,6 +1710,7 @@ def _run_batch_inner(
                     trace_dir=trace_dir,
                     incremental=incremental,
                     identity_keys=identity_keys,
+                    run_id=run_id,
                 )
         except KeyboardInterrupt:
             # Interrupted outside the supervised pool loop (cache probe,
@@ -1741,6 +1800,7 @@ def _run_batch_inner(
                                 }
                             )
                     result.outcomes.append(outcome)
+                    bus_event("unit.done", index=index, outcome=outcome)
                     if (
                         not keep_going
                         and outcome.exit_code in _HARD_FAILURES
@@ -1760,6 +1820,7 @@ def _run_batch_inner(
             for skipped in pending[len(result.outcomes):]:
                 result.outcomes.append(_skipped(skipped.name))
     result.interrupted = interrupted
+    result.run_id = run_id
     resumed_count = sum(1 for o in result.outcomes if o.resumed)
     if resumed_count:
         supervision["resumed"] = resumed_count
@@ -1776,4 +1837,5 @@ def _run_batch_inner(
             attempts=outcome.attempts,
             cached=outcome.cached,
         )
+    bus_event("batch.end", interrupted=interrupted)
     return result

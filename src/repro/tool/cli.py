@@ -34,13 +34,17 @@ warning locations report the original file and line.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 import traceback
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro import __version__
 from repro.interfaces import apr_pools_interface, rc_regions_interface
 from repro.lang.errors import CompileError
 from repro.obs.events import EventLog, install_event_log, uninstall_event_log
+from repro.obs.export import MetricsServer, write_metrics_file
 from repro.obs.history import (
     WarningDiff,
     diff_entries,
@@ -51,7 +55,15 @@ from repro.obs.history import (
     save_baseline,
 )
 from repro.obs.html import write_html_report
-from repro.obs.metrics import format_metrics
+from repro.obs.live import (
+    LiveView,
+    TelemetryBus,
+    install_bus,
+    new_run_id,
+    uninstall_bus,
+)
+from repro.obs.metrics import format_metrics, set_mem_profile
+from repro.obs.registry import RunRecord, RunRegistry
 from repro.obs.trace import (
     Tracer,
     current_tracer,
@@ -444,6 +456,65 @@ def build_parser() -> argparse.ArgumentParser:
             " appear (known warnings exit 0; hard failures unchanged)"
         ),
     )
+    live = parser.add_argument_group(
+        "live telemetry and run history",
+        "operational observability: a live fleet status line, an"
+        " OpenMetrics surface, and a persistent run registry; inspect"
+        " past runs with the `regionwiz history` subcommand",
+    )
+    live.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "render a rate-limited fleet status line on stderr during"
+            " --batch: units done, throughput, cache hit rate, ETA"
+            " (bytes-weighted), respawn/watchdog counts; plain periodic"
+            " lines when stderr is not a TTY"
+        ),
+    )
+    live.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=None,
+        dest="metrics_out",
+        help=(
+            "write a final OpenMetrics text snapshot of the run"
+            " (fleet progress plus analysis metrics) to FILE"
+        ),
+    )
+    live.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        dest="metrics_port",
+        help=(
+            "serve /metrics (OpenMetrics) and /healthz on"
+            " 127.0.0.1:PORT for the duration of the run; PORT 0 binds"
+            " an ephemeral port, announced on stderr before analysis"
+            " starts"
+        ),
+    )
+    live.add_argument(
+        "--registry",
+        metavar="FILE",
+        default=None,
+        help=(
+            "append this run (outcome counts, metrics snapshot,"
+            " wall/CPU time) to a persistent sqlite run registry;"
+            " query it later with `regionwiz history --registry FILE`"
+        ),
+    )
+    live.add_argument(
+        "--mem-profile",
+        action="store_true",
+        dest="mem_profile",
+        help=(
+            "record per-phase peak heap usage via tracemalloc as"
+            " pipeline.<phase>.peak_mem_bytes gauges (slows analysis;"
+            " off by default)"
+        ),
+    )
     return parser
 
 
@@ -537,7 +608,24 @@ def _run_batch_mode(args: argparse.Namespace) -> int:
         validate_steps=args.validate_steps,
         trace_dir=args.trace_out,
         incremental=args.incremental,
+        run_id=getattr(args, "run_id", None),
     )
+    fleet = result.fleet_metrics()
+    batch_metrics: Dict[str, Any] = dict(result.batch_metrics().to_dict())
+    for name, stats in sorted(fleet.items()):
+        mean = stats.get("mean")
+        if isinstance(mean, (int, float)):
+            batch_metrics[f"{name}.mean"] = mean
+    args._telemetry_summary = {
+        "mode": "batch",
+        "units": len(result.outcomes),
+        "succeeded": len(result.succeeded),
+        "failed": len(result.failed),
+        "skipped": len(result.skipped),
+        "warnings": sum(o.warnings for o in result.succeeded),
+        "high": sum(o.high for o in result.succeeded),
+        "metrics": batch_metrics,
+    }
     merged: Optional[WarningDiff] = None
     if args.baseline:
         baseline = load_baseline(args.baseline)
@@ -627,30 +715,153 @@ def _options_from_args(args: argparse.Namespace) -> AnalysisOptions:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    tracer: Optional[Tracer] = None
-    previous: Optional[Tracer] = None
-    # --html-report embeds the profile tree, so it wants a tracer too.
-    if args.trace or args.profile or args.html_report:
-        tracer = Tracer()
-        previous = install_tracer(tracer)
-    event_log: Optional[EventLog] = None
-    previous_log: Optional[EventLog] = None
-    if args.events:
+def _corpus_label(paths: List[str]) -> str:
+    """Stable short label identifying the input set for the registry."""
+    names = sorted({os.path.basename(path) for path in paths})
+    if len(names) > 8:
+        names = names[:8] + [f"+{len(names) - 8}"]
+    return ",".join(names)
+
+
+def _finish_telemetry(
+    args: argparse.Namespace,
+    code: int,
+    bus: Optional[TelemetryBus],
+    registry_store: Optional[RunRegistry],
+    wall_start: float,
+    cpu_start: float,
+) -> int:
+    """Record the run in the registry and write the final metrics file.
+
+    Runs after ``_run`` with the exit code in hand so the registry row
+    captures the real outcome; a failed ``--metrics-out`` write only
+    overrides soft exit codes (0/1), never a harder failure.
+    """
+    summary = getattr(args, "_telemetry_summary", None) or {}
+    metrics: Dict[str, Any] = {}
+    if bus is not None:
+        metrics.update(bus.snapshot())
+    metrics.update(summary.get("metrics") or {})
+    if registry_store is not None:
+        record = RunRecord(
+            run_id=args.run_id,
+            timestamp=time.time(),
+            version=__version__,
+            mode=summary.get("mode")
+            or ("batch" if args.batch else "single"),
+            corpus=_corpus_label(args.files),
+            units=int(summary.get("units", 0)),
+            succeeded=int(summary.get("succeeded", 0)),
+            failed=int(summary.get("failed", 0)),
+            skipped=int(summary.get("skipped", 0)),
+            warnings=int(summary.get("warnings", 0)),
+            high=int(summary.get("high", 0)),
+            exit_code=code,
+            wall_s=round(time.time() - wall_start, 6),
+            cpu_s=round(sum(os.times()[:4]) - cpu_start, 6),
+            metrics=metrics,
+        )
         try:
-            event_log = EventLog(args.events)
+            registry_store.record(record)
+        except InputError as error:
+            print(f"regionwiz: {error}", file=sys.stderr)
+            if code in (0, 1):
+                return 2
+    if args.metrics_out:
+        try:
+            write_metrics_file(args.metrics_out, metrics)
         except OSError as error:
-            if tracer is not None:
-                uninstall_tracer(previous)
             print(
-                f"regionwiz: cannot write event log {args.events}: {error}",
+                f"regionwiz: cannot write {args.metrics_out}: {error}",
                 file=sys.stderr,
             )
+            if code in (0, 1):
+                return 2
+    return code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = list(sys.argv[1:])
+    if argv and argv[0] == "history":
+        # Subcommand dispatch happens before argparse: the main parser
+        # has a required FILE positional that `history` does not take.
+        from repro.obs.registry import run_history_command
+
+        return run_history_command(list(argv[1:]))
+    args = build_parser().parse_args(argv)
+    args.run_id = new_run_id()
+    args._telemetry_summary = None
+    wall_start = time.time()
+    cpu_start = sum(os.times()[:4])
+    registry_store: Optional[RunRegistry] = None
+    if args.registry:
+        try:
+            registry_store = RunRegistry(args.registry)
+        except InputError as error:
+            print(f"regionwiz: {error}", file=sys.stderr)
             return 2
-        previous_log = install_event_log(event_log)
+    bus: Optional[TelemetryBus] = None
+    previous_bus: Optional[TelemetryBus] = None
+    view: Optional[LiveView] = None
+    server: Optional[MetricsServer] = None
+    tracer: Optional[Tracer] = None
+    previous: Optional[Tracer] = None
+    event_log: Optional[EventLog] = None
+    previous_log: Optional[EventLog] = None
+    bus_installed = False
     try:
-        return _run(args)
+        if args.live or args.metrics_port is not None or args.metrics_out:
+            bus = TelemetryBus(run_id=args.run_id, jobs=args.jobs)
+            previous_bus = install_bus(bus)
+            bus_installed = True
+            if args.live:
+                if args.batch:
+                    view = LiveView(bus)
+                    bus.attach(view)
+                else:
+                    print(
+                        "regionwiz: --live shows fleet progress and does"
+                        " nothing outside --batch",
+                        file=sys.stderr,
+                    )
+        if args.metrics_port is not None:
+            assert bus is not None
+            try:
+                server = MetricsServer(
+                    args.metrics_port, bus.snapshot, run_id=args.run_id
+                )
+                server.start()
+            except InputError as error:
+                print(f"regionwiz: {error}", file=sys.stderr)
+                return 2
+            # Announced before analysis starts so a scraper can attach
+            # immediately (PORT 0 binds an ephemeral port).
+            print(
+                f"regionwiz: serving http://127.0.0.1:{server.port}"
+                "/metrics (and /healthz)",
+                file=sys.stderr,
+            )
+        set_mem_profile(args.mem_profile)
+        # --html-report embeds the profile tree, so it wants a tracer too.
+        if args.trace or args.profile or args.html_report:
+            tracer = Tracer(run_id=args.run_id)
+            previous = install_tracer(tracer)
+        if args.events:
+            try:
+                event_log = EventLog(args.events, run_id=args.run_id)
+            except OSError as error:
+                print(
+                    f"regionwiz: cannot write event log"
+                    f" {args.events}: {error}",
+                    file=sys.stderr,
+                )
+                return 2
+            previous_log = install_event_log(event_log)
+        code = _run(args)
+        return _finish_telemetry(
+            args, code, bus, registry_store, wall_start, cpu_start
+        )
     finally:
         if event_log is not None:
             uninstall_event_log(previous_log)
@@ -661,6 +872,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 tracer.write_chrome_trace(args.trace)
             if args.profile:
                 print(tracer.format_tree(), file=sys.stderr)
+        set_mem_profile(False)
+        if view is not None:
+            view.close()
+        if bus_installed:
+            uninstall_bus(previous_bus)
+        if server is not None:
+            server.close()
+        if registry_store is not None:
+            registry_store.close()
 
 
 def _parse_query(spec: str) -> "tuple[str, int]":
@@ -791,6 +1011,20 @@ def _run(args: argparse.Namespace) -> int:
         traceback.print_exc()
         print("regionwiz: internal error", file=sys.stderr)
         return 3
+    # Counted before the high-ranked filter so the registry row records
+    # the analysis result, not the display filter.
+    args._telemetry_summary = {
+        "mode": "single",
+        "units": 1,
+        "succeeded": 1,
+        "failed": 0,
+        "skipped": 0,
+        "warnings": len(report.warnings),
+        "high": sum(1 for w in report.warnings if w.high_ranked),
+        "metrics": (
+            report.metrics.to_dict() if report.metrics is not None else {}
+        ),
+    }
     if not args.all:
         report.warnings = [w for w in report.warnings if w.high_ranked]
     validation = None
@@ -857,7 +1091,14 @@ def _run(args: argparse.Namespace) -> int:
     if args.json_output:
         from repro.tool.report import report_to_json
 
-        print(report_to_json(report, diff=diff, validation=validation))
+        print(
+            report_to_json(
+                report,
+                diff=diff,
+                validation=validation,
+                run_id=getattr(args, "run_id", None),
+            )
+        )
     else:
         print(
             format_report(

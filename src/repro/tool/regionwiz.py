@@ -67,7 +67,7 @@ from repro.ir import IRModule, lower
 from repro.lang import SemaResult, SourceLocation, analyze, parse
 from repro.obs.events import emit_event
 from repro.obs.fingerprint import warning_fingerprint
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, mem_profile_enabled
 from repro.obs.trace import trace_span
 from repro.pointer import (
     AnalysisOptions,
@@ -157,6 +157,9 @@ class PhaseTimes:
     #: Delta re-solve telemetry when the run used an incremental session
     #: and the warm path ran (None on cold solves and normal runs).
     update: Optional[UpdateStats] = None
+    #: Per-phase tracemalloc peaks in bytes (``--mem-profile`` only;
+    #: empty otherwise, so reports stay byte-identical with it off).
+    mem_peaks: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> float:
@@ -302,6 +305,33 @@ def _describe(module: IRModule, ipair: IPair) -> str:
     )
 
 
+def _mem_reset() -> None:
+    """Start/reset tracemalloc peak tracking for one pipeline phase.
+
+    No-op unless ``--mem-profile`` armed the process-wide flag: the
+    disabled path is one boolean read per phase, keeping the same <3%
+    discipline as tracing.  tracemalloc itself is *not* free -- that is
+    exactly why the peaks hide behind an explicit opt-in.
+    """
+    if not mem_profile_enabled():
+        return
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+    tracemalloc.reset_peak()
+
+
+def _mem_peak(times: PhaseTimes, phase: str) -> None:
+    """Record the tracemalloc peak since the last :func:`_mem_reset`."""
+    if not mem_profile_enabled():
+        return
+    import tracemalloc
+
+    if tracemalloc.is_tracing():
+        times.mem_peaks[phase] = tracemalloc.get_traced_memory()[1]
+
+
 @contextmanager
 def _phase_events(phase: str, unit: str):
     """Bracket one pipeline phase with ``phase.start``/``phase.end``
@@ -337,13 +367,16 @@ def _run_pipeline(
     times = PhaseTimes()
 
     # Frontend (the paper gets IR from Phoenix; we parse and lower).
+    _mem_reset()
     with trace_span("phase.frontend") as span, _phase_events("frontend", name):
         faults.fire("frontend", unit=name, meter=meter)
         sema = analyze(parse(source, filename))
         module = lower(sema)
         span.set(functions=len(module.functions))
+    _mem_peak(times, "frontend")
 
     # Phase 1: call graph construction.
+    _mem_reset()
     start = time.perf_counter()
     with trace_span("phase.call-graph") as span, _phase_events(
         "call-graph", name
@@ -354,8 +387,10 @@ def _run_pipeline(
         )
         span.set(reachable=len(graph.reachable), edges=graph.num_edges)
     times.call_graph = time.perf_counter() - start
+    _mem_peak(times, "call_graph")
 
     # Phase 2: context cloning.
+    _mem_reset()
     start = time.perf_counter()
     with trace_span("phase.context-cloning") as span, _phase_events(
         "context-cloning", name
@@ -369,8 +404,10 @@ def _run_pipeline(
         )
         span.set(contexts=numbering.total_contexts)
     times.context_cloning = time.perf_counter() - start
+    _mem_peak(times, "context_cloning")
 
     # Phase 3: conditional correlation computation.
+    _mem_reset()
     start = time.perf_counter()
     with trace_span("phase.correlation") as span, _phase_events(
         "correlation", name
@@ -412,8 +449,10 @@ def _run_pipeline(
             object_pairs=consistency.o_pair_count,
         )
     times.correlation = time.perf_counter() - start
+    _mem_peak(times, "correlation")
 
     # Phase 4: post processing.
+    _mem_reset()
     start = time.perf_counter()
     with trace_span("phase.post-processing") as span, _phase_events(
         "post-processing", name
@@ -461,6 +500,7 @@ def _run_pipeline(
             high=ranked.high_count,
         )
     times.post_processing = time.perf_counter() - start
+    _mem_peak(times, "post_processing")
 
     return RegionWizReport(
         sema=sema,
@@ -502,6 +542,8 @@ def _collect_metrics(report: RegionWizReport) -> MetricsRegistry:
     registry.gauge("warnings.high", report.ranked.high_count)
     registry.gauge("ladder.degraded", 1 if report.degraded else 0)
     registry.gauge("ladder.failed_rungs", len(report.degradation_path))
+    for phase, peak in sorted(times.mem_peaks.items()):
+        registry.gauge(f"pipeline.{phase}.peak_mem_bytes", peak)
     if times.solver is not None:
         registry.absorb_solver_stats(times.solver)
     if times.update is not None:

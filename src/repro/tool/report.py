@@ -134,8 +134,13 @@ def report_to_json(
     report: RegionWizReport,
     diff: Optional[WarningDiff] = None,
     validation=None,
+    run_id: Optional[str] = None,
 ) -> str:
-    """Machine-readable report (stable schema for CI integration)."""
+    """Machine-readable report (stable schema for CI integration).
+
+    ``run_id`` (when given) lands in the payload so the JSON joins
+    against registry rows, event streams, and Chrome traces.
+    """
     row = report.fig11_row()
     payload = {
         "name": report.name,
@@ -178,6 +183,8 @@ def report_to_json(
             for warning in report.warnings
         ],
     }
+    if run_id is not None:
+        payload["run_id"] = run_id
     if validation is not None:
         payload["validation"] = validation.to_payload()
         for index, entry in enumerate(payload["warnings"]):

@@ -93,6 +93,7 @@ from typing import (
 )
 
 from repro.obs.events import emit_event
+from repro.obs.live import bus_event
 from repro.util.budget import ResourceBudget
 from repro.util.errors import HardTimeout, WorkerCrash
 from repro.util.faults import FaultSpec
@@ -172,7 +173,12 @@ class RunJournal:
     and appends; otherwise the file is truncated.
     """
 
-    def __init__(self, path: str, resume: bool = False) -> None:
+    def __init__(
+        self,
+        path: str,
+        resume: bool = False,
+        run_id: Optional[str] = None,
+    ) -> None:
         self.path = str(path)
         #: ``(unit_name, key) -> outcome payload`` from prior runs.
         self.completed: Dict[Tuple[str, str], Dict[str, Any]] = {}
@@ -191,13 +197,14 @@ class RunJournal:
         self._handle = open(self.path, "a", buffering=1)
         self._reader = None
         if not records:
-            self.append(
-                {
-                    "kind": "journal.open",
-                    "schema": JOURNAL_SCHEMA_VERSION,
-                    "t": time.time(),
-                }
-            )
+            header = {
+                "kind": "journal.open",
+                "schema": JOURNAL_SCHEMA_VERSION,
+                "t": time.time(),
+            }
+            if run_id is not None:
+                header["run_id"] = run_id
+            self.append(header)
         for record in records:
             if record.get("kind") != "unit.done":
                 continue
@@ -529,6 +536,7 @@ class BatchSupervisor:
                     return_when=FIRST_COMPLETED,
                 )
                 self._consume_journal()
+                bus_event("tick", stats=self.stats)
                 for future in done:
                     indices = futures[future]
                     try:
@@ -600,6 +608,17 @@ class BatchSupervisor:
                 self._running[index] = (pid, record.get("t", time.time()))
                 self._last_pid[index] = pid
                 self._gen_started.add(index)
+                bus_event(
+                    "unit.start",
+                    index=index,
+                    unit=record.get("unit"),
+                    pid=pid,
+                )
+            elif kind == "telemetry":
+                # Worker metric/RSS deltas piggybacked on the heartbeat
+                # channel (see batch._worker_analyze_chunk); forwarded
+                # to the live bus, never interpreted here.
+                bus_event("worker.delta", record=record)
             elif kind == "unit.done":
                 index = record.get("index")
                 if not isinstance(index, int):
@@ -644,6 +663,7 @@ class BatchSupervisor:
                 outcome.attempts += retries
         self.slots[index] = outcome
         self._running.pop(index, None)
+        bus_event("unit.done", index=index, outcome=outcome)
 
     def _adopt_journal_done(self) -> None:
         """Units that completed in a worker but never shipped a result."""

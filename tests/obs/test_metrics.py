@@ -104,6 +104,31 @@ class TestAggregation:
         registry.observe("m.mid", 2)
         assert list(registry.to_dict()) == ["a.first", "m.mid", "z.last"]
 
+    def test_empty_registries_aggregate_to_empty(self):
+        """Fresh registries contribute nothing, not zero-filled stats."""
+        registries = [MetricsRegistry().to_dict() for _ in range(3)]
+        assert aggregate_metrics(registries) == {}
+
+    def test_single_sample_histogram_is_degenerate(self):
+        """One sample: every percentile collapses onto the value."""
+        fleet = aggregate_metrics([{"m": 7.5}])
+        stats = fleet["m"]
+        assert stats["count"] == 1
+        for stat in ("min", "mean", "p50", "p90", "max", "sum"):
+            assert stats[stat] == 7.5
+
+    def test_worker_died_before_first_flush(self):
+        """A worker lost mid-sweep leaves partial unit metrics behind;
+        present keys aggregate normally, absent ones don't poison the
+        fleet view with phantom zeros."""
+        survivors = [{"pipeline.total_ms": 4.0, "pointer.objects": 9}]
+        partial = [{"pipeline.total_ms": 6.0}]  # died before final gauges
+        fleet = aggregate_metrics(survivors + partial)
+        assert fleet["pipeline.total_ms"]["count"] == 2
+        assert fleet["pipeline.total_ms"]["mean"] == 5.0
+        assert fleet["pointer.objects"]["count"] == 1
+        assert fleet["pointer.objects"]["min"] == 9.0
+
     def test_empty_batch_metrics_are_stable(self):
         """Batch JSON on a zero-unit sweep stays byte-stable: no
         missing-counter KeyError, sorted keys, empty fleet section."""

@@ -1,0 +1,240 @@
+"""Tests for the persistent run registry and `regionwiz history`."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    RunRecord,
+    RunRegistry,
+    format_history,
+    history_series,
+    run_history_command,
+    sparkline,
+)
+from repro.util.errors import InputError
+
+
+def record(run_id, wall_s=1.0, mode="batch", corpus="pkg", **extra):
+    metrics = extra.pop("metrics", {})
+    return RunRecord(
+        run_id=run_id,
+        timestamp=1000.0,
+        version="1.0.0",
+        mode=mode,
+        corpus=corpus,
+        units=2,
+        succeeded=2,
+        wall_s=wall_s,
+        metrics=metrics,
+        **extra,
+    )
+
+
+@pytest.fixture
+def registry(tmp_path):
+    with RunRegistry(str(tmp_path / "runs.sqlite")) as store:
+        yield store
+
+
+class TestStore:
+    def test_roundtrip(self, registry):
+        assert registry.record(record("r1", metrics={"pipeline.total_ms": 5}))
+        runs = registry.runs()
+        assert [r.run_id for r in runs] == ["r1"]
+        assert runs[0].metrics["pipeline.total_ms"] == 5
+        assert runs[0].wall_s == 1.0
+
+    def test_duplicate_run_id_ignored(self, registry):
+        assert registry.record(record("r1"))
+        assert not registry.record(record("r1", wall_s=9.0))
+        assert len(registry.runs()) == 1
+
+    def test_persists_across_reopen(self, tmp_path):
+        path = str(tmp_path / "runs.sqlite")
+        with RunRegistry(path) as store:
+            store.record(record("r1"))
+        with RunRegistry(path) as store:
+            assert [r.run_id for r in store.runs()] == ["r1"]
+
+    def test_mode_corpus_filters(self, registry):
+        registry.record(record("a", mode="batch", corpus="x"))
+        registry.record(record("b", mode="single", corpus="y"))
+        assert [r.run_id for r in registry.runs(mode="single")] == ["b"]
+        assert [r.run_id for r in registry.runs(corpus="x")] == ["a"]
+
+    def test_missing_parent_dir_is_input_error(self, tmp_path):
+        with pytest.raises(InputError):
+            RunRegistry(str(tmp_path / "nope" / "runs.sqlite"))
+
+    def test_garbage_file_is_input_error(self, tmp_path):
+        path = tmp_path / "garbage.sqlite"
+        path.write_bytes(b"this is not a database")
+        with pytest.raises(InputError):
+            RunRegistry(str(path))
+
+    def test_metric_resolves_columns_then_snapshot(self, registry):
+        registry.record(record("r1", wall_s=2.5, metrics={"x": 7}))
+        run = registry.runs()[0]
+        assert run.metric("wall_s") == 2.5
+        assert run.metric("x") == 7.0
+        assert run.metric("missing") is None
+
+
+class TestRegression:
+    def seed(self, registry, walls, corpus="pkg"):
+        for index, wall in enumerate(walls):
+            registry.record(
+                record(f"{corpus}-r{index}", wall_s=wall, corpus=corpus)
+            )
+
+    def test_steady_state_passes(self, registry):
+        self.seed(registry, [1.0, 1.1, 0.9, 1.0])
+        report = registry.check_regression()
+        assert not report.regressed
+        assert "ok" in report.describe()
+
+    def test_slowdown_flagged(self, registry):
+        self.seed(registry, [1.0, 1.1, 0.9, 3.3])
+        report = registry.check_regression(threshold=1.5)
+        assert report.regressed
+        assert "REGRESSION" in report.describe()
+
+    def test_median_window_is_last_n(self, registry):
+        # Ancient slow runs outside the window must not mask a regression.
+        self.seed(registry, [9.0, 9.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+        assert registry.check_regression(last=5, threshold=1.5).regressed
+
+    def test_other_corpus_ignored(self, registry):
+        self.seed(registry, [1.0], corpus="other")
+        self.seed(registry, [5.0, 5.2], corpus="pkg")
+        # Latest (pkg, 5.2) compares against (pkg, 5.0) only: no regression.
+        assert not registry.check_regression().regressed
+
+    def test_empty_registry_is_input_error(self, registry):
+        with pytest.raises(InputError):
+            registry.check_regression()
+
+    def test_too_few_prior_runs_is_input_error(self, registry):
+        self.seed(registry, [1.0])  # one run: zero prior runs
+        with pytest.raises(InputError) as excinfo:
+            registry.check_regression(min_runs=1)
+        assert "prior" in str(excinfo.value)
+
+    def test_metric_absent_from_latest_is_input_error(self, registry):
+        self.seed(registry, [1.0, 1.0])
+        with pytest.raises(InputError):
+            registry.check_regression(metric="no.such.metric")
+
+
+class TestBenchImport:
+    def test_trajectory_format(self, registry, tmp_path):
+        path = tmp_path / "BENCH_sweep.json"
+        path.write_text(json.dumps({
+            "bench": "sweep",
+            "latest": {"wall_s": 2.0},
+            "trajectory": [
+                {"timestamp": "2026-08-01T00:00:00Z", "wall_s": 1.0},
+                {"timestamp": "2026-08-02T00:00:00Z", "wall_s": 2.0},
+            ],
+        }))
+        assert registry.import_bench(str(tmp_path)) == 2
+        runs = registry.runs(mode="bench")
+        assert len(runs) == 2
+        assert runs[0].corpus == "sweep"
+        assert runs[1].wall_s == 2.0
+
+    def test_legacy_jsonl_format(self, registry, tmp_path):
+        path = tmp_path / "BENCH_old.json"
+        path.write_text(
+            '{"bench": "old", "wall_s": 1.5}\n{"bench": "old", "wall_s": 1.6}\n'
+        )
+        assert registry.import_bench(str(tmp_path)) == 2
+        assert len(registry.runs(corpus="old")) == 2
+
+    def test_reimport_is_idempotent(self, registry, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"bench": "x", "wall_s": 1.0}\n')
+        assert registry.import_bench(str(tmp_path)) == 1
+        assert registry.import_bench(str(tmp_path)) == 0
+
+
+class TestRendering:
+    def test_sparkline_shape(self):
+        assert sparkline([]) == ""
+        assert sparkline([1.0, 1.0]) == "▁▁"
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_format_history_groups_and_trends(self, registry):
+        registry.record(record("a", wall_s=1.0))
+        registry.record(record("b", wall_s=2.0))
+        text = format_history(registry.runs(), ["wall_s", "nope"])
+        assert "batch:pkg (2 run(s))" in text
+        assert "latest 2" in text
+        assert "(not recorded)" in text
+
+    def test_history_series_skips_unrecorded(self, registry):
+        registry.record(record("a", wall_s=1.0))
+        series = history_series(registry.runs(), ["wall_s", "nope"])
+        assert series == {"wall_s": [1.0]}
+
+
+class TestHistoryCommand:
+    def seed(self, tmp_path, walls):
+        path = str(tmp_path / "runs.sqlite")
+        with RunRegistry(path) as store:
+            for index, wall in enumerate(walls):
+                store.record(record(f"r{index}", wall_s=wall))
+        return path
+
+    def test_prints_trends_exit_zero(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 1.1])
+        assert run_history_command(["--registry", path]) == 0
+        assert "2 run(s)" in capsys.readouterr().out
+
+    def test_gate_passes_on_steady_state(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 1.1, 1.0])
+        code = run_history_command(
+            ["--registry", path, "--fail-on-regression"]
+        )
+        assert code == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 1.0, 4.0])
+        code = run_history_command(
+            ["--registry", path, "--fail-on-regression"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_gate_with_too_few_runs_exits_two(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0])
+        code = run_history_command(
+            ["--registry", path, "--fail-on-regression", "--min-runs", "1"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_import_bench_flag(self, tmp_path, capsys):
+        registry_path = str(tmp_path / "runs.sqlite")
+        (tmp_path / "BENCH_b.json").write_text('{"bench": "b", "wall_s": 1}\n')
+        code = run_history_command(
+            ["--registry", registry_path, "--import-bench", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "imported 1 bench record(s)" in out
+        assert "bench:b" in out
+
+    def test_html_out(self, tmp_path, capsys):
+        path = self.seed(tmp_path, [1.0, 2.0])
+        html = tmp_path / "history.html"
+        code = run_history_command(
+            ["--registry", path, "--html-out", str(html)]
+        )
+        assert code == 0
+        text = html.read_text()
+        assert "Run history" in text
+        assert "wall_s" in text

@@ -50,6 +50,7 @@ def normalized(result):
         metric_keys.append(sorted(entry.pop("metrics", {})))
         entry.pop("traceback", None)  # line numbers differ worker-side
     fleet = payload.pop("fleet_metrics", {})
+    payload.pop("run_id", None)  # fresh per CLI invocation by design
     payload["metric_keys"] = metric_keys
     payload["fleet_keys"] = sorted(fleet)
     return payload

@@ -118,6 +118,9 @@ class TestBatchCli:
         for entry in payload["results"]:
             entry.pop("metrics", None)
         payload.pop("fleet_metrics", None)
+        # Every CLI invocation mints a fresh run id; serial/parallel
+        # equivalence is defined modulo that identifier.
+        payload.pop("run_id", None)
         return code, payload
 
     def test_rc_corpus_detected_in_batch_mode(self, tmp_path, capsys):
